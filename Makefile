@@ -1,0 +1,30 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench bench-quick examples doc clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Full reproduction run: every table of the paper + extensions + micro-benches.
+bench:
+	dune exec bench/main.exe 2>/dev/null | tee bench_output.txt
+
+# ~10x faster, noisier tables for a smoke check.
+bench-quick:
+	dune exec bench/main.exe -- --scale 0.1 2>/dev/null
+
+examples:
+	@for e in quickstart gola_study nola_goto tsp_compare partition_demo \
+	          channel_router cooling_profile floorplan_demo wiring_demo; do \
+	  echo "== $$e =="; dune exec examples/$$e.exe; echo; done
+
+doc:
+	dune build @doc
+
+clean:
+	dune clean

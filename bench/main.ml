@@ -1,0 +1,297 @@
+(* The benchmark harness, in two parts:
+
+   1. Reproduction tables.  Every table of the paper's evaluation
+      (4.1, 4.2(a)-(d)) plus the extension tables (E1 TSP, E2 circuit
+      partition) and the ablations (A1-A3) is regenerated and printed
+      in the paper's row layout.  EXPERIMENTS.md records the
+      paper-vs-measured comparison of this output.
+
+   2. Bechamel micro-benchmarks: one Test.make per table (at a
+      miniature scale so a sample stays in the millisecond range) plus
+      engine/substrate throughput benches.
+
+   Flags: --scale F (budget multiplier for the tables, default 1.0),
+   --seed N, --skip-tables, --skip-micro. *)
+
+let scale = ref 1.0
+let seed = ref 42
+let skip_tables = ref false
+let skip_micro = ref false
+let wide_tuning = ref false
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--scale" :: v :: rest ->
+        scale := float_of_string v;
+        parse rest
+    | "--seed" :: v :: rest ->
+        seed := int_of_string v;
+        parse rest
+    | "--skip-tables" :: rest ->
+        skip_tables := true;
+        parse rest
+    | "--skip-micro" :: rest ->
+        skip_micro := true;
+        parse rest
+    | "--wide-tuning" :: rest ->
+        wide_tuning := true;
+        parse rest
+    | arg :: _ -> failwith ("unknown argument: " ^ arg)
+  in
+  parse (List.tl (Array.to_list Sys.argv))
+
+let section title =
+  Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '#')
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: reproduction tables                                         *)
+(* ------------------------------------------------------------------ *)
+
+let print_tables () =
+  let t0 = Sys.time () in
+  section "Reproduction tables (Nahar/Sahni/Shragowitz, DAC 1985)";
+  Printf.printf
+    "budgets: 1 paper-second = %d proposed perturbations; global scale %.2f; seed %d\n"
+    Suites.evals_per_second !scale !seed;
+  let config =
+    {
+      Linarr_tables.default_config with
+      scale = !scale;
+      seed = !seed;
+      wide_tuning = !wide_tuning;
+    }
+  in
+  prerr_endline "[bench] tuning temperatures (section 4.2.1 protocol)...";
+  let ctx = Linarr_tables.make_context ~config () in
+  let emit name f =
+    prerr_endline ("[bench] " ^ name ^ "...");
+    print_newline ();
+    print_string (Report.render (f ()))
+  in
+  emit "tuning table" (fun () -> Linarr_tables.tuning_table ctx);
+  prerr_endline "[bench] table 4.1...";
+  let measured_4_1 = Linarr_tables.table_4_1 ctx in
+  print_newline ();
+  print_string (Report.render measured_4_1);
+  emit "agreement with the paper" (fun () ->
+      Paper_data.agreement_table ctx ~measured:measured_4_1);
+  emit "table 4.2(a)" (fun () -> Linarr_tables.table_4_2a ctx);
+  emit "table 4.2(b)" (fun () -> Linarr_tables.table_4_2b ctx);
+  emit "table 4.2(c)" (fun () -> Linarr_tables.table_4_2c ctx);
+  emit "table 4.2(d)" (fun () -> Linarr_tables.table_4_2d ctx);
+  emit "table E1 (TSP)" (fun () -> Ext_tables.table_tsp ~seed:!seed ~scale:!scale ());
+  emit "table E2 (partition)" (fun () ->
+      Ext_tables.table_partition ~seed:!seed ~scale:!scale ());
+  emit "table E3 (placement)" (fun () ->
+      Ext_tables.table_placement ~seed:!seed ~scale:!scale ());
+  emit "table E5 (global wiring)" (fun () ->
+      Ext_tables.table_wiring ~seed:!seed ~scale:!scale ());
+  emit "table E6 (floorplanning)" (fun () ->
+      Ext_tables.table_floorplan ~seed:!seed ~scale:!scale ());
+  emit "table S1 (scaling)" (fun () -> Ext_tables.table_scaling ~seed:!seed ~scale:!scale ());
+  emit "table E4 (convergence to optimum)" (fun () ->
+      Ext_tables.table_convergence ~seed:!seed ~scale:!scale ());
+  emit "table A8 (run-to-run variance)" (fun () ->
+      Ext_tables.table_variance ~seed:!seed ~scale:!scale ());
+  emit "table A1 (schedule sensitivity)" (fun () ->
+      Ablation_tables.table_schedule_sensitivity ctx);
+  emit "table A2 (defer threshold)" (fun () -> Ablation_tables.table_defer_threshold ctx);
+  emit "table A3 (rejectionless)" (fun () -> Ablation_tables.table_rejectionless ctx);
+  emit "table A4 (schedule shapes)" (fun () -> Ablation_tables.table_schedule_shapes ctx);
+  emit "table A5 (temperature control)" (fun () ->
+      Ablation_tables.table_temperature_control ctx);
+  emit "table A6 (neighborhood)" (fun () -> Ablation_tables.table_neighborhood ctx);
+  emit "table A7 (objective surrogate)" (fun () ->
+      Ablation_tables.table_objective_surrogate ctx);
+  emit "table A9 (tuning-grid resolution)" (fun () ->
+      Ablation_tables.table_tuning_grid ctx);
+  emit "table E7 (quadratic assignment)" (fun () ->
+      Ext_tables.table_qap ~seed:!seed ~scale:!scale ());
+  Printf.printf "\n[tables regenerated in %.1f s CPU]\n" (Sys.time () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel micro-benchmarks                                   *)
+(* ------------------------------------------------------------------ *)
+
+open Bechamel
+open Toolkit
+
+module F1 = Figure1.Make (Linarr_problem.Swap)
+module F2 = Figure2.Make (Linarr_problem.Swap)
+module TspF1 = Figure1.Make (Tsp_problem)
+
+(* Fixed workloads for the micro-benches, built once. *)
+let bench_netlist = Netlist.random_gola (Rng.create ~seed:1) ~elements:15 ~nets:150
+let bench_start = Arrangement.random (Rng.create ~seed:2) bench_netlist
+let bench_tsp = Tsp_instance.random_uniform (Rng.create ~seed:3) ~n:60
+let bench_tour = Tour.random (Rng.create ~seed:4) bench_tsp
+let bench_graph = Netlist.random_gola (Rng.create ~seed:5) ~elements:60 ~nets:180
+
+let run_f1 gfun schedule evals () =
+  let state = Arrangement.copy bench_start in
+  let p = F1.params ~gfun ~schedule ~budget:(Budget.Evaluations evals) () in
+  (F1.run (Rng.create ~seed:6) p state).Mc_problem.best_cost
+
+let engine_tests =
+  Test.make_grouped ~name:"engine"
+    [
+      Test.make ~name:"figure1/six-temp-annealing (1k evals)"
+        (Staged.stage
+           (run_f1 Gfun.six_temp_annealing (Schedule.geometric ~y1:3. ~ratio:0.9 ~k:6) 1000));
+      Test.make ~name:"figure1/g=1 (1k evals)"
+        (Staged.stage (run_f1 Gfun.g_one (Schedule.constant ~k:1 1.) 1000));
+      Test.make ~name:"figure1/cubic-diff (1k evals)"
+        (Staged.stage (run_f1 (Gfun.poly_diff ~degree:3) (Schedule.of_array [| 0.3 |]) 1000));
+      Test.make ~name:"figure2/g=1 (1k evals)"
+        (Staged.stage (fun () ->
+             let state = Arrangement.copy bench_start in
+             let p =
+               F2.params ~gfun:Gfun.g_one ~schedule:(Schedule.constant ~k:1 1.)
+                 ~budget:(Budget.Evaluations 1000) ()
+             in
+             (F2.run (Rng.create ~seed:7) p state).Mc_problem.best_cost));
+      Test.make ~name:"tsp-figure1/metropolis (1k evals)"
+        (Staged.stage (fun () ->
+             let t = Tour.copy bench_tour in
+             let p =
+               TspF1.params ~gfun:Gfun.metropolis ~schedule:(Schedule.of_array [| 0.3 |])
+                 ~budget:(Budget.Evaluations 1000) ()
+             in
+             (TspF1.run (Rng.create ~seed:8) p t).Mc_problem.best_cost));
+    ]
+
+let substrate_tests =
+  Test.make_grouped ~name:"substrate"
+    [
+      Test.make ~name:"arrangement/swap+revert"
+        (Staged.stage
+           (let arr = Arrangement.copy bench_start in
+            fun () ->
+              Arrangement.swap_positions arr 3 11;
+              Arrangement.swap_positions arr 3 11));
+      Test.make ~name:"goto/15x150" (Staged.stage (fun () -> Goto.order bench_netlist));
+      Test.make ~name:"kl/refine-60x180"
+        (Staged.stage (fun () ->
+             let part = Bipartition.random_balanced (Rng.create ~seed:9) bench_graph in
+             Kl.refine part));
+      Test.make ~name:"tsp/2-opt-descent-60"
+        (Staged.stage (fun () ->
+             let t = Tour.copy bench_tour in
+             Tsp_heuristics.two_opt_descent t));
+      Test.make ~name:"tsp/hull-insertion-60"
+        (Staged.stage (fun () -> Tsp_heuristics.hull_insertion bench_tsp));
+      Test.make ~name:"fm/refine-60x180"
+        (Staged.stage (fun () ->
+             let part = Bipartition.random_balanced (Rng.create ~seed:10) bench_graph in
+             Fm.refine part));
+      Test.make ~name:"placement/swap+revert"
+        (Staged.stage
+           (let p =
+              Placement.random (Rng.create ~seed:11) ~rows:6 ~cols:8
+                (Netlist.random_nola (Rng.create ~seed:12) ~elements:48 ~nets:120
+                   ~min_pins:2 ~max_pins:4)
+            in
+            fun () ->
+              Placement.swap_slots p 3 30;
+              Placement.swap_slots p 3 30));
+      Test.make ~name:"wiring/flip+revert"
+        (Staged.stage
+           (let w =
+              Wiring.create ~width:10 ~height:10
+                (Wiring.random_instance (Rng.create ~seed:13) ~width:10 ~height:10
+                   ~nets:150)
+            in
+            fun () ->
+              Wiring.flip w 7;
+              Wiring.flip w 7));
+      Test.make ~name:"floorplan/move+revert (20 blocks)"
+        (Staged.stage
+           (let f =
+              Floorplan.create
+                (Array.init 20 (fun i -> ((i mod 9) + 2, ((i * 3) mod 9) + 2)))
+            in
+            fun () ->
+              Floorplan.apply f (Floorplan.Rotate 4);
+              Floorplan.apply f (Floorplan.Rotate 4)));
+      Test.make ~name:"exact/brute-force-8x32"
+        (Staged.stage
+           (let nl = Netlist.random_gola (Rng.create ~seed:14) ~elements:8 ~nets:32 in
+            fun () -> Linarr_exact.optimal_density nl));
+      Test.make ~name:"route/left-edge-15x150"
+        (Staged.stage
+           (let arr = Arrangement.copy bench_start in
+            fun () -> Single_row.assign arr));
+    ]
+
+(* One Test.make per reproduction table, at a miniature scale: each
+   sample regenerates the table end to end (runs + rendering), so the
+   estimate tracks the whole pipeline's cost. *)
+let mini_ctx =
+  let mini_config =
+    {
+      Linarr_tables.scale = 0.004;
+      three_min_scale = 0.004;
+      tuning_seconds = 0.5;
+      wide_tuning = false;
+      seed = 3;
+    }
+  in
+  lazy (Linarr_tables.make_context ~config:mini_config ())
+
+let table_tests =
+  let table name f = Test.make ~name (Staged.stage (fun () -> f (Lazy.force mini_ctx))) in
+  Test.make_grouped ~name:"table"
+    [
+      table "4.1" Linarr_tables.table_4_1;
+      table "4.2a" Linarr_tables.table_4_2a;
+      table "4.2b" Linarr_tables.table_4_2b;
+      table "4.2c" Linarr_tables.table_4_2c;
+      table "4.2d" Linarr_tables.table_4_2d;
+      Test.make ~name:"E1-tsp"
+        (Staged.stage (fun () ->
+             Ext_tables.table_tsp ~seed:3 ~scale:0.004 ~instances:2 ~cities:20 ()));
+      Test.make ~name:"E2-partition"
+        (Staged.stage (fun () ->
+             Ext_tables.table_partition ~seed:3 ~scale:0.004 ~instances:2 ~elements:24
+               ~edges:60 ()));
+      table "A1-schedule" Ablation_tables.table_schedule_sensitivity;
+      table "A2-defer" Ablation_tables.table_defer_threshold;
+      table "A3-rejectionless" Ablation_tables.table_rejectionless;
+      table "A4-shapes" Ablation_tables.table_schedule_shapes;
+      table "A5-temp-control" Ablation_tables.table_temperature_control;
+      table "A6-neighborhood" Ablation_tables.table_neighborhood;
+      table "A7-objective" Ablation_tables.table_objective_surrogate;
+    ]
+
+let run_micro () =
+  section "Bechamel micro-benchmarks";
+  (* Build the miniature context (tuning + Goto caches) outside the
+     measured region so the first table sample is not an outlier. *)
+  ignore (Sys.opaque_identity (Lazy.force mini_ctx));
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) ~kde:None () in
+  let instances = Instance.[ monotonic_clock ] in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let groups = [ engine_tests; substrate_tests; table_tests ] in
+  List.iter
+    (fun group ->
+      let raw = Benchmark.all cfg instances group in
+      let results = Analyze.all ols Instance.monotonic_clock raw in
+      let names = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) results []) in
+      List.iter
+        (fun name ->
+          let ols_result = Hashtbl.find results name in
+          let estimate =
+            match Analyze.OLS.estimates ols_result with
+            | Some (e :: _) -> e
+            | Some [] | None -> nan
+          in
+          let r2 = Option.value ~default:nan (Analyze.OLS.r_square ols_result) in
+          Printf.printf "%-48s %14.0f ns/run   r2 %.3f\n" name estimate r2)
+        names)
+    groups
+
+let () =
+  if not !skip_tables then print_tables ();
+  if not !skip_micro then run_micro ();
+  print_newline ()

@@ -1,0 +1,525 @@
+(* sa_lab: command-line front end to the reproduction.
+
+   Subcommands:
+     tables     regenerate the paper's tables (selectable, scalable, CSV-able)
+     solve      minimize the density of a netlist file with any g-class
+     generate   emit a random GOLA/NOLA instance in the textual format
+     goto       run only the Goto heuristic on a netlist file
+     info       summarize a netlist (degrees, densities, exact optimum if small)
+     tsp        solve a TSPLIB EUC_2D or random instance
+     partition  2-way (KL/FM/SA/g=1) or k-way (recursive FM) partition
+     route      single-row channel routing with an ASCII channel
+     floorplan  anneal a slicing floorplan of random blocks *)
+
+open Cmdliner
+
+let read_netlist path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  match Netlist.of_string text with
+  | Ok nl -> Ok nl
+  | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+
+(* ---------------------------------------------------------------- *)
+(* tables                                                            *)
+(* ---------------------------------------------------------------- *)
+
+let all_table_names =
+  [
+    "tuning"; "4.1"; "4.2a"; "4.2b"; "4.2c"; "4.2d"; "E1"; "E2"; "E3"; "E4"; "E5"; "E6";
+    "E7"; "S1"; "A1"; "A2"; "A3"; "A4"; "A5"; "A6"; "A7"; "A8"; "A9";
+  ]
+
+let tables_cmd =
+  let scale =
+    Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"FACTOR"
+           ~doc:"Multiply every budget by $(docv) (smaller = faster, noisier).")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Master random seed.")
+  in
+  let which =
+    Arg.(value & pos_all string all_table_names & info [] ~docv:"TABLE"
+           ~doc:"Tables to produce (default: all); see the table index in DESIGN.md.")
+  in
+  let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of aligned text.") in
+  let run scale seed csv which =
+    let render t = if csv then Report.to_csv t else Report.render t in
+    let needs_ctx =
+      List.exists
+        (fun t -> not (List.mem t [ "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "S1"; "A8" ]))
+        which
+    in
+    let ctx =
+      if needs_ctx then begin
+        prerr_endline "building suites and tuning temperatures (section 4.2.1)...";
+        Some
+          (Linarr_tables.make_context
+             ~config:{ Linarr_tables.default_config with scale; seed }
+             ())
+      end
+      else None
+    in
+    let with_ctx f = match ctx with Some c -> print_string (render (f c)) | None -> () in
+    List.iter
+      (fun name ->
+        match name with
+        | "tuning" -> with_ctx Linarr_tables.tuning_table
+        | "4.1" -> with_ctx Linarr_tables.table_4_1
+        | "4.2a" -> with_ctx Linarr_tables.table_4_2a
+        | "4.2b" -> with_ctx Linarr_tables.table_4_2b
+        | "4.2c" -> with_ctx Linarr_tables.table_4_2c
+        | "4.2d" -> with_ctx Linarr_tables.table_4_2d
+        | "E1" -> print_string (render (Ext_tables.table_tsp ~seed ~scale ()))
+        | "E2" -> print_string (render (Ext_tables.table_partition ~seed ~scale ()))
+        | "S1" -> print_string (render (Ext_tables.table_scaling ~seed ~scale ()))
+        | "E3" -> print_string (render (Ext_tables.table_placement ~seed ~scale ()))
+        | "E4" -> print_string (render (Ext_tables.table_convergence ~seed ~scale ()))
+        | "E5" -> print_string (render (Ext_tables.table_wiring ~seed ~scale ()))
+        | "E6" -> print_string (render (Ext_tables.table_floorplan ~seed ~scale ()))
+        | "A8" -> print_string (render (Ext_tables.table_variance ~seed ~scale ()))
+        | "A1" -> with_ctx Ablation_tables.table_schedule_sensitivity
+        | "A2" -> with_ctx Ablation_tables.table_defer_threshold
+        | "A3" -> with_ctx Ablation_tables.table_rejectionless
+        | "A4" -> with_ctx Ablation_tables.table_schedule_shapes
+        | "A5" -> with_ctx Ablation_tables.table_temperature_control
+        | "A6" -> with_ctx Ablation_tables.table_neighborhood
+        | "A7" -> with_ctx Ablation_tables.table_objective_surrogate
+        | "A9" -> with_ctx Ablation_tables.table_tuning_grid
+        | "E7" -> print_string (render (Ext_tables.table_qap ~seed ~scale ()))
+        | other -> Printf.eprintf "unknown table %S (skipped)\n" other)
+      which;
+    0
+  in
+  Cmd.v
+    (Cmd.info "tables" ~doc:"Regenerate the paper's evaluation tables.")
+    Term.(const run $ scale $ seed $ csv $ which)
+
+(* ---------------------------------------------------------------- *)
+(* solve                                                             *)
+(* ---------------------------------------------------------------- *)
+
+module Engine1 = Figure1.Make (Linarr_problem.Swap)
+module Engine2 = Figure2.Make (Linarr_problem.Swap)
+
+let solve_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"NETLIST"
+           ~doc:"Netlist file in the textual format (see $(b,generate)).")
+  in
+  let method_ =
+    Arg.(value & opt string "g = 1" & info [ "method"; "m" ] ~docv:"NAME"
+           ~doc:"g-function class name as in Table 4.1 (e.g. 'g = 1', 'Six Temperature Annealing', 'Cubic Diff').")
+  in
+  let strategy =
+    Arg.(value & opt (enum [ ("figure1", `Figure1); ("figure2", `Figure2) ]) `Figure1
+         & info [ "strategy" ] ~docv:"STRATEGY" ~doc:"figure1 or figure2.")
+  in
+  let evals =
+    Arg.(value & opt int 20_000 & info [ "evals"; "n" ] ~docv:"N"
+           ~doc:"Perturbation budget.")
+  in
+  let base =
+    Arg.(value & opt float 1.0 & info [ "temperature"; "y" ] ~docv:"Y"
+           ~doc:"Base temperature (geometric 0.9 shape for k = 6 classes).")
+  in
+  let goto_start =
+    Arg.(value & flag & info [ "goto-start" ]
+           ~doc:"Start from the Goto arrangement instead of a random one.")
+  in
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.") in
+  let run file method_ strategy evals base goto_start seed =
+    match read_netlist file with
+    | Error msg ->
+        prerr_endline msg;
+        1
+    | Ok nl -> (
+        match Gfun.find_by_name ~m:(Netlist.n_nets nl) method_ with
+        | None ->
+            Printf.eprintf "unknown method %S; see Table 4.1 for names\n" method_;
+            1
+        | Some gfun ->
+            let rng = Rng.create ~seed in
+            let state =
+              if goto_start then Goto.arrange nl else Arrangement.random rng nl
+            in
+            let initial = Arrangement.density state in
+            let schedule =
+              if Gfun.uses_temperature gfun then
+                match Gfun.k gfun with
+                | 1 -> Schedule.of_array [| base |]
+                | k -> Schedule.geometric ~y1:base ~ratio:0.9 ~k
+              else Schedule.constant ~k:(Gfun.k gfun) 1.
+            in
+            let budget = Budget.Evaluations evals in
+            let result =
+              match strategy with
+              | `Figure1 ->
+                  Engine1.run rng (Engine1.params ~gfun ~schedule ~budget ()) state
+              | `Figure2 ->
+                  Engine2.run rng (Engine2.params ~gfun ~schedule ~budget ()) state
+            in
+            Printf.printf "initial density: %d\n" initial;
+            Printf.printf "best density:    %.0f\n" result.Mc_problem.best_cost;
+            Printf.printf "order: %s\n"
+              (String.concat " "
+                 (Array.to_list (Array.map string_of_int (Arrangement.order result.Mc_problem.best))));
+            0)
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Minimize the density of a netlist with a chosen method.")
+    Term.(const run $ file $ method_ $ strategy $ evals $ base $ goto_start $ seed)
+
+(* ---------------------------------------------------------------- *)
+(* generate                                                          *)
+(* ---------------------------------------------------------------- *)
+
+let generate_cmd =
+  let elements =
+    Arg.(value & opt int 15 & info [ "elements"; "e" ] ~docv:"N" ~doc:"Circuit elements.")
+  in
+  let nets = Arg.(value & opt int 150 & info [ "nets" ] ~docv:"M" ~doc:"Nets.") in
+  let multi =
+    Arg.(value & flag & info [ "nola" ] ~doc:"Multi-pin nets (2-5 pins) instead of two-pin.")
+  in
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.") in
+  let run elements nets multi seed =
+    let rng = Rng.create ~seed in
+    let nl =
+      if multi then Netlist.random_nola rng ~elements ~nets ~min_pins:2 ~max_pins:5
+      else Netlist.random_gola rng ~elements ~nets
+    in
+    print_string (Netlist.to_string nl);
+    0
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Emit a random instance in the textual netlist format.")
+    Term.(const run $ elements $ nets $ multi $ seed)
+
+let goto_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"NETLIST" ~doc:"Netlist file.")
+  in
+  let run file =
+    match read_netlist file with
+    | Error msg ->
+        prerr_endline msg;
+        1
+    | Ok nl ->
+        let arr = Goto.arrange nl in
+        Printf.printf "density: %d\n" (Arrangement.density arr);
+        Printf.printf "order: %s\n"
+          (String.concat " " (Array.to_list (Array.map string_of_int (Arrangement.order arr))));
+        0
+  in
+  Cmd.v (Cmd.info "goto" ~doc:"Run the [GOTO77] constructive heuristic.") Term.(const run $ file)
+
+(* ---------------------------------------------------------------- *)
+(* tsp                                                               *)
+(* ---------------------------------------------------------------- *)
+
+module Tsp_engine = Figure1.Make (Tsp_problem)
+module Tsp_temp = Temperature.Make (Tsp_problem)
+
+let tsp_cmd =
+  let file =
+    Arg.(value & opt (some file) None & info [ "file"; "f" ] ~docv:"FILE"
+           ~doc:"TSPLIB EUC_2D instance; omit to use a random one.")
+  in
+  let cities =
+    Arg.(value & opt int 60 & info [ "cities" ] ~docv:"N" ~doc:"Random-instance size.")
+  in
+  let method_ =
+    Arg.(value
+         & opt (enum [ ("nn", `Nn); ("insertion", `Insertion); ("hull", `Hull);
+                       ("2opt", `Two_opt); ("sa", `Sa); ("g1", `G1) ]) `Hull
+         & info [ "method"; "m" ] ~docv:"METHOD"
+             ~doc:"nn, insertion, hull, 2opt (NN + descent), sa (six-temp), or g1.")
+  in
+  let evals =
+    Arg.(value & opt int 30_000 & info [ "evals"; "n" ] ~docv:"N"
+           ~doc:"Budget for the Monte Carlo methods.")
+  in
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.") in
+  let show_tour = Arg.(value & flag & info [ "tour" ] ~doc:"Print the visiting order.") in
+  let run file cities method_ evals seed show_tour =
+    let instance =
+      match file with
+      | Some path -> Tsp_io.load path
+      | None -> Ok (Tsp_instance.random_uniform (Rng.create ~seed) ~n:cities)
+    in
+    match instance with
+    | Error msg ->
+        prerr_endline msg;
+        1
+    | Ok inst ->
+        let rng = Rng.create ~seed:(seed + 1) in
+        let tour =
+          match method_ with
+          | `Nn -> Tsp_heuristics.nearest_neighbor inst ~start:0
+          | `Insertion -> Tsp_heuristics.cheapest_insertion inst
+          | `Hull -> Tsp_heuristics.hull_insertion inst
+          | `Two_opt ->
+              let t = Tsp_heuristics.nearest_neighbor inst ~start:0 in
+              ignore (Tsp_heuristics.two_opt_descent t);
+              t
+          | `Sa ->
+              let start = Tour.random rng inst in
+              let schedule = Tsp_temp.suggest_schedule ~k:6 (Rng.copy rng) start in
+              let p =
+                Tsp_engine.params ~gfun:Gfun.six_temp_annealing ~schedule
+                  ~budget:(Budget.Evaluations evals) ()
+              in
+              (Tsp_engine.run rng p start).Mc_problem.best
+          | `G1 ->
+              let start = Tour.random rng inst in
+              let p =
+                Tsp_engine.params ~gfun:Gfun.g_one
+                  ~schedule:(Schedule.constant ~k:1 1.)
+                  ~budget:(Budget.Evaluations evals) ()
+              in
+              (Tsp_engine.run rng p start).Mc_problem.best
+        in
+        Printf.printf "cities: %d\nlength: %.6f\n" (Tsp_instance.size inst) (Tour.length tour);
+        if show_tour then
+          Printf.printf "tour: %s\n"
+            (String.concat " " (Array.to_list (Array.map string_of_int (Tour.order tour))));
+        0
+  in
+  Cmd.v
+    (Cmd.info "tsp" ~doc:"Solve a travelling-salesperson instance (TSPLIB EUC_2D or random).")
+    Term.(const run $ file $ cities $ method_ $ evals $ seed $ show_tour)
+
+(* ---------------------------------------------------------------- *)
+(* partition                                                         *)
+(* ---------------------------------------------------------------- *)
+
+module Part_engine = Figure1.Make (Partition_problem)
+
+let partition_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"NETLIST" ~doc:"Netlist file.")
+  in
+  let method_ =
+    Arg.(value
+         & opt (enum [ ("kl", `Kl); ("fm", `Fm); ("sa", `Sa); ("g1", `G1) ]) `Fm
+         & info [ "method"; "m" ] ~docv:"METHOD"
+             ~doc:"kl (graphs only), fm, sa (six-temp, KIRK83 schedule), or g1.")
+  in
+  let evals =
+    Arg.(value & opt int 30_000 & info [ "evals"; "n" ] ~docv:"N" ~doc:"Monte Carlo budget.")
+  in
+  let kparts =
+    Arg.(value & opt int 2 & info [ "parts"; "k" ] ~docv:"K"
+           ~doc:"Number of parts (power of two). K > 2 uses recursive FM bisection.")
+  in
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.") in
+  let run file method_ evals kparts seed =
+    match read_netlist file with
+    | Error msg ->
+        prerr_endline msg;
+        1
+    | Ok nl when kparts <> 2 -> (
+        match Kway.partition (Rng.create ~seed) nl ~k:kparts with
+        | r ->
+            Printf.printf "parts: %d\nspanning nets: %d\nsizes: %s\n" r.Kway.k
+              r.Kway.spanning_nets
+              (String.concat " "
+                 (Array.to_list (Array.map string_of_int (Kway.part_sizes r))));
+            0
+        | exception Invalid_argument msg ->
+            prerr_endline msg;
+            1)
+    | Ok nl -> (
+        let rng = Rng.create ~seed in
+        let start = Bipartition.random_balanced rng nl in
+        match
+          match method_ with
+          | `Kl ->
+              ignore (Kl.refine start);
+              start
+          | `Fm ->
+              ignore (Fm.refine start);
+              start
+          | `Sa ->
+              let p =
+                Part_engine.params ~gfun:Gfun.six_temp_annealing
+                  ~schedule:(Schedule.kirkpatrick ()) ~budget:(Budget.Evaluations evals) ()
+              in
+              (Part_engine.run rng p start).Mc_problem.best
+          | `G1 ->
+              let p =
+                Part_engine.params ~gfun:Gfun.g_one ~schedule:(Schedule.constant ~k:1 1.)
+                  ~budget:(Budget.Evaluations evals) ()
+              in
+              (Part_engine.run rng p start).Mc_problem.best
+        with
+        | part ->
+            Printf.printf "cut: %d\nimbalance: %d\nside B:" (Bipartition.cut part)
+              (Bipartition.imbalance part);
+            for e = 0 to Netlist.n_elements nl - 1 do
+              if Bipartition.side part e then Printf.printf " %d" e
+            done;
+            print_newline ();
+            0
+        | exception Invalid_argument msg ->
+            prerr_endline msg;
+            1)
+  in
+  Cmd.v
+    (Cmd.info "partition" ~doc:"Balanced partition of a netlist (2-way methods, or k-way FM).")
+    Term.(const run $ file $ method_ $ evals $ kparts $ seed)
+
+(* ---------------------------------------------------------------- *)
+(* route                                                             *)
+(* ---------------------------------------------------------------- *)
+
+let route_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"NETLIST" ~doc:"Netlist file.")
+  in
+  let optimize =
+    Arg.(value & flag & info [ "optimize" ]
+           ~doc:"Minimize density with g = 1 before routing (instead of the Goto order).")
+  in
+  let evals =
+    Arg.(value & opt int 20_000 & info [ "evals"; "n" ] ~docv:"N" ~doc:"Budget when optimizing.")
+  in
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.") in
+  let run file optimize evals seed =
+    match read_netlist file with
+    | Error msg ->
+        prerr_endline msg;
+        1
+    | Ok nl ->
+        let arr =
+          if optimize then begin
+            let rng = Rng.create ~seed in
+            let start = Goto.arrange nl in
+            let p =
+              Engine1.params ~gfun:Gfun.g_one ~schedule:(Schedule.constant ~k:1 1.)
+                ~budget:(Budget.Evaluations evals) ()
+            in
+            (Engine1.run rng p start).Mc_problem.best
+          end
+          else Goto.arrange nl
+        in
+        let layout = Single_row.assign arr in
+        (match Single_row.verify arr layout with
+        | Ok () -> ()
+        | Error msg -> failwith msg);
+        Printf.printf "density %d -> %d tracks\n%s" (Arrangement.density arr)
+          layout.Single_row.track_count
+          (Single_row.render arr layout);
+        0
+  in
+  Cmd.v
+    (Cmd.info "route" ~doc:"Single-row channel routing of a netlist (left-edge algorithm).")
+    Term.(const run $ file $ optimize $ evals $ seed)
+
+(* ---------------------------------------------------------------- *)
+(* info                                                              *)
+(* ---------------------------------------------------------------- *)
+
+let info_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"NETLIST" ~doc:"Netlist file.")
+  in
+  let run file =
+    match read_netlist file with
+    | Error msg ->
+        prerr_endline msg;
+        1
+    | Ok nl ->
+        let n = Netlist.n_elements nl and m = Netlist.n_nets nl in
+        Printf.printf "elements: %d\nnets: %d\n" n m;
+        Printf.printf "graph (all two-pin): %b\n" (Netlist.is_graph nl);
+        if n > 0 then begin
+          let degrees = Array.init n (fun e -> float_of_int (Netlist.degree nl e)) in
+          Printf.printf "degree: min %.0f, median %.0f, mean %.1f, max %.0f\n"
+            (fst (Stats.min_max degrees)) (Stats.median degrees) (Stats.mean degrees)
+            (snd (Stats.min_max degrees));
+          Printf.printf "lightest element: %d\n" (Netlist.lightest_element nl)
+        end;
+        if m > 0 then begin
+          let sizes = Array.init m (fun j -> float_of_int (Netlist.net_size nl j)) in
+          Printf.printf "net size: min %.0f, mean %.1f, max %.0f\n"
+            (fst (Stats.min_max sizes)) (Stats.mean sizes) (snd (Stats.min_max sizes))
+        end;
+        Printf.printf "identity-order density: %d\n"
+          (Arrangement.density (Arrangement.create nl));
+        Printf.printf "goto density: %d\n" (Goto.density nl);
+        if n <= 10 then
+          Printf.printf "exact optimal density: %d\n" (Linarr_exact.optimal_density nl);
+        0
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Summarize a netlist file.") Term.(const run $ file)
+
+(* ---------------------------------------------------------------- *)
+(* floorplan                                                         *)
+(* ---------------------------------------------------------------- *)
+
+module Floor_engine = Figure1.Make (Floorplan.Problem)
+module Floor_temp = Temperature.Make (Floorplan.Problem)
+
+let floorplan_cmd =
+  let blocks =
+    Arg.(value & opt int 15 & info [ "blocks"; "b" ] ~docv:"N" ~doc:"Number of blocks.")
+  in
+  let max_side =
+    Arg.(value & opt int 10 & info [ "max-side" ] ~docv:"W"
+           ~doc:"Block sides drawn uniformly from 2..$(docv).")
+  in
+  let evals =
+    Arg.(value & opt int 20_000 & info [ "evals"; "n" ] ~docv:"N" ~doc:"Move budget.")
+  in
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.") in
+  let run blocks max_side evals seed =
+    if blocks < 1 || max_side < 2 then begin
+      prerr_endline "need at least 1 block and max-side >= 2";
+      1
+    end
+    else begin
+      let rng = Rng.create ~seed in
+      let dims =
+        Array.init blocks (fun _ ->
+            (Rng.int_range rng 2 max_side, Rng.int_range rng 2 max_side))
+      in
+      let f = Floorplan.create dims in
+      Printf.printf "blocks: %d, total block area: %d\n" blocks (Floorplan.total_block_area f);
+      Printf.printf "initial area: %d (utilization %.0f%%)\n" (Floorplan.area f)
+        (100. *. Floorplan.utilization f);
+      let schedule = Floor_temp.suggest_schedule ~k:6 (Rng.copy rng) f in
+      let p =
+        Floor_engine.params ~gfun:Gfun.six_temp_annealing ~schedule
+          ~budget:(Budget.Evaluations evals) ()
+      in
+      let r = Floor_engine.run rng p f in
+      let best = r.Mc_problem.best in
+      Floorplan.check best;
+      let w, h = Floorplan.bounding_box best in
+      Printf.printf "annealed area: %.0f = %d x %d (utilization %.0f%%)\n"
+        r.Mc_problem.best_cost w h
+        (100. *. Floorplan.utilization best);
+      Printf.printf "expression: %s\n" (Floorplan.expression best);
+      0
+    end
+  in
+  Cmd.v
+    (Cmd.info "floorplan" ~doc:"Anneal a slicing floorplan of random blocks.")
+    Term.(const run $ blocks $ max_side $ evals $ seed)
+
+let () =
+  let info =
+    Cmd.info "sa_lab" ~version:"1.0.0"
+      ~doc:"Monte Carlo optimization lab reproducing 'Experiments with Simulated Annealing' (DAC 1985)."
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            tables_cmd; solve_cmd; generate_cmd; goto_cmd; tsp_cmd; partition_cmd;
+            route_cmd; floorplan_cmd; info_cmd;
+          ]))

@@ -1,0 +1,249 @@
+(* Invariants maintained by every operation:
+   - elem_at and pos_of are inverse permutations;
+   - net_lo.(j) / net_hi.(j) are the min/max positions of net j's pins;
+   - cuts.(p) = #{ j | net_lo.(j) <= p < net_hi.(j) } for 0 <= p < n-1;
+   - cut_count.(v) = #{ p | cuts.(p) = v };
+   - density = max { v | cut_count.(v) > 0 } (0 if there are no boundaries);
+   - sum_cuts = sum of cuts. *)
+
+type t = {
+  netlist : Netlist.t;
+  elem_at : int array;
+  pos_of : int array;
+  cuts : int array; (* length max 0 (n-1) *)
+  cut_count : int array; (* length n_nets + 1 *)
+  mutable density : int;
+  mutable sum_cuts : int;
+  net_lo : int array;
+  net_hi : int array;
+  (* scratch for de-duplicating nets touched by a move *)
+  net_mark : int array;
+  mutable mark : int;
+  touched : int array; (* capacity n_nets *)
+  mutable n_touched : int;
+}
+
+let size t = Array.length t.elem_at
+let netlist t = t.netlist
+let element_at t p = t.elem_at.(p)
+let position_of t e = t.pos_of.(e)
+let order t = Array.copy t.elem_at
+let cut t p = t.cuts.(p)
+let cuts t = Array.copy t.cuts
+let density t = t.density
+let sum_of_cuts t = t.sum_cuts
+
+let is_permutation n a =
+  Array.length a = n
+  &&
+  let seen = Array.make n false in
+  Array.for_all
+    (fun x ->
+      if x < 0 || x >= n || seen.(x) then false
+      else (
+        seen.(x) <- true;
+        true))
+    a
+
+(* Raise or lower the cut at one boundary by +-1, keeping the histogram,
+   density and sum in sync. *)
+let bump t p delta =
+  let v = t.cuts.(p) in
+  let v' = v + delta in
+  t.cuts.(p) <- v';
+  t.cut_count.(v) <- t.cut_count.(v) - 1;
+  t.cut_count.(v') <- t.cut_count.(v') + 1;
+  t.sum_cuts <- t.sum_cuts + delta;
+  if v' > t.density then t.density <- v'
+  else if v = t.density && t.cut_count.(v) = 0 then begin
+    let d = ref v in
+    while !d > 0 && t.cut_count.(!d) = 0 do
+      decr d
+    done;
+    t.density <- !d
+  end
+
+let net_span t j =
+  let lo = ref max_int and hi = ref (-1) in
+  Netlist.iter_pins t.netlist j (fun e ->
+      let p = t.pos_of.(e) in
+      if p < !lo then lo := p;
+      if p > !hi then hi := p);
+  (!lo, !hi)
+
+let add_span t j =
+  for p = t.net_lo.(j) to t.net_hi.(j) - 1 do
+    bump t p 1
+  done
+
+let remove_span t j =
+  for p = t.net_lo.(j) to t.net_hi.(j) - 1 do
+    bump t p (-1)
+  done
+
+let recompute_all t =
+  Array.fill t.cuts 0 (Array.length t.cuts) 0;
+  Array.fill t.cut_count 0 (Array.length t.cut_count) 0;
+  t.cut_count.(0) <- Array.length t.cuts;
+  t.density <- 0;
+  t.sum_cuts <- 0;
+  for j = 0 to Netlist.n_nets t.netlist - 1 do
+    let lo, hi = net_span t j in
+    t.net_lo.(j) <- lo;
+    t.net_hi.(j) <- hi;
+    add_span t j
+  done
+
+let create ?order netlist =
+  let n = Netlist.n_elements netlist in
+  let elem_at =
+    match order with
+    | None -> Array.init n (fun i -> i)
+    | Some o ->
+        if not (is_permutation n o) then
+          invalid_arg "Arrangement.create: order is not a permutation";
+        Array.copy o
+  in
+  let pos_of = Array.make n 0 in
+  Array.iteri (fun p e -> pos_of.(e) <- p) elem_at;
+  let m = Netlist.n_nets netlist in
+  let t =
+    {
+      netlist;
+      elem_at;
+      pos_of;
+      cuts = Array.make (max 0 (n - 1)) 0;
+      cut_count = Array.make (m + 1) 0;
+      density = 0;
+      sum_cuts = 0;
+      net_lo = Array.make m 0;
+      net_hi = Array.make m 0;
+      net_mark = Array.make m 0;
+      mark = 0;
+      touched = Array.make m 0;
+      n_touched = 0;
+    }
+  in
+  recompute_all t;
+  t
+
+let random rng netlist =
+  create ~order:(Rng.permutation rng (Netlist.n_elements netlist)) netlist
+
+let copy t =
+  {
+    t with
+    elem_at = Array.copy t.elem_at;
+    pos_of = Array.copy t.pos_of;
+    cuts = Array.copy t.cuts;
+    cut_count = Array.copy t.cut_count;
+    net_lo = Array.copy t.net_lo;
+    net_hi = Array.copy t.net_hi;
+    net_mark = Array.copy t.net_mark;
+    touched = Array.copy t.touched;
+  }
+
+let touch t j =
+  if t.net_mark.(j) <> t.mark then begin
+    t.net_mark.(j) <- t.mark;
+    t.touched.(t.n_touched) <- j;
+    t.n_touched <- t.n_touched + 1
+  end
+
+let begin_touch t =
+  t.mark <- t.mark + 1;
+  t.n_touched <- 0
+
+let swap_positions t p q =
+  let n = size t in
+  if p < 0 || p >= n || q < 0 || q >= n then
+    invalid_arg "Arrangement.swap_positions: position out of range";
+  if p <> q then begin
+    let a = t.elem_at.(p) and b = t.elem_at.(q) in
+    begin_touch t;
+    Netlist.iter_incident t.netlist a (fun j -> touch t j);
+    Netlist.iter_incident t.netlist b (fun j -> touch t j);
+    for i = 0 to t.n_touched - 1 do
+      remove_span t t.touched.(i)
+    done;
+    t.elem_at.(p) <- b;
+    t.elem_at.(q) <- a;
+    t.pos_of.(a) <- q;
+    t.pos_of.(b) <- p;
+    for i = 0 to t.n_touched - 1 do
+      let j = t.touched.(i) in
+      let lo, hi = net_span t j in
+      t.net_lo.(j) <- lo;
+      t.net_hi.(j) <- hi;
+      add_span t j
+    done
+  end
+
+let swap_elements t a b =
+  let n = size t in
+  if a < 0 || a >= n || b < 0 || b >= n then
+    invalid_arg "Arrangement.swap_elements: element out of range";
+  swap_positions t t.pos_of.(a) t.pos_of.(b)
+
+let relocate t ~from_pos ~to_pos =
+  let n = size t in
+  if from_pos < 0 || from_pos >= n || to_pos < 0 || to_pos >= n then
+    invalid_arg "Arrangement.relocate: position out of range";
+  if from_pos <> to_pos then begin
+    let e = t.elem_at.(from_pos) in
+    if from_pos < to_pos then
+      for p = from_pos to to_pos - 1 do
+        t.elem_at.(p) <- t.elem_at.(p + 1);
+        t.pos_of.(t.elem_at.(p)) <- p
+      done
+    else
+      for p = from_pos downto to_pos + 1 do
+        t.elem_at.(p) <- t.elem_at.(p - 1);
+        t.pos_of.(t.elem_at.(p)) <- p
+      done;
+    t.elem_at.(to_pos) <- e;
+    t.pos_of.(e) <- to_pos;
+    (* A block shift can move many nets' spans; recomputing is O(nets ×
+       span) and exact, which dominates correctness at these sizes. *)
+    recompute_all t
+  end
+
+let set_order t o =
+  if not (is_permutation (size t) o) then
+    invalid_arg "Arrangement.set_order: not a permutation";
+  Array.blit o 0 t.elem_at 0 (size t);
+  Array.iteri (fun p e -> t.pos_of.(e) <- p) t.elem_at;
+  recompute_all t
+
+let check t =
+  let n = size t in
+  for e = 0 to n - 1 do
+    if t.elem_at.(t.pos_of.(e)) <> e then
+      failwith "Arrangement.check: pos_of/elem_at are not inverse"
+  done;
+  let fresh = Array.make (max 0 (n - 1)) 0 in
+  let sum = ref 0 in
+  for j = 0 to Netlist.n_nets t.netlist - 1 do
+    let lo, hi = net_span t j in
+    if t.net_lo.(j) <> lo || t.net_hi.(j) <> hi then
+      failwith "Arrangement.check: stale net span";
+    for p = lo to hi - 1 do
+      fresh.(p) <- fresh.(p) + 1;
+      incr sum
+    done
+  done;
+  Array.iteri
+    (fun p c -> if t.cuts.(p) <> c then failwith "Arrangement.check: stale cut")
+    fresh;
+  if t.sum_cuts <> !sum then failwith "Arrangement.check: stale sum of cuts";
+  let d = Array.fold_left max 0 fresh in
+  if t.density <> d then failwith "Arrangement.check: stale density";
+  Array.iteri
+    (fun v c ->
+      let actual = Array.fold_left (fun acc x -> if x = v then acc + 1 else acc) 0 fresh in
+      if c <> actual then failwith "Arrangement.check: stale cut histogram")
+    t.cut_count
+
+let density_of_order netlist o =
+  let t = create ~order:o netlist in
+  t.density

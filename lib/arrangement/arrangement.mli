@@ -1,0 +1,84 @@
+(** Linear arrangement of circuit elements and its density objective.
+
+    An arrangement places the [n] elements of a netlist at positions
+    [0 .. n-1].  A net *crosses* the boundary between positions [p] and
+    [p+1] when it has a pin at a position [<= p] and another at a
+    position [> p]; the {e cut} at boundary [p] is the number of nets
+    crossing it, and the {e density} of the arrangement is the maximum
+    cut — the objective minimized by the NOLA/GOLA problems (§4.1).
+
+    The state is mutable and maintained incrementally: swapping two
+    elements only re-scans the nets incident to them, so a pairwise
+    interchange costs O(incident nets × net span) instead of a full
+    O(nets × n) recompute.  [check] verifies the incremental state
+    against a from-scratch recomputation and is used heavily by the
+    property tests. *)
+
+type t
+
+val create : ?order:int array -> Netlist.t -> t
+(** [create ?order nl] places element [order.(p)] at position [p]
+    (identity order by default).  [order] must be a permutation of
+    [0 .. n-1].
+
+    @raise Invalid_argument otherwise. *)
+
+val random : Rng.t -> Netlist.t -> t
+(** Uniformly random initial arrangement (paper: "beginning with a
+    random linear arrangement"). *)
+
+val copy : t -> t
+(** Deep copy; the copy evolves independently. *)
+
+val netlist : t -> Netlist.t
+val size : t -> int
+
+val element_at : t -> int -> int
+(** Element occupying a position. *)
+
+val position_of : t -> int -> int
+(** Position of an element. *)
+
+val order : t -> int array
+(** Fresh array [o] with [o.(p) = element_at t p]. *)
+
+val cut : t -> int -> int
+(** [cut t p] for [0 <= p < size - 1]: nets crossing boundary [p]. *)
+
+val cuts : t -> int array
+(** All [size - 1] boundary cuts (fresh array). *)
+
+val density : t -> int
+(** Maximum cut; 0 for arrangements of fewer than 2 elements. *)
+
+val sum_of_cuts : t -> int
+(** Total wire crossings — a smoother secondary objective, exposed for
+    the ablation experiments. *)
+
+(** {1 Moves}
+
+    All moves update cuts, density, and sum-of-cuts incrementally. *)
+
+val swap_positions : t -> int -> int -> unit
+(** Exchange the elements at two positions (the paper's "pairwise
+    interchange" perturbation). *)
+
+val swap_elements : t -> int -> int -> unit
+(** Exchange two elements by id. *)
+
+val relocate : t -> from_pos:int -> to_pos:int -> unit
+(** Remove the element at [from_pos] and reinsert it at [to_pos],
+    shifting the elements in between (the "single exchange" move of
+    [COHO83a]). *)
+
+val set_order : t -> int array -> unit
+(** Replace the whole arrangement.
+    @raise Invalid_argument if not a permutation. *)
+
+val check : t -> unit
+(** Recompute every cut from scratch and compare with the incremental
+    state.  @raise Failure on any mismatch (indicates a bug). *)
+
+val density_of_order : Netlist.t -> int array -> int
+(** One-shot density of a given order, without building mutable
+    state. *)

@@ -1,0 +1,47 @@
+type t = Evaluations of int | Seconds of float
+
+type clock = {
+  budget : t;
+  mutable ticks : int;
+  started : float; (* CPU seconds at start; only read in Seconds mode *)
+  mutable cached_exhausted : bool;
+}
+
+let start budget =
+  (match budget with
+  | Evaluations n when n < 0 -> invalid_arg "Budget.start: negative evaluations"
+  | Seconds s when s < 0. -> invalid_arg "Budget.start: negative seconds"
+  | Evaluations _ | Seconds _ -> ());
+  { budget; ticks = 0; started = Sys.time (); cached_exhausted = false }
+
+let ticks c = c.ticks
+let tick c = c.ticks <- c.ticks + 1
+
+let exhausted c =
+  c.cached_exhausted
+  ||
+  let now_exhausted =
+    match c.budget with
+    | Evaluations n -> c.ticks >= n
+    | Seconds s ->
+        (* Poll the CPU clock sparsely; a tick is far cheaper than a
+           clock read. *)
+        c.ticks land 63 = 0 && Sys.time () -. c.started >= s
+  in
+  if now_exhausted then c.cached_exhausted <- true;
+  now_exhausted
+
+let used_fraction c =
+  match c.budget with
+  | Evaluations 0 -> 1.
+  | Evaluations n -> Float.min 1. (float_of_int c.ticks /. float_of_int n)
+  | Seconds 0. -> 1.
+  | Seconds s -> Float.min 1. ((Sys.time () -. c.started) /. s)
+
+let scale factor = function
+  | Evaluations n ->
+      Evaluations (int_of_float (Float.round (float_of_int n *. factor)))
+  | Seconds s -> Seconds (s *. factor)
+
+let evaluations_or budget ~default =
+  match budget with Evaluations n -> n | Seconds _ -> default

@@ -1,0 +1,40 @@
+(** Computation budgets.
+
+    The paper compares methods under equal CPU time (§3: "In all of our
+    experiments we restricted each method to complete its task in the
+    same amount of time").  For machine-independent, deterministic
+    reproduction we count {e proposed perturbations} instead
+    ([Evaluations]); a wall-clock mode ([Seconds], CPU time via
+    [Sys.time]) is kept for exploratory runs but never used in tests or
+    tables. *)
+
+type t =
+  | Evaluations of int  (** stop after this many proposed perturbations *)
+  | Seconds of float  (** stop after this much CPU time *)
+
+type clock
+(** A running budget: tick count plus start time. *)
+
+val start : t -> clock
+(** @raise Invalid_argument on a negative budget. *)
+
+val tick : clock -> unit
+(** Record one perturbation evaluation. *)
+
+val ticks : clock -> int
+(** Perturbations recorded so far. *)
+
+val exhausted : clock -> bool
+(** Whether the budget is spent.  Once true, stays true (so a slow
+    [Seconds] poll cannot flicker). *)
+
+val used_fraction : clock -> float
+(** Fraction of the budget consumed, clamped to [0, 1]; drives the
+    temperature index in the Figure 1 engine. *)
+
+val scale : float -> t -> t
+(** Multiply a budget (used for the 6 s / 9 s / 12 s = 1× / 1.5× / 2×
+    presets and the 30× three-minute runs). *)
+
+val evaluations_or : t -> default:int -> int
+(** Evaluation count of an [Evaluations] budget, or [default]. *)

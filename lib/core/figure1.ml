@@ -1,0 +1,127 @@
+(* The strategy of Figure 1 (§3): a Metropolis-style walk.  Downhill
+   perturbations are always taken; a non-improving perturbation is
+   taken with probability g_temp(h(i), h(j)).  The temperature index
+   advances when its share of the budget is spent (§4.2.1 gives each of
+   the k temperatures ⌈total/k⌉ of the time) or when [counter_limit]
+   consecutive rejections signal equilibrium.
+
+   For classes with [defer_uphill] set (g = 1), the paper's special
+   rule replaces the probabilistic test: a strictly-uphill perturbation
+   is taken only when [defer_threshold] (18) consecutive
+   energy-increasing proposals have accumulated, after which the run
+   counter resets to 1 (§3).  Lateral (zero-delta) proposals are
+   accepted outright, as they are under any g >= 1. *)
+
+module Make (P : Mc_problem.S) = struct
+  type params = {
+    gfun : Gfun.t;
+    schedule : Schedule.t;
+    budget : Budget.t;
+    counter_limit : int;
+    acceptance_limit : int;
+    defer_threshold : int;
+  }
+
+  let params ?(counter_limit = max_int) ?(acceptance_limit = max_int)
+      ?(defer_threshold = 18) ~gfun ~schedule ~budget () =
+    if counter_limit <= 0 then invalid_arg "Figure1.params: counter_limit <= 0";
+    if acceptance_limit <= 0 then invalid_arg "Figure1.params: acceptance_limit <= 0";
+    if defer_threshold <= 0 then invalid_arg "Figure1.params: defer_threshold <= 0";
+    if Schedule.length schedule <> Gfun.k gfun then
+      invalid_arg
+        (Printf.sprintf "Figure1.params: schedule length %d but %s expects k = %d"
+           (Schedule.length schedule) (Gfun.name gfun) (Gfun.k gfun));
+    { gfun; schedule; budget; counter_limit; acceptance_limit; defer_threshold }
+
+  let run rng p state =
+    let k = Gfun.k p.gfun in
+    let clock = Budget.start p.budget in
+    let hi = ref (P.cost state) in
+    let best = ref (P.copy state) in
+    let best_cost = ref !hi in
+    let improving = ref 0
+    and lateral = ref 0
+    and uphill = ref 0
+    and rejected = ref 0 in
+    let counter = ref 0 in
+    let accepted_at_temp = ref 0 in
+    let defer_run = ref 0 in
+    let temp = ref 1 in
+    let stop = ref false in
+    let accept hj =
+      if hj < !hi then incr improving
+      else if hj = !hi then incr lateral
+      else incr uphill;
+      hi := hj;
+      counter := 0;
+      incr accepted_at_temp;
+      if hj < !best_cost then begin
+        best := P.copy state;
+        best_cost := hj
+      end
+    in
+    let reject m =
+      P.revert state m;
+      incr rejected;
+      incr counter
+    in
+    while (not !stop) && not (Budget.exhausted clock) do
+      (* Catch the temperature up with the spent budget fraction. *)
+      while
+        !temp < k
+        && Budget.used_fraction clock >= float_of_int !temp /. float_of_int k
+      do
+        incr temp;
+        counter := 0;
+        accepted_at_temp := 0
+      done;
+      if !counter >= p.counter_limit || !accepted_at_temp >= p.acceptance_limit then
+        if !temp >= k then stop := true
+        else begin
+          incr temp;
+          counter := 0;
+          accepted_at_temp := 0
+        end
+      else begin
+        let m = P.random_move rng state in
+        Budget.tick clock;
+        P.apply state m;
+        let hj = P.cost state in
+        if hj < !hi then begin
+          accept hj;
+          defer_run := 0
+        end
+        else if Gfun.defer_uphill p.gfun then begin
+          if hj = !hi then accept hj
+          else begin
+            incr defer_run;
+            if !defer_run >= p.defer_threshold then begin
+              accept hj;
+              defer_run := 1
+            end
+            else reject m
+          end
+        end
+        else begin
+          let y = Schedule.get p.schedule !temp in
+          let g = Gfun.eval p.gfun ~temp:!temp ~y ~hi:!hi ~hj in
+          if Rng.unit_float rng < g then accept hj else reject m
+        end
+      end
+    done;
+    {
+      Mc_problem.best = !best;
+      best_cost = !best_cost;
+      final_cost = !hi;
+      stats =
+        {
+          Mc_problem.evaluations = Budget.ticks clock;
+          improving = !improving;
+          lateral_accepted = !lateral;
+          uphill_accepted = !uphill;
+          rejected = !rejected;
+          temperatures_visited = !temp;
+          descents = 0;
+        };
+    }
+end

@@ -1,0 +1,43 @@
+(** The Figure 1 strategy: Metropolis-style random perturbation with
+    probabilistic uphill acceptance at a schedule of temperatures.
+
+    Temperature control follows §4.2.1: each of the [k] temperatures
+    owns an equal share of the budget; in addition, [counter_limit]
+    consecutive rejections advance the temperature early (the [n] of
+    Figure 1 Step 4), as does reaching [acceptance_limit] accepted
+    moves at the current temperature ([KIRK83]'s equilibrium
+    criterion, discussed in §2) — either event at the last temperature
+    stops the run.  Both default to [max_int]: pure budget-share
+    control, as in the paper's timed tables.
+
+    For [Gfun.defer_uphill] classes the engine applies the paper's
+    deferred-uphill rule with threshold [defer_threshold] (default
+    18). *)
+
+module Make (P : Mc_problem.S) : sig
+  type params = private {
+    gfun : Gfun.t;
+    schedule : Schedule.t;
+    budget : Budget.t;
+    counter_limit : int;
+    acceptance_limit : int;
+    defer_threshold : int;
+  }
+
+  val params :
+    ?counter_limit:int ->
+    ?acceptance_limit:int ->
+    ?defer_threshold:int ->
+    gfun:Gfun.t ->
+    schedule:Schedule.t ->
+    budget:Budget.t ->
+    unit ->
+    params
+  (** @raise Invalid_argument if the schedule length differs from the
+      g-function's [k], or a threshold is non-positive. *)
+
+  val run : Rng.t -> params -> P.state -> P.state Mc_problem.run
+  (** [run rng params state] perturbs [state] in place until the budget
+      is exhausted and returns the best snapshot found.  [state] is
+      left at the walk's final configuration. *)
+end

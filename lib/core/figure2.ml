@@ -1,0 +1,134 @@
+(* The strategy of Figure 2 (§3), after [COHO83a/b]: drive the solution
+   to a local optimum of the systematic neighborhood first; only then
+   consider a single random uphill perturbation with probability
+   g_temp, and on acceptance descend again.  The counter of Step 4/5
+   counts uphill attempts at the current temperature; after
+   [counter_limit] of them the next temperature begins, and the run
+   ends after the last one (or earlier if the budget runs out).
+
+   When [restart_schedule] is set (the default) a completed schedule
+   starts over while budget remains, so that timed comparisons against
+   Figure 1 use the whole allowance — the paper gives each method the
+   same 3 minutes (§4.2.4). *)
+
+module Make (P : Mc_problem.S) = struct
+  type params = {
+    gfun : Gfun.t;
+    schedule : Schedule.t;
+    budget : Budget.t;
+    counter_limit : int;
+    restart_schedule : bool;
+  }
+
+  let params ?(counter_limit = 100) ?(restart_schedule = true) ~gfun ~schedule ~budget () =
+    if counter_limit <= 0 then invalid_arg "Figure2.params: counter_limit <= 0";
+    if Schedule.length schedule <> Gfun.k gfun then
+      invalid_arg
+        (Printf.sprintf "Figure2.params: schedule length %d but %s expects k = %d"
+           (Schedule.length schedule) (Gfun.name gfun) (Gfun.k gfun));
+    { gfun; schedule; budget; counter_limit; restart_schedule }
+
+  let run rng p state =
+    let k = Gfun.k p.gfun in
+    let clock = Budget.start p.budget in
+    let hi = ref (P.cost state) in
+    let best = ref (P.copy state) in
+    let best_cost = ref !hi in
+    let improving = ref 0
+    and lateral = ref 0
+    and uphill = ref 0
+    and rejected = ref 0
+    and descents = ref 0
+    and max_temp = ref 1 in
+    let note_best () =
+      if !hi < !best_cost then begin
+        best := P.copy state;
+        best_cost := !hi
+      end
+    in
+    (* First-improvement descent: rescan the neighborhood after every
+       accepted move until a full pass finds nothing better.  Every
+       tested move costs one budget tick. *)
+    let descend () =
+      let improved_this_pass = ref true in
+      while !improved_this_pass && not (Budget.exhausted clock) do
+        improved_this_pass := false;
+        let rec scan seq =
+          if not (Budget.exhausted clock) then
+            match seq () with
+            | Seq.Nil -> ()
+            | Seq.Cons (m, rest) ->
+                Budget.tick clock;
+                P.apply state m;
+                let hj = P.cost state in
+                if hj < !hi then begin
+                  hi := hj;
+                  incr improving;
+                  improved_this_pass := true
+                  (* restart the pass from the new configuration *)
+                end
+                else begin
+                  P.revert state m;
+                  scan rest
+                end
+        in
+        scan (P.moves state)
+      done;
+      incr descents;
+      note_best ()
+    in
+    let stop = ref false in
+    let temp = ref 1 in
+    let counter = ref 0 in
+    descend ();
+    while (not !stop) && not (Budget.exhausted clock) do
+      if !counter >= p.counter_limit then
+        if !temp >= k then
+          if p.restart_schedule then begin
+            temp := 1;
+            counter := 0
+          end
+          else stop := true
+        else begin
+          incr temp;
+          counter := 0;
+          if !temp > !max_temp then max_temp := !temp
+        end
+      else begin
+        incr counter;
+        let m = P.random_move rng state in
+        Budget.tick clock;
+        P.apply state m;
+        let hj = P.cost state in
+        let y = Schedule.get p.schedule !temp in
+        let g = Gfun.eval p.gfun ~temp:!temp ~y ~hi:!hi ~hj in
+        if Rng.unit_float rng < g then begin
+          if hj < !hi then incr improving
+          else if hj = !hi then incr lateral
+          else incr uphill;
+          hi := hj;
+          note_best ();
+          descend ()
+        end
+        else begin
+          P.revert state m;
+          incr rejected
+        end
+      end
+    done;
+    {
+      Mc_problem.best = !best;
+      best_cost = !best_cost;
+      final_cost = !hi;
+      stats =
+        {
+          Mc_problem.evaluations = Budget.ticks clock;
+          improving = !improving;
+          lateral_accepted = !lateral;
+          uphill_accepted = !uphill;
+          rejected = !rejected;
+          temperatures_visited = !max_temp;
+          descents = !descents;
+        };
+    }
+end

@@ -1,0 +1,35 @@
+(** The Figure 2 strategy ([COHO83a/b]): descend to a local optimum of
+    the systematic neighborhood, then accept a random uphill
+    perturbation with probability [g_temp] and descend again.
+
+    [counter_limit] is the [n] of Figure 2 Steps 4–5: uphill attempts
+    allowed per temperature.  With [restart_schedule] (default) a
+    finished schedule restarts while budget remains, keeping timed
+    comparisons with Figure 1 fair. *)
+
+module Make (P : Mc_problem.S) : sig
+  type params = private {
+    gfun : Gfun.t;
+    schedule : Schedule.t;
+    budget : Budget.t;
+    counter_limit : int;
+    restart_schedule : bool;
+  }
+
+  val params :
+    ?counter_limit:int ->
+    ?restart_schedule:bool ->
+    gfun:Gfun.t ->
+    schedule:Schedule.t ->
+    budget:Budget.t ->
+    unit ->
+    params
+  (** Default [counter_limit] is 100.
+      @raise Invalid_argument if the schedule length differs from the
+      g-function's [k] or [counter_limit <= 0]. *)
+
+  val run : Rng.t -> params -> P.state -> P.state Mc_problem.run
+  (** Mutates [state]; returns the best snapshot.  Each tested move of
+      the descent and each random perturbation costs one budget
+      tick. *)
+end

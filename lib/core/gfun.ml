@@ -1,0 +1,141 @@
+type t = {
+  name : string;
+  k : int;
+  uses_temperature : bool;
+  defer_uphill : bool;
+  eval : temp:int -> y:float -> hi:float -> hj:float -> float;
+}
+
+let name t = t.name
+let k t = t.k
+let uses_temperature t = t.uses_temperature
+let defer_uphill t = t.defer_uphill
+let eval t = t.eval
+
+let make ?(uses_temperature = true) ?(defer_uphill = false) ~name ~k eval =
+  if k <= 0 then invalid_arg "Gfun.make: k <= 0";
+  { name; k; uses_temperature; defer_uphill; eval }
+
+let custom ~name ~k eval = make ~name ~k eval
+
+(* The paper never evaluates g on a strict improvement (Figure 1 Step 3
+   / Figure 2 Step 2 take those unconditionally), so [hj >= hi] holds at
+   every call.  Lateral moves ([hj = hi]) make the "difference" classes
+   divide by zero; IEEE gives +infinity, which the engines treat as
+   certain acceptance — a plateau walk, the same behaviour Metropolis
+   exhibits (e^0 = 1). *)
+
+let annealing_eval ~temp:_ ~y ~hi ~hj = exp (-.(hj -. hi) /. y)
+
+let metropolis = make ~name:"Metropolis" ~k:1 annealing_eval
+let six_temp_annealing = make ~name:"Six Temperature Annealing" ~k:6 annealing_eval
+
+let annealing ~k =
+  if k = 1 then metropolis
+  else if k = 6 then six_temp_annealing
+  else make ~name:(Printf.sprintf "%d Temperature Annealing" k) ~k annealing_eval
+
+let g_one =
+  make ~name:"g = 1" ~k:1 ~uses_temperature:false ~defer_uphill:true
+    (fun ~temp:_ ~y:_ ~hi:_ ~hj:_ -> 1.)
+
+let two_level =
+  make ~name:"Two level g" ~k:2 ~uses_temperature:false
+    (fun ~temp ~y:_ ~hi:_ ~hj:_ -> if temp = 1 then 1. else 0.5)
+
+let pow_int x p =
+  let rec go acc p = if p = 0 then acc else go (acc *. x) (p - 1) in
+  go 1. p
+
+let poly_name degree =
+  match degree with
+  | 1 -> "Linear"
+  | 2 -> "Quadratic"
+  | 3 -> "Cubic"
+  | d -> Printf.sprintf "Degree-%d" d
+
+let check_degree degree =
+  if degree < 1 then invalid_arg "Gfun: polynomial degree must be >= 1"
+
+let poly ~degree =
+  check_degree degree;
+  make ~name:(poly_name degree) ~k:1 (fun ~temp:_ ~y ~hi ~hj:_ -> y *. pow_int hi degree)
+
+let six_poly ~degree =
+  check_degree degree;
+  make ~name:("6 " ^ poly_name degree) ~k:6 (fun ~temp:_ ~y ~hi ~hj:_ ->
+      y *. pow_int hi degree)
+
+let exp_scaled x = (exp x -. 1.) /. (Float.exp 1. -. 1.)
+let exponential = make ~name:"Exponential" ~k:1 (fun ~temp:_ ~y ~hi ~hj:_ -> exp_scaled (hi /. y))
+
+let six_exponential =
+  make ~name:"6 Exponential" ~k:6 (fun ~temp:_ ~y ~hi ~hj:_ -> exp_scaled (hi /. y))
+
+let diff_eval degree ~temp:_ ~y ~hi ~hj = y /. pow_int (hj -. hi) degree
+
+let poly_diff ~degree =
+  check_degree degree;
+  make ~name:(poly_name degree ^ " Diff") ~k:1 (diff_eval degree)
+
+let six_poly_diff ~degree =
+  check_degree degree;
+  make ~name:("6 " ^ poly_name degree ^ " Diff") ~k:6 (diff_eval degree)
+
+let exponential_diff =
+  make ~name:"Exponential Diff" ~k:1 (fun ~temp:_ ~y ~hi ~hj ->
+      exp_scaled (y /. (hj -. hi)))
+
+let six_exponential_diff =
+  make ~name:"6 Exponential Diff" ~k:6 (fun ~temp:_ ~y ~hi ~hj ->
+      exp_scaled (y /. (hj -. hi)))
+
+let cohoon_sahni ~m =
+  if m < 0 then invalid_arg "Gfun.cohoon_sahni: negative net count";
+  make ~name:"[COHO83a]" ~k:1 ~uses_temperature:false
+    (fun ~temp:_ ~y:_ ~hi ~hj:_ -> Float.min (hi /. float_of_int (m + 5)) 0.9)
+
+let catalog ~m =
+  [
+    cohoon_sahni ~m;
+    metropolis;
+    six_temp_annealing;
+    g_one;
+    two_level;
+    poly ~degree:1;
+    poly ~degree:2;
+    poly ~degree:3;
+    exponential;
+    six_poly ~degree:1;
+    six_poly ~degree:2;
+    six_poly ~degree:3;
+    six_exponential;
+    poly_diff ~degree:1;
+    poly_diff ~degree:2;
+    poly_diff ~degree:3;
+    exponential_diff;
+    six_poly_diff ~degree:1;
+    six_poly_diff ~degree:2;
+    six_poly_diff ~degree:3;
+    six_exponential_diff;
+  ]
+
+let short_catalog ~m =
+  [
+    cohoon_sahni ~m;
+    metropolis;
+    six_temp_annealing;
+    g_one;
+    two_level;
+    poly_diff ~degree:1;
+    poly_diff ~degree:2;
+    poly_diff ~degree:3;
+    exponential_diff;
+    six_poly_diff ~degree:1;
+    six_poly_diff ~degree:2;
+    six_poly_diff ~degree:3;
+    six_exponential_diff;
+  ]
+
+let find_by_name ~m needle =
+  List.find_opt (fun g -> String.lowercase_ascii g.name = String.lowercase_ascii needle) (catalog ~m)

@@ -1,0 +1,91 @@
+(** The acceptance-function classes of §3.
+
+    A g-function decides the probability of accepting a perturbation
+    that does {e not} strictly improve the objective: the engines draw
+    [r] uniform on [0, 1) and accept when [r < g ~temp ~y ~hi ~hj],
+    where [hi]/[hj] are the costs before/after the perturbation and
+    [y = Y_temp] comes from the schedule.
+
+    [defer_uphill] marks the [g = 1] class, whose straightforward
+    Figure 1 implementation would random-walk; the paper instead defers
+    uphill acceptance until 18 consecutive non-improving perturbations
+    have been seen (§3) — the engines implement that rule when this
+    flag is set. *)
+
+type t
+
+val name : t -> string
+(** Row label, matching Table 4.1. *)
+
+val k : t -> int
+(** Number of temperatures the class expects (its schedule length). *)
+
+val uses_temperature : t -> bool
+(** [false] for the classes with no [Y] parameters ([g = 1], two-level,
+    [COHO83a]); the tuner skips those. *)
+
+val defer_uphill : t -> bool
+val eval : t -> temp:int -> y:float -> hi:float -> hj:float -> float
+
+(** {1 The paper's catalog (numbering of §3)} *)
+
+val metropolis : t
+(** 1: [k = 1], [e^{-(h(j)-h(i))/Y_1}]. *)
+
+val six_temp_annealing : t
+(** 2: [k = 6], [e^{-(h(j)-h(i))/Y_temp}] — classical simulated
+    annealing. *)
+
+val annealing : k:int -> t
+(** Boltzmann acceptance at an arbitrary schedule length — e.g.
+    [k = 25] reproduces the Golden–Skiscim setup ([GOLD84], 25
+    uniformly distributed temperatures).  [k = 1] and [k = 6] return
+    the catalog's [metropolis] / [six_temp_annealing]. *)
+
+val g_one : t
+(** 3: [g = 1] with the deferred-uphill rule. *)
+
+val two_level : t
+(** 4: [k = 2], [g_1 = 1], [g_2 = 0.5]. *)
+
+val poly : degree:int -> t
+(** 5–7: Linear/Quadratic/Cubic, [Y_1 * h(i)^degree]. *)
+
+val exponential : t
+(** 8: [(e^{h(i)/Y_1} - 1)/(e - 1)]. *)
+
+val six_poly : degree:int -> t
+(** 9–11: six-temperature Linear/Quadratic/Cubic. *)
+
+val six_exponential : t
+(** 12. *)
+
+val poly_diff : degree:int -> t
+(** 13–15: [Y_1 / (h(j) - h(i))^degree]. *)
+
+val exponential_diff : t
+(** 16: [(e^{Y_1/(h(j)-h(i))} - 1)/(e - 1)]. *)
+
+val six_poly_diff : degree:int -> t
+(** 17–19. *)
+
+val six_exponential_diff : t
+(** 20. *)
+
+val cohoon_sahni : m:int -> t
+(** The [COHO83a] function [min(h(i)/(m+5), 0.9)] where [m] is the
+    instance's net count (§4.2.2). *)
+
+val custom : name:string -> k:int -> (temp:int -> y:float -> hi:float -> hj:float -> float) -> t
+(** Escape hatch for ablations. *)
+
+val catalog : m:int -> t list
+(** All 21 rows of Table 4.1 that are g-functions (20 classes +
+    [COHO83a]), in the paper's row order. *)
+
+val short_catalog : m:int -> t list
+(** The 13 classes retained for Tables 4.2(a)–(d) (§4.3.1 drops
+    classes 5–12 for their poor GOLA showing). *)
+
+val find_by_name : m:int -> string -> t option
+(** Case-insensitive lookup in [catalog] (CLI support). *)

@@ -1,0 +1,58 @@
+(** The interface an optimization problem presents to the engines.
+
+    States are mutable; a move is applied in place and must be
+    revertible so that a rejected perturbation costs no allocation.
+    [moves] enumerates the whole perturbation neighborhood — Figure 2's
+    descent-to-local-optimum and the rejectionless engine need it;
+    Figure 1 only ever calls [random_move]. *)
+
+module type S = sig
+  type state
+  type move
+
+  val cost : state -> float
+  (** Objective value [h] of the current state (to minimize). *)
+
+  val random_move : Rng.t -> state -> move
+  (** A random perturbation (e.g. pairwise interchange). *)
+
+  val apply : state -> move -> unit
+  val revert : state -> move -> unit
+  (** [revert] undoes the matching [apply]; engines always pair them. *)
+
+  val copy : state -> state
+  (** Independent snapshot, used to record the best solution found. *)
+
+  val moves : state -> move Seq.t
+  (** Systematic enumeration of the neighborhood of the current state.
+      The sequence may be lazy but must be finite. *)
+end
+
+(** Outcome counters common to all engines. *)
+type stats = {
+  evaluations : int;  (** perturbations proposed (budget ticks) *)
+  improving : int;  (** strictly downhill moves taken *)
+  lateral_accepted : int;  (** zero-delta moves taken *)
+  uphill_accepted : int;
+  rejected : int;
+  temperatures_visited : int;
+  descents : int;  (** Figure 2 only: local optima reached *)
+}
+
+type 'state run = {
+  best : 'state;  (** snapshot of the best solution encountered *)
+  best_cost : float;
+  final_cost : float;  (** cost of the state the walk ended on *)
+  stats : stats;
+}
+
+let empty_stats =
+  {
+    evaluations = 0;
+    improving = 0;
+    lateral_accepted = 0;
+    uphill_accepted = 0;
+    rejected = 0;
+    temperatures_visited = 1;
+    descents = 0;
+  }

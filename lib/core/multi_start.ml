@@ -1,0 +1,62 @@
+module Make (P : Mc_problem.S) = struct
+  module Engine = Figure1.Make (P)
+
+  type outcome = {
+    best : P.state Mc_problem.run;
+    chain_costs : float array;
+    total_evaluations : int;
+  }
+
+  let run ?(domains = 1) rng ~chains ~params ~make_state =
+    if chains <= 0 then invalid_arg "Multi_start.run: chains <= 0";
+    if domains <= 0 then invalid_arg "Multi_start.run: domains <= 0";
+    (* Fix every chain's inputs up front so the outcome does not depend
+       on scheduling. *)
+    let jobs =
+      Array.init chains (fun i ->
+          let chain_rng = Rng.split rng in
+          (i, chain_rng))
+    in
+    let results = Array.make chains None in
+    let run_job (i, chain_rng) =
+      let state = make_state i in
+      results.(i) <- Some (Engine.run chain_rng params state)
+    in
+    let workers = min domains chains in
+    if workers = 1 then Array.iter run_job jobs
+    else begin
+      (* Static round-robin assignment of chains to domains. *)
+      let handles =
+        Array.init workers (fun w ->
+            Domain.spawn (fun () ->
+                let local = ref [] in
+                Array.iter
+                  (fun ((i, _) as job) ->
+                    if i mod workers = w then begin
+                      let (i, chain_rng) = job in
+                      let state = make_state i in
+                      local := (i, Engine.run chain_rng params state) :: !local
+                    end)
+                  jobs;
+                !local))
+      in
+      Array.iter
+        (fun handle ->
+          List.iter (fun (i, r) -> results.(i) <- Some r) (Domain.join handle))
+        handles
+    end;
+    let results =
+      Array.map (function Some r -> r | None -> assert false) results
+    in
+    let chain_costs = Array.map (fun r -> r.Mc_problem.best_cost) results in
+    let best_idx = ref 0 in
+    Array.iteri
+      (fun i c -> if c < chain_costs.(!best_idx) then best_idx := i)
+      chain_costs;
+    let total_evaluations =
+      Array.fold_left
+        (fun acc r -> acc + r.Mc_problem.stats.Mc_problem.evaluations)
+        0 results
+    in
+    { best = results.(!best_idx); chain_costs; total_evaluations }
+end

@@ -1,0 +1,38 @@
+(** Independent multi-start driver, optionally parallel.
+
+    Simulated annealing chains do not communicate, so the standard way
+    to spend cores on them is to run independent chains from
+    independent starts and keep the best — exactly the "random
+    restart" protocol the paper uses for 2-opt, applied to any engine
+    configuration.  On OCaml 5 the chains can run on separate domains;
+    results are identical whatever the domain count, because every
+    chain's RNG stream is fixed up front. *)
+
+module Make (P : Mc_problem.S) : sig
+  module Engine : module type of Figure1.Make (P)
+
+  type outcome = {
+    best : P.state Mc_problem.run;  (** the winning chain's result *)
+    chain_costs : float array;  (** best cost of every chain *)
+    total_evaluations : int;
+  }
+
+  val run :
+    ?domains:int ->
+    Rng.t ->
+    chains:int ->
+    params:Engine.params ->
+    make_state:(int -> P.state) ->
+    outcome
+  (** [run rng ~chains ~params ~make_state] runs [chains] independent
+      Figure 1 chains; chain [i] starts from [make_state i] with an RNG
+      split off [rng].  [domains] (default 1) caps the worker domains
+      used; with 1 everything runs on the calling domain.
+
+      With [domains > 1], [make_state] is called from worker domains
+      and must not mutate shared state; reading immutable inputs (a
+      netlist, a TSP instance) is fine, which is what the adapters in
+      this repository do.
+
+      @raise Invalid_argument if [chains <= 0] or [domains <= 0]. *)
+end

@@ -1,0 +1,19 @@
+(** Rejection-free engine after [GREE84]: every step scans the whole
+    neighborhood, weights each move by its acceptance probability under
+    the g-function, and samples one — no move is ever "rejected".
+
+    Used by the A3 ablation to reproduce the paper's §2 remark that the
+    method trades time (here: a full neighborhood scan per step,
+    charged to the budget) against the acceleration of never idling at
+    low temperatures.  In the run's stats, [descents] holds the number
+    of configuration changes (steps) and [rejected] the scan overhead
+    ([evaluations - steps]). *)
+
+module Make (P : Mc_problem.S) : sig
+  type params = private { gfun : Gfun.t; schedule : Schedule.t; budget : Budget.t }
+
+  val params : gfun:Gfun.t -> schedule:Schedule.t -> budget:Budget.t -> params
+  (** @raise Invalid_argument on schedule/g-function length mismatch. *)
+
+  val run : Rng.t -> params -> P.state -> P.state Mc_problem.run
+end

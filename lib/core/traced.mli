@@ -1,0 +1,40 @@
+(** Cost-trajectory instrumentation as a problem wrapper.
+
+    [Traced.Make (P)] is itself an [Mc_problem.S], so any engine runs
+    unchanged on wrapped states while every cost evaluation — i.e.
+    every {e proposed} configuration, accepted or not — is recorded.
+    Snapshots taken by the engines ([copy]) share the recorder, so one
+    run produces one trajectory.
+
+    The recorder keeps memory bounded by decimation: when its buffer
+    fills, it drops every other sample and doubles its sampling
+    stride, so a million-evaluation run still yields an evenly spread
+    series of at most [capacity] points. *)
+
+module Recorder : sig
+  type t
+
+  val count : t -> int
+  (** Cost evaluations seen. *)
+
+  val series : t -> (int * float) array
+  (** Retained samples as (evaluation index, cost), oldest first. *)
+
+  val minimum : t -> float
+  (** Smallest cost ever evaluated.  @raise Invalid_argument if
+      nothing was recorded. *)
+
+  val stride : t -> int
+  (** Current decimation stride (1 until the buffer first fills). *)
+end
+
+module Make (P : Mc_problem.S) : sig
+  include Mc_problem.S with type move = P.move
+
+  val wrap : ?capacity:int -> P.state -> state
+  (** Start tracing a state.  [capacity] (default 512, minimum 2) caps
+      the retained sample count. *)
+
+  val unwrap : state -> P.state
+  val recorder : state -> Recorder.t
+end

@@ -1,0 +1,378 @@
+module Fig1 = Figure1.Make (Linarr_problem.Swap)
+module Rless = Rejectionless.Make (Linarr_problem.Swap)
+module Temp_est = Temperature.Make (Linarr_problem.Swap)
+
+let suite_runs ctx ~f =
+  let suite = Linarr_tables.gola_suite ctx in
+  let n = Array.length suite.Suites.netlists in
+  let sum = ref 0 and extra = ref 0. in
+  for i = 0 to n - 1 do
+    let state = Suites.initial_arrangement suite i in
+    let initial = Arrangement.density state in
+    let best_density, info = f i state in
+    sum := !sum + (initial - best_density);
+    extra := !extra +. info
+  done;
+  (!sum, !extra /. float_of_int n)
+
+let budget_for ctx s =
+  Budget.scale (Linarr_tables.config_of ctx).Linarr_tables.scale (Suites.seconds s)
+
+let seed_for ctx salt = (Linarr_tables.config_of ctx).Linarr_tables.seed + Hashtbl.hash salt
+
+let table_schedule_sensitivity ctx =
+  let gfun = Gfun.six_temp_annealing in
+  let tuned = Linarr_tables.schedule_of ctx gfun in
+  let budget = budget_for ctx 12. in
+  let factors = [ 0.25; 0.5; 1.; 2.; 4. ] in
+  let rows =
+    List.map
+      (fun factor ->
+        let schedule = Schedule.scaled tuned factor in
+        let rng = Rng.create ~seed:(seed_for ctx ("a1", factor)) in
+        let total, _ =
+          suite_runs ctx ~f:(fun _ state ->
+              let p = Fig1.params ~gfun ~schedule ~budget () in
+              let run = Fig1.run (Rng.split rng) p state in
+              (int_of_float run.Mc_problem.best_cost, 0.))
+        in
+        (Printf.sprintf "tuned schedule x %.2f" factor, [ Report.Int total ]))
+      factors
+  in
+  let g1_row =
+    let rng = Rng.create ~seed:(seed_for ctx "a1-g1") in
+    let total, _ =
+      suite_runs ctx ~f:(fun _ state ->
+          let p =
+            Fig1.params ~gfun:Gfun.g_one ~schedule:(Schedule.constant ~k:1 1.) ~budget ()
+          in
+          let run = Fig1.run (Rng.split rng) p state in
+          (int_of_float run.Mc_problem.best_cost, 0.))
+    in
+    ("g = 1 (no schedule)", [ Report.Int total ])
+  in
+  Report.make
+    ~title:"Table A1 -- schedule sensitivity of six-temperature annealing (GOLA, 12 s)"
+    ~header:[ "method"; "total reduction" ]
+    ~notes:[ "backs conclusion 1 of section 4.2.5: the g classes are schedule-sensitive" ]
+    (rows @ [ g1_row ])
+
+let table_defer_threshold ctx =
+  let budget = budget_for ctx 12. in
+  (* threshold 1 accepts every uphill proposal: the pure random walk
+     the paper's implementation note exists to avoid *)
+  let thresholds = [ 1; 2; 4; 8; 18; 32; 64; 256 ] in
+  let rows =
+    List.map
+      (fun threshold ->
+        let rng = Rng.create ~seed:(seed_for ctx ("a2", threshold)) in
+        let total, _ =
+          suite_runs ctx ~f:(fun _ state ->
+              let p =
+                Fig1.params ~defer_threshold:threshold ~gfun:Gfun.g_one
+                  ~schedule:(Schedule.constant ~k:1 1.) ~budget ()
+              in
+              let run = Fig1.run (Rng.split rng) p state in
+              (int_of_float run.Mc_problem.best_cost, 0.))
+        in
+        (Printf.sprintf "defer threshold %d" threshold, [ Report.Int total ]))
+      thresholds
+  in
+  Report.make
+    ~title:"Table A2 -- deferred-uphill threshold for g = 1 (GOLA, 12 s; paper uses 18)"
+    ~header:[ "threshold"; "total reduction" ]
+    ~notes:[ "probes the constant 18 of section 3's g = 1 implementation" ]
+    rows
+
+let table_rejectionless ctx =
+  let budget = budget_for ctx 12. in
+  let methods = [ ("Six Temperature Annealing", Gfun.six_temp_annealing); ("Metropolis", Gfun.metropolis) ] in
+  let rows =
+    List.concat_map
+      (fun (name, gfun) ->
+        let schedule = Linarr_tables.schedule_of ctx gfun in
+        let fig1 =
+          let rng = Rng.create ~seed:(seed_for ctx ("a3-f1", name)) in
+          let total, _ =
+            suite_runs ctx ~f:(fun _ state ->
+                let p = Fig1.params ~gfun ~schedule ~budget () in
+                let run = Fig1.run (Rng.split rng) p state in
+                (int_of_float run.Mc_problem.best_cost, 0.))
+          in
+          total
+        in
+        let rless, step_ratio =
+          let rng = Rng.create ~seed:(seed_for ctx ("a3-rl", name)) in
+          suite_runs ctx ~f:(fun _ state ->
+              let p = Rless.params ~gfun ~schedule ~budget in
+              let run = Rless.run (Rng.split rng) p state in
+              let stats = run.Mc_problem.stats in
+              let ratio =
+                if stats.Mc_problem.evaluations = 0 then 0.
+                else
+                  float_of_int stats.Mc_problem.descents
+                  /. float_of_int stats.Mc_problem.evaluations
+              in
+              (int_of_float run.Mc_problem.best_cost, ratio))
+        in
+        [
+          (name ^ " / Figure 1", [ Report.Int fig1; Report.Missing ]);
+          ( name ^ " / rejectionless",
+            [ Report.Int rless; Report.Text (Printf.sprintf "%.4f" step_ratio) ] );
+        ])
+      methods
+  in
+  Report.make
+    ~title:"Table A3 -- Figure 1 vs rejectionless engine [GREE84] (GOLA, 12 s, equal budgets)"
+    ~header:[ "method"; "total reduction"; "steps/evaluation" ]
+    ~notes:
+      [
+        "the rejectionless engine pays a full neighborhood scan per step (O(n^2) here)";
+        "steps/evaluation = configuration changes per budget tick";
+      ]
+    rows
+
+let table_schedule_shapes ctx =
+  let budget = budget_for ctx 12. in
+  let tuned_six = Linarr_tables.schedule_of ctx Gfun.six_temp_annealing in
+  let tuned_metropolis = Linarr_tables.schedule_of ctx Gfun.metropolis in
+  let y1 = Schedule.get tuned_six 1 in
+  let run name gfun schedule_of_state =
+    let rng = Rng.create ~seed:(seed_for ctx ("a4", name)) in
+    let total, _ =
+      suite_runs ctx ~f:(fun _ state ->
+          let schedule = schedule_of_state state in
+          let p = Fig1.params ~gfun ~schedule ~budget () in
+          let r = Fig1.run (Rng.split rng) p state in
+          (int_of_float r.Mc_problem.best_cost, 0.))
+    in
+    (name, [ Report.Int total ])
+  in
+  Report.make
+    ~title:
+      "Table A4 -- schedule construction for Boltzmann acceptance (GOLA, 12 s, equal budgets)"
+    ~header:[ "schedule"; "total reduction" ]
+    ~notes:
+      [
+        "all rows except g = 1 use exp(-(h(j)-h(i))/Y_temp) acceptance";
+        "the GOLD84 shape spreads 25 temperatures uniformly over (0, tuned Y1]";
+      ]
+    [
+      run "tuned geometric, k = 6 [KIRK83 shape]" Gfun.six_temp_annealing (fun _ ->
+          tuned_six);
+      run "25 uniform temperatures [GOLD84]" (Gfun.annealing ~k:25) (fun _ ->
+          Schedule.uniform_points ~count:25 ~max:y1);
+      run "WHIT84 estimate, k = 6" Gfun.six_temp_annealing (fun state ->
+          Temp_est.suggest_schedule ~k:6
+            (Rng.create ~seed:(seed_for ctx "a4-est"))
+            state);
+      run "single tuned temperature [Metropolis]" Gfun.metropolis (fun _ ->
+          tuned_metropolis);
+      run "g = 1 (no schedule)" Gfun.g_one (fun _ -> Schedule.constant ~k:1 1.);
+    ]
+
+let table_temperature_control ctx =
+  let budget = budget_for ctx 12. in
+  let gfun = Gfun.six_temp_annealing in
+  let schedule = Linarr_tables.schedule_of ctx gfun in
+  let run name params_of =
+    let rng = Rng.create ~seed:(seed_for ctx ("a5", name)) in
+    let total, evals =
+      suite_runs ctx ~f:(fun _ state ->
+          let p = params_of () in
+          let r = Fig1.run (Rng.split rng) p state in
+          ( int_of_float r.Mc_problem.best_cost,
+            float_of_int r.Mc_problem.stats.Mc_problem.evaluations ))
+    in
+    (name, [ Report.Int total; Report.Text (Printf.sprintf "%.0f" evals) ])
+  in
+  Report.make
+    ~title:
+      "Table A5 -- temperature-advance policy for Figure 1 (six-temp annealing, GOLA, 12 s)"
+    ~header:[ "policy"; "total reduction"; "mean evals used" ]
+    ~notes:
+      [
+        "budget-share is the paper's timed protocol; the counter policies may stop early";
+        "acceptance-count is the [KIRK83] equilibrium criterion described in section 2";
+      ]
+    [
+      run "budget share (paper protocol)" (fun () ->
+          Fig1.params ~gfun ~schedule ~budget ());
+      run "rejection counter, n = 50" (fun () ->
+          Fig1.params ~counter_limit:50 ~gfun ~schedule ~budget ());
+      run "rejection counter, n = 200" (fun () ->
+          Fig1.params ~counter_limit:200 ~gfun ~schedule ~budget ());
+      run "acceptance count, 100 per temperature" (fun () ->
+          Fig1.params ~acceptance_limit:100 ~gfun ~schedule ~budget ());
+      run "acceptance count, 400 per temperature" (fun () ->
+          Fig1.params ~acceptance_limit:400 ~gfun ~schedule ~budget ());
+    ]
+
+module Fig1_relocate = Figure1.Make (Linarr_problem.Relocate)
+module Fig1_sum = Figure1.Make (Linarr_problem.Swap_sum_cuts)
+
+let table_neighborhood ctx =
+  let budget = budget_for ctx 12. in
+  let methods =
+    [
+      ("Six Temperature Annealing", Gfun.six_temp_annealing);
+      ("g = 1", Gfun.g_one);
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun (name, gfun) ->
+        let schedule = Linarr_tables.schedule_of ctx gfun in
+        let swap =
+          let rng = Rng.create ~seed:(seed_for ctx ("a6-swap", name)) in
+          let total, _ =
+            suite_runs ctx ~f:(fun _ state ->
+                let p = Fig1.params ~gfun ~schedule ~budget () in
+                (int_of_float (Fig1.run (Rng.split rng) p state).Mc_problem.best_cost, 0.))
+          in
+          total
+        in
+        let relocate =
+          let rng = Rng.create ~seed:(seed_for ctx ("a6-rel", name)) in
+          let total, _ =
+            suite_runs ctx ~f:(fun _ state ->
+                let p = Fig1_relocate.params ~gfun ~schedule ~budget () in
+                ( int_of_float
+                    (Fig1_relocate.run (Rng.split rng) p state).Mc_problem.best_cost,
+                  0. ))
+          in
+          total
+        in
+        [ (name, [ Report.Int swap; Report.Int relocate ]) ])
+      methods
+  in
+  Report.make
+    ~title:"Table A6 -- perturbation neighborhood (GOLA, 12 s): pairwise interchange vs single exchange"
+    ~header:[ "g function"; "pairwise interchange"; "single exchange" ]
+    ~notes:
+      [
+        "single exchange = remove an element and reinsert it elsewhere ([COHO83a])";
+        "a single-exchange move costs a full O(nets x n) recompute in this implementation";
+      ]
+    rows
+
+let table_objective_surrogate ctx =
+  let budget = budget_for ctx 12. in
+  let methods =
+    [
+      ("Six Temperature Annealing", Gfun.six_temp_annealing);
+      ("g = 1", Gfun.g_one);
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun (name, gfun) ->
+        let schedule = Linarr_tables.schedule_of ctx gfun in
+        let direct =
+          let rng = Rng.create ~seed:(seed_for ctx ("a7-d", name)) in
+          let total, _ =
+            suite_runs ctx ~f:(fun _ state ->
+                let p = Fig1.params ~gfun ~schedule ~budget () in
+                (int_of_float (Fig1.run (Rng.split rng) p state).Mc_problem.best_cost, 0.))
+          in
+          total
+        in
+        let surrogate =
+          (* Optimize sum-of-cuts, then measure the density of the best
+             sum-of-cuts arrangement. *)
+          let rng = Rng.create ~seed:(seed_for ctx ("a7-s", name)) in
+          let total, _ =
+            suite_runs ctx ~f:(fun _ state ->
+                let schedule_s =
+                  (* the surrogate's cost scale is ~n/2 times larger *)
+                  Schedule.scaled schedule
+                    (float_of_int (Arrangement.size state) /. 2.)
+                in
+                let schedule_s =
+                  if Gfun.uses_temperature gfun then schedule_s else schedule
+                in
+                let p = Fig1_sum.params ~gfun ~schedule:schedule_s ~budget () in
+                let r = Fig1_sum.run (Rng.split rng) p state in
+                (Arrangement.density r.Mc_problem.best, 0.))
+          in
+          total
+        in
+        [ (name, [ Report.Int direct; Report.Int surrogate ]) ])
+      methods
+  in
+  Report.make
+    ~title:"Table A7 -- objective choice (GOLA, 12 s): direct density vs sum-of-cuts surrogate"
+    ~header:[ "g function"; "direct density"; "via sum-of-cuts" ]
+    ~notes:
+      [
+        "both columns report total DENSITY reduction; the surrogate run minimizes total crossings";
+        "temperatures for the surrogate are rescaled by n/2 to match its cost scale";
+      ]
+    rows
+
+module Tune = Tuner.Make (Linarr_problem.Swap)
+
+let table_tuning_grid ctx =
+  let config = Linarr_tables.config_of ctx in
+  let suite = Linarr_tables.gola_suite ctx in
+  let budget = budget_for ctx 12. in
+  let tuning_budget =
+    Budget.scale config.Linarr_tables.scale
+      (Suites.seconds config.Linarr_tables.tuning_seconds)
+  in
+  let instances =
+    List.init (Array.length suite.Suites.netlists) (fun i () ->
+        Suites.initial_arrangement suite i)
+  in
+  let shape gfun base =
+    match Gfun.k gfun with
+    | 1 -> Schedule.of_array [| base |]
+    | k -> Schedule.geometric ~y1:base ~ratio:0.9 ~k
+  in
+  let tuned_run gfun candidates =
+    let rng = Rng.create ~seed:(seed_for ctx ("a9", Gfun.name gfun, List.length candidates)) in
+    let outcome =
+      Tune.grid_search (Rng.split rng) ~gfun ~candidates ~shape:(shape gfun)
+        ~budget:tuning_budget ~instances
+    in
+    let total, _ =
+      suite_runs ctx ~f:(fun _ state ->
+          let p = Fig1.params ~gfun ~schedule:outcome.Tune.schedule ~budget () in
+          let r = Fig1.run (Rng.split rng) p state in
+          (int_of_float r.Mc_problem.best_cost, 0.))
+    in
+    (outcome.Tune.base, total)
+  in
+  let classes =
+    [
+      Gfun.poly ~degree:1;
+      Gfun.poly ~degree:2;
+      Gfun.poly ~degree:3;
+      Gfun.six_poly ~degree:2;
+      Gfun.six_temp_annealing;
+    ]
+  in
+  let rows =
+    List.map
+      (fun gfun ->
+        let coarse_base, coarse = tuned_run gfun Tune.coarse_candidates in
+        let wide_base, wide = tuned_run gfun Tune.default_candidates in
+        ( Gfun.name gfun,
+          [
+            Report.Int coarse;
+            Report.Text (Printf.sprintf "%.4g" coarse_base);
+            Report.Int wide;
+            Report.Text (Printf.sprintf "%.4g" wide_base);
+          ] ))
+      classes
+  in
+  Report.make
+    ~title:"Table A9 -- tuning-grid resolution (GOLA, 12 s): 1985-coarse vs wide grid"
+    ~header:[ "g function"; "coarse"; "coarse Y"; "wide"; "wide Y" ]
+    ~notes:
+      [
+        "coarse grid: 0.001..100 (11 points); wide grid adds 1e-6..3e-4";
+        "with the wide grid the polynomial classes become competitive -- the paper's";
+        "conclusion 4 (all classes perform the same, given the right choices) in action";
+      ]
+    rows

@@ -1,0 +1,83 @@
+(** Extension tables E1 (TSP) and E2 (circuit partition).
+
+    §5 of the paper reports that the same experiments were run on the
+    travelling salesperson and circuit-partition problems ([NAHA84]);
+    these drivers reproduce that protocol: simulated annealing and
+    [g = 1] under equal budgets against the problems' classical
+    heuristics (the [GOLD84] comparison for TSP, [KIRK83]'s own problem
+    for partition). *)
+
+val table_tsp :
+  ?seed:int -> ?scale:float -> ?instances:int -> ?cities:int -> unit -> Report.t
+(** Rows: constructive heuristics (nearest neighbor, cheapest
+    insertion, hull+insertion — the CCAO stand-in), 2-opt descent and
+    restarts, and the Monte Carlo methods (six-temperature annealing,
+    Metropolis, [g = 1]) at an equal evaluation budget.  Columns: mean
+    tour length and mean excess over the best method, over [instances]
+    uniform instances of [cities] cities. *)
+
+val table_partition :
+  ?seed:int -> ?scale:float -> ?instances:int -> ?elements:int -> ?edges:int ->
+  unit -> Report.t
+(** Rows: Kernighan–Lin and Fiduccia–Mattheyses (single and best-of-5),
+    six-temperature annealing with the literal [KIRK83] schedule
+    (Y1 = 10, ratio 0.9), a [WHIT84]-estimated schedule, Metropolis,
+    and [g = 1].  Columns: total cut over the suite and mean cut. *)
+
+val table_scaling : ?seed:int -> ?scale:float -> ?instances:int -> unit -> Report.t
+(** S1: does the paper's GOLA conclusion survive instance growth?  The
+    paper only measures 15-element instances; this table re-runs Goto,
+    [g = 1], six-temperature annealing ([WHIT84]-estimated schedule, as
+    the 15-element tuning does not transfer), and cubic difference at
+    15 / 25 / 40 elements (nets = 10 × elements), with budgets scaled
+    by the neighborhood size n(n-1)/2.  Cells: total density reduction
+    per size. *)
+
+val table_placement :
+  ?seed:int -> ?scale:float -> ?instances:int -> ?rows:int -> ?cols:int ->
+  ?nets:int -> unit -> Report.t
+(** E3: gate-array placement, the [KANG83]/[KIRK83] application of
+    §4.1.  Cells on a grid, objective half-perimeter wirelength,
+    moves exchanging two slots.  Rows: random start, Goto-order
+    row-major seeding, budget-charged swap descent, six-temperature
+    annealing ([WHIT84] schedule), Metropolis, [g = 1]. *)
+
+val table_convergence :
+  ?seed:int -> ?scale:float -> ?instances:int -> ?elements:int -> unit -> Report.t
+(** E4: empirical check of the asymptotic-optimality results the paper
+    cites ([LUND83], [ROME84a/b], [GEM83]).  On instances small enough
+    for [Linarr_exact] to brute-force (default 8 elements), counts how
+    many runs of each method reach the true optimum as the budget
+    grows 250 → 16000 evaluations. *)
+
+val table_variance : ?seed:int -> ?scale:float -> ?replications:int -> unit -> Report.t
+(** A8: run-to-run spread behind §4.2.2's remark that anomalies "can be
+    explained by the randomness in the algorithms": the leading classes
+    re-run [replications] times (default 5) with different streams on
+    the 30-instance GOLA suite at 12 s; cells report mean total
+    reduction ± a 95% CI halfwidth. *)
+
+val table_wiring :
+  ?seed:int -> ?scale:float -> ?instances:int -> ?grid:int -> ?nets:int ->
+  unit -> Report.t
+(** E5: global wiring after [VECC83] (cited in §2): two-pin nets as
+    L-shaped routes on a grid, objective = sum of squared channel
+    usages.  Rows: all-horizontal-first baseline, greedy rip-up
+    fixpoint, six-temperature annealing ([WHIT84] schedule),
+    Metropolis, [g = 1]. *)
+
+val table_floorplan :
+  ?seed:int -> ?scale:float -> ?instances:int -> ?blocks:int -> unit -> Report.t
+(** E6: slicing floorplans over normalized Polish expressions — the
+    Wong–Liu SA application that grew out of the DAC-era annealing
+    line this paper examines.  Rows: the one-row initial expression,
+    next-fit-decreasing-height shelf packing, six-temperature
+    annealing, Metropolis, [g = 1]; cells: total bounding area and
+    block-area utilization. *)
+
+val table_qap :
+  ?seed:int -> ?scale:float -> ?instances:int -> ?n:int -> unit -> Report.t
+(** E7: quadratic assignment — the archetypal "arbitrary combinatorial
+    optimization problem" of §1's framing.  Rows: random start, swap
+    descent, descent with restarts, six-temperature annealing,
+    Metropolis, [g = 1]. *)

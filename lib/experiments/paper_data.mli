@@ -1,0 +1,25 @@
+(** The numbers the paper itself reports, transcribed from the DAC 1985
+    text, and agreement metrics between those and this reproduction.
+
+    Only Table 4.1 is transcribed in full — its print is clean; the
+    combined Table 4.2 block is too OCR-damaged for cell-level
+    comparison, so its claims are checked qualitatively in
+    EXPERIMENTS.md instead. *)
+
+val table_4_1 : (string * int list) list
+(** Row label (matching [Gfun.name]) → total density reduction at
+    6 / 9 / 12 seconds, as printed in the paper's Table 4.1. *)
+
+val goto_4_1 : int
+(** The Goto row of Table 4.1 (601, at its ~6 s runtime). *)
+
+val starting_density_4_1 : int
+(** Sum of the 30 starting densities in the paper (2594). *)
+
+val agreement_table : Linarr_tables.context -> measured:Report.t -> Report.t
+(** [agreement_table ctx ~measured] compares an already-computed
+    Table 4.1 report against the paper's values: side-by-side 12 s
+    column plus Spearman rank correlations per time column.  A high
+    rank correlation means the reproduction orders the 21 methods the
+    way the paper did, which is the claim that matters — absolute
+    values depend on the 1985 hardware. *)

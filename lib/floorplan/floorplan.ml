@@ -1,0 +1,353 @@
+(* Tokens: a non-negative int is a block id; v_op / h_op are the cuts.
+   The expression array always holds a normalized balloting postfix
+   expression of length 2n - 1. *)
+
+let v_op = -1
+let h_op = -2
+
+type t = {
+  widths : int array; (* original dimensions *)
+  heights : int array;
+  rotated : bool array;
+  tokens : int array;
+  mutable area : int;
+  mutable bbox_w : int;
+  mutable bbox_h : int;
+  (* evaluation stack, reused across evaluations *)
+  stack_w : int array;
+  stack_h : int array;
+}
+
+type move =
+  | Swap_operands of int * int
+  | Complement_chain of int * int
+  | Swap_operand_operator of int
+  | Rotate of int
+
+let n_blocks t = Array.length t.widths
+
+let block_dims t b =
+  if t.rotated.(b) then (t.heights.(b), t.widths.(b)) else (t.widths.(b), t.heights.(b))
+
+let is_operator tok = tok < 0
+let complement tok = if tok = v_op then h_op else v_op
+
+(* Postfix evaluation.  V puts children side by side; H stacks them. *)
+let evaluate t =
+  let sp = ref 0 in
+  Array.iter
+    (fun tok ->
+      if is_operator tok then begin
+        let w2 = t.stack_w.(!sp - 1) and h2 = t.stack_h.(!sp - 1) in
+        let w1 = t.stack_w.(!sp - 2) and h1 = t.stack_h.(!sp - 2) in
+        decr sp;
+        if tok = v_op then begin
+          t.stack_w.(!sp - 1) <- w1 + w2;
+          t.stack_h.(!sp - 1) <- max h1 h2
+        end
+        else begin
+          t.stack_w.(!sp - 1) <- max w1 w2;
+          t.stack_h.(!sp - 1) <- h1 + h2
+        end
+      end
+      else begin
+        let w, h = block_dims t tok in
+        t.stack_w.(!sp) <- w;
+        t.stack_h.(!sp) <- h;
+        incr sp
+      end)
+    t.tokens;
+  t.bbox_w <- t.stack_w.(0);
+  t.bbox_h <- t.stack_h.(0);
+  t.area <- t.bbox_w * t.bbox_h
+
+let balloting_ok tokens =
+  let operands = ref 0 and operators = ref 0 in
+  Array.for_all
+    (fun tok ->
+      if is_operator tok then incr operators else incr operands;
+      !operands > !operators)
+    tokens
+
+let normalized_ok tokens =
+  let ok = ref true in
+  for i = 1 to Array.length tokens - 1 do
+    if is_operator tokens.(i) && tokens.(i) = tokens.(i - 1) then ok := false
+  done;
+  !ok
+
+let create dims =
+  let n = Array.length dims in
+  if n = 0 then invalid_arg "Floorplan.create: no blocks";
+  Array.iteri
+    (fun i (w, h) ->
+      if w <= 0 || h <= 0 then
+        invalid_arg (Printf.sprintf "Floorplan.create: block %d has non-positive size" i))
+    dims;
+  let tokens = Array.make ((2 * n) - 1) 0 in
+  (* b0 b1 V b2 V ... : one row *)
+  tokens.(0) <- 0;
+  for b = 1 to n - 1 do
+    tokens.((2 * b) - 1) <- b;
+    tokens.(2 * b) <- v_op
+  done;
+  let t =
+    {
+      widths = Array.map fst dims;
+      heights = Array.map snd dims;
+      rotated = Array.make n false;
+      tokens;
+      area = 0;
+      bbox_w = 0;
+      bbox_h = 0;
+      stack_w = Array.make n 0;
+      stack_h = Array.make n 0;
+    }
+  in
+  evaluate t;
+  t
+
+let copy t =
+  {
+    t with
+    rotated = Array.copy t.rotated;
+    tokens = Array.copy t.tokens;
+    stack_w = Array.copy t.stack_w;
+    stack_h = Array.copy t.stack_h;
+  }
+
+let bounding_box t = (t.bbox_w, t.bbox_h)
+let area t = t.area
+
+let total_block_area t =
+  let acc = ref 0 in
+  for b = 0 to n_blocks t - 1 do
+    acc := !acc + (t.widths.(b) * t.heights.(b))
+  done;
+  !acc
+
+let utilization t = float_of_int (total_block_area t) /. float_of_int t.area
+
+let expression t =
+  String.concat " "
+    (Array.to_list
+       (Array.map
+          (fun tok ->
+            if tok = v_op then "V" else if tok = h_op then "H" else string_of_int tok)
+          t.tokens))
+
+let apply t move =
+  let len = Array.length t.tokens in
+  (match move with
+  | Swap_operands (i, j) ->
+      if
+        i < 0 || j < 0 || i >= len || j >= len || is_operator t.tokens.(i)
+        || is_operator t.tokens.(j)
+      then invalid_arg "Floorplan.apply: Swap_operands needs two operand positions";
+      let tmp = t.tokens.(i) in
+      t.tokens.(i) <- t.tokens.(j);
+      t.tokens.(j) <- tmp
+  | Complement_chain (i, j) ->
+      if i < 0 || j >= len || i > j then invalid_arg "Floorplan.apply: bad chain range";
+      for p = i to j do
+        if not (is_operator t.tokens.(p)) then
+          invalid_arg "Floorplan.apply: chain contains an operand";
+        t.tokens.(p) <- complement t.tokens.(p)
+      done
+  | Swap_operand_operator i ->
+      if i < 0 || i + 1 >= len then invalid_arg "Floorplan.apply: position out of range";
+      let a = t.tokens.(i) and b = t.tokens.(i + 1) in
+      if is_operator a = is_operator b then
+        invalid_arg "Floorplan.apply: needs one operand and one operator";
+      t.tokens.(i) <- b;
+      t.tokens.(i + 1) <- a;
+      if not (balloting_ok t.tokens && normalized_ok t.tokens) then begin
+        (* roll back and reject *)
+        t.tokens.(i) <- a;
+        t.tokens.(i + 1) <- b;
+        invalid_arg "Floorplan.apply: swap breaks the expression invariants"
+      end
+  | Rotate b ->
+      if b < 0 || b >= n_blocks t then invalid_arg "Floorplan.apply: bad block id";
+      t.rotated.(b) <- not t.rotated.(b));
+  evaluate t
+
+let operand_positions t =
+  let out = ref [] in
+  Array.iteri (fun i tok -> if not (is_operator tok) then out := i :: !out) t.tokens;
+  Array.of_list (List.rev !out)
+
+let valid_swap_operand_operator t i =
+  let len = Array.length t.tokens in
+  if i < 0 || i + 1 >= len then false
+  else begin
+    let a = t.tokens.(i) and b = t.tokens.(i + 1) in
+    if is_operator a = is_operator b then false
+    else begin
+      t.tokens.(i) <- b;
+      t.tokens.(i + 1) <- a;
+      let ok = balloting_ok t.tokens && normalized_ok t.tokens in
+      t.tokens.(i) <- a;
+      t.tokens.(i + 1) <- b;
+      ok
+    end
+  end
+
+let chains t =
+  (* maximal runs of operator tokens *)
+  let out = ref [] in
+  let len = Array.length t.tokens in
+  let i = ref 0 in
+  while !i < len do
+    if is_operator t.tokens.(!i) then begin
+      let j = ref !i in
+      while !j + 1 < len && is_operator t.tokens.(!j + 1) do
+        incr j
+      done;
+      out := (!i, !j) :: !out;
+      i := !j + 1
+    end
+    else incr i
+  done;
+  List.rev !out
+
+let random_move rng t =
+  let n = n_blocks t in
+  let operands = operand_positions t in
+  let rec draw attempts =
+    if attempts > 200 then
+      (* rotation is always valid; fall back to it *)
+      Rotate (Rng.int rng n)
+    else
+      match Rng.int rng 4 with
+      | 0 when n >= 2 ->
+          (* adjacent operands in the operand subsequence *)
+          let k = Rng.int rng (Array.length operands - 1) in
+          Swap_operands (operands.(k), operands.(k + 1))
+      | 1 -> (
+          match chains t with
+          | [] -> draw (attempts + 1)
+          | cs ->
+              let i, j = List.nth cs (Rng.int rng (List.length cs)) in
+              Complement_chain (i, j))
+      | 2 when Array.length t.tokens >= 2 ->
+          let i = Rng.int rng (Array.length t.tokens - 1) in
+          if valid_swap_operand_operator t i then Swap_operand_operator i
+          else draw (attempts + 1)
+      | _ -> Rotate (Rng.int rng n)
+  in
+  draw 0
+
+(* Recursive realization: walk the expression, building placements
+   bottom-up.  Children of V sit at the same y; children of H stack. *)
+let realize t =
+  let n = n_blocks t in
+  let out = Array.make n (0, 0, 0, 0) in
+  (* Each stack entry: (width, height, block placements relative to the
+     subtree's lower-left corner). *)
+  let stack = ref [] in
+  Array.iter
+    (fun tok ->
+      if is_operator tok then begin
+        match !stack with
+        | (w2, h2, p2) :: (w1, h1, p1) :: rest ->
+            let merged =
+              if tok = v_op then
+                ( w1 + w2,
+                  max h1 h2,
+                  p1 @ List.map (fun (b, x, y, w, h) -> (b, x + w1, y, w, h)) p2 )
+              else
+                ( max w1 w2,
+                  h1 + h2,
+                  p1 @ List.map (fun (b, x, y, w, h) -> (b, x, y + h1, w, h)) p2 )
+            in
+            stack := merged :: rest
+        | _ -> failwith "Floorplan.realize: malformed expression"
+      end
+      else begin
+        let w, h = block_dims t tok in
+        stack := (w, h, [ (tok, 0, 0, w, h) ]) :: !stack
+      end)
+    t.tokens;
+  (match !stack with
+  | [ (_, _, placements) ] ->
+      List.iter (fun (b, x, y, w, h) -> out.(b) <- (x, y, w, h)) placements
+  | _ -> failwith "Floorplan.realize: malformed expression");
+  out
+
+let check t =
+  if not (balloting_ok t.tokens) then failwith "Floorplan.check: balloting violated";
+  if not (normalized_ok t.tokens) then failwith "Floorplan.check: not normalized";
+  let cached = t.area in
+  evaluate t;
+  if t.area <> cached then failwith "Floorplan.check: stale area";
+  let placements = realize t in
+  let bw, bh = bounding_box t in
+  Array.iteri
+    (fun b (x, y, w, h) ->
+      if x < 0 || y < 0 || x + w > bw || y + h > bh then
+        failwith (Printf.sprintf "Floorplan.check: block %d outside the box" b))
+    placements;
+  Array.iteri
+    (fun a (xa, ya, wa, ha) ->
+      Array.iteri
+        (fun b (xb, yb, wb, hb) ->
+          if a < b && xa < xb + wb && xb < xa + wa && ya < yb + hb && yb < ya + ha then
+            failwith (Printf.sprintf "Floorplan.check: blocks %d and %d overlap" a b))
+        placements)
+    placements
+
+module Problem = struct
+  type state = t
+  type nonrec move = move
+
+  let cost state = float_of_int state.area
+  let random_move = random_move
+  let apply = apply
+  let revert = apply (* every move is an involution *)
+  let copy = copy
+
+  let moves state =
+    let operands = operand_positions state in
+    let m1 =
+      Seq.init
+        (max 0 (Array.length operands - 1))
+        (fun k -> Swap_operands (operands.(k), operands.(k + 1)))
+    in
+    let m2 = List.to_seq (chains state) |> Seq.map (fun (i, j) -> Complement_chain (i, j)) in
+    let m3 =
+      Seq.init
+        (max 0 (Array.length state.tokens - 1))
+        (fun i -> i)
+      |> Seq.filter (valid_swap_operand_operator state)
+      |> Seq.map (fun i -> Swap_operand_operator i)
+    in
+    let m4 = Seq.init (n_blocks state) (fun b -> Rotate b) in
+    Seq.append m1 (Seq.append m2 (Seq.append m3 m4))
+end
+
+let shelf_pack dims =
+  let total = Array.fold_left (fun acc (w, h) -> acc + (w * h)) 0 dims in
+  let target_width =
+    int_of_float (Float.ceil (1.1 *. sqrt (float_of_int total)))
+  in
+  (* every block must fit on a shelf *)
+  let target_width = Array.fold_left (fun acc (w, _) -> max acc w) target_width dims in
+  let order = Array.init (Array.length dims) (fun i -> i) in
+  Array.sort (fun a b -> compare (snd dims.(b)) (snd dims.(a))) order;
+  let shelf_x = ref 0 and shelf_y = ref 0 and shelf_h = ref 0 in
+  let used_w = ref 0 in
+  Array.iter
+    (fun i ->
+      let w, h = dims.(i) in
+      if !shelf_x + w > target_width then begin
+        (* open a new shelf *)
+        shelf_y := !shelf_y + !shelf_h;
+        shelf_x := 0;
+        shelf_h := 0
+      end;
+      shelf_x := !shelf_x + w;
+      if h > !shelf_h then shelf_h := h;
+      if !shelf_x > !used_w then used_w := !shelf_x)
+    order;
+  (!shelf_y + !shelf_h) * !used_w

@@ -1,0 +1,86 @@
+(** Slicing floorplans by simulated annealing over normalized Polish
+    expressions — the Wong–Liu formulation, the direct descendant of
+    the DAC-era annealing work this paper examines.
+
+    A floorplan of [n] rectangular blocks is a postfix expression over
+    block ids and the cut operators [V] (children side by side) and
+    [H] (children stacked).  The expression is kept {e normalized}
+    (no two adjacent identical operators) and {e balloting} (every
+    prefix has more operands than operators), so each state is a
+    unique slicing tree.  The objective is the bounding-box area.
+
+    Moves are the classical set: M1 swaps adjacent operands, M2
+    complements a maximal operator chain, M3 swaps an adjacent
+    operand/operator pair (validity-checked), plus block rotation.
+    Every move is its own inverse, which is what the engines'
+    [apply]/[revert] protocol wants. *)
+
+type t
+
+val create : (int * int) array -> t
+(** [create dims] builds the initial floorplan [b0 b1 V b2 V ...] (all
+    blocks in one row) over blocks with the given (width, height).
+
+    @raise Invalid_argument if there are no blocks or a dimension is
+    non-positive. *)
+
+val n_blocks : t -> int
+
+val block_dims : t -> int -> int * int
+(** Current (width, height) of a block — reflects rotation. *)
+
+val copy : t -> t
+
+val bounding_box : t -> int * int
+(** (width, height) of the floorplan's bounding box. *)
+
+val area : t -> int
+(** Bounding-box area (the cost). *)
+
+val total_block_area : t -> int
+(** Sum of block areas — the utilization denominator; invariant under
+    all moves. *)
+
+val utilization : t -> float
+(** [total_block_area / area], in (0, 1]. *)
+
+val expression : t -> string
+(** The Polish expression, e.g. ["0 1 V 2 H"] (diagnostics). *)
+
+val realize : t -> (int * int * int * int) array
+(** Per block: (x, y, width, height) of its placement in the bounding
+    box, lower-left origin.  Blocks never overlap and fit in the
+    box — [check] verifies this. *)
+
+val check : t -> unit
+(** Validate normalization, balloting, the cached area, and the
+    realized placement (no overlaps, inside the box).
+    @raise Failure on any violation. *)
+
+(** {1 Moves} *)
+
+type move =
+  | Swap_operands of int * int  (** token positions of two operands *)
+  | Complement_chain of int * int  (** inclusive token range of operators *)
+  | Swap_operand_operator of int  (** swap tokens at [i] and [i+1] *)
+  | Rotate of int  (** block id *)
+
+val apply : t -> move -> unit
+(** @raise Invalid_argument if the move is malformed or would break
+    normalization/balloting (the adapter never produces such). *)
+
+val random_move : Rng.t -> t -> move
+(** A uniformly chosen valid move (M1/M2/M3/rotation). *)
+
+(** [Mc_problem.S] adapter; every move is self-inverse. *)
+module Problem : sig
+  include Mc_problem.S with type state = t and type move = move
+end
+
+(** {1 Baseline} *)
+
+val shelf_pack : (int * int) array -> int
+(** Next-fit-decreasing-height shelf packing into a width of
+    [ceil (1.1 * sqrt total_area)] (widened if a block demands it);
+    returns the bounding area used — the deterministic baseline of
+    table E6. *)

@@ -1,0 +1,54 @@
+(* Frontier-cut greedy construction.  [placed_pins.(j)] counts how many
+   of net j's pins are already placed; a net crosses the frontier after
+   adding candidate c iff it has at least one placed pin (counting c)
+   and at least one unplaced pin (not counting c). *)
+
+let order nl =
+  let n = Netlist.n_elements nl in
+  if n = 0 then [||]
+  else begin
+    let m = Netlist.n_nets nl in
+    let placed_pins = Array.make m 0 in
+    let placed = Array.make n false in
+    let result = Array.make n 0 in
+    let place e pos =
+      placed.(e) <- true;
+      result.(pos) <- e;
+      Netlist.iter_incident nl e (fun j -> placed_pins.(j) <- placed_pins.(j) + 1)
+    in
+    let frontier_cut_with candidate =
+      (* Only nets with a placed pin or a pin on the candidate can
+         cross, so scanning all nets is avoidable; at the paper's sizes
+         the simple scan is clearest and cheap. *)
+      let cut = ref 0 in
+      for j = 0 to m - 1 do
+        let size = Netlist.net_size nl j in
+        let own =
+          let c = ref 0 in
+          Netlist.iter_pins nl j (fun e -> if e = candidate then incr c);
+          !c
+        in
+        let inside = placed_pins.(j) + own in
+        if inside >= 1 && inside < size then incr cut
+      done;
+      !cut
+    in
+    place (Netlist.lightest_element nl) 0;
+    for pos = 1 to n - 1 do
+      let best = ref (-1) and best_cut = ref max_int in
+      for c = 0 to n - 1 do
+        if not placed.(c) then begin
+          let cut = frontier_cut_with c in
+          if cut < !best_cut then begin
+            best := c;
+            best_cut := cut
+          end
+        end
+      done;
+      place !best pos
+    done;
+    result
+  end
+
+let arrange nl = Arrangement.create ~order:(order nl) nl
+let density nl = Arrangement.density (arrange nl)

@@ -1,0 +1,19 @@
+(** The constructive linear-arrangement heuristic of [GOTO77]
+    (described in §4.2.2).
+
+    The arrangement is built left to right.  The most lightly connected
+    element is placed first; thereafter, the next element is the one
+    that minimizes the number of nets crossing the frontier between
+    the placed elements (including the candidate) and the elements not
+    yet placed — i.e. the cut at the boundary being created.  Ties are
+    broken toward the smaller element index, making the heuristic
+    deterministic. *)
+
+val order : Netlist.t -> int array
+(** The Goto ordering of the netlist's elements. *)
+
+val arrange : Netlist.t -> Arrangement.t
+(** [create ~order:(order nl) nl]. *)
+
+val density : Netlist.t -> int
+(** Density of the Goto arrangement. *)

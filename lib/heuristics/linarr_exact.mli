@@ -1,0 +1,17 @@
+(** Exact optimal linear arrangement by exhaustive search.
+
+    Only feasible for small instances (the search visits [(n-1)!/2]
+    orders after fixing element 0's side and reversal symmetry), but
+    invaluable as an oracle: the convergence experiment (table E4)
+    measures how often each Monte Carlo method actually reaches the
+    optimum, and the property tests check that no heuristic ever beats
+    it. *)
+
+val optimum : ?limit:int -> Netlist.t -> int * int array
+(** [(density, order)] of an optimal arrangement.  [limit] (default 10)
+    guards against accidental exponential blow-ups.
+
+    @raise Invalid_argument if the netlist has more than [limit]
+    elements or none at all. *)
+
+val optimal_density : ?limit:int -> Netlist.t -> int

@@ -1,0 +1,57 @@
+(* Move = a pair of positions.  [apply]/[revert] for a swap are the
+   same operation (a swap is an involution); relocation reverses by
+   relocating back. *)
+
+let all_position_pairs state =
+  let n = Arrangement.size state in
+  let pair_of idx =
+    (* Unrank idx in the lexicographic list of pairs p < q. *)
+    let rec find p remaining =
+      let row = n - 1 - p in
+      if remaining < row then (p, p + 1 + remaining) else find (p + 1) (remaining - row)
+    in
+    find 0 idx
+  in
+  let total = n * (n - 1) / 2 in
+  Seq.init total pair_of
+
+module Swap = struct
+  type state = Arrangement.t
+  type move = int * int
+
+  let cost state = float_of_int (Arrangement.density state)
+
+  let random_move rng state =
+    Rng.pair_distinct rng (Arrangement.size state)
+
+  let apply state (p, q) = Arrangement.swap_positions state p q
+  let revert state (p, q) = Arrangement.swap_positions state p q
+  let copy = Arrangement.copy
+  let moves = all_position_pairs
+end
+
+module Relocate = struct
+  type state = Arrangement.t
+  type move = int * int (* from_pos, to_pos *)
+
+  let cost state = float_of_int (Arrangement.density state)
+
+  let random_move rng state =
+    Rng.pair_distinct rng (Arrangement.size state)
+
+  let apply state (from_pos, to_pos) = Arrangement.relocate state ~from_pos ~to_pos
+  let revert state (from_pos, to_pos) = Arrangement.relocate state ~from_pos:to_pos ~to_pos:from_pos
+
+  let copy = Arrangement.copy
+
+  let moves state =
+    let n = Arrangement.size state in
+    Seq.init (n * n) (fun idx -> (idx / n, idx mod n))
+    |> Seq.filter (fun (p, q) -> p <> q)
+end
+
+module Swap_sum_cuts = struct
+  include Swap
+
+  let cost state = float_of_int (Arrangement.sum_of_cuts state)
+end

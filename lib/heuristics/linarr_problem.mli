@@ -1,0 +1,21 @@
+(** [Mc_problem.S] adapters exposing linear arrangements to the Monte
+    Carlo engines.
+
+    [Swap] is the paper's workhorse: pairwise interchange of two
+    positions, with the density objective.  [Relocate] is the "single
+    exchange" move of [COHO83a] (remove an element, reinsert it
+    elsewhere).  [Swap_sum_cuts] swaps under the smoother
+    sum-of-all-cuts objective and exists for the objective-shape
+    ablation. *)
+
+module Swap : sig
+  include Mc_problem.S with type state = Arrangement.t and type move = int * int
+end
+
+module Relocate : sig
+  include Mc_problem.S with type state = Arrangement.t and type move = int * int
+end
+
+module Swap_sum_cuts : sig
+  include Mc_problem.S with type state = Arrangement.t and type move = int * int
+end

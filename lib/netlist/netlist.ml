@@ -1,0 +1,153 @@
+type t = {
+  n_elements : int;
+  pins : int array array; (* net -> sorted element ids *)
+  incident : int array array; (* element -> net ids *)
+}
+
+let validate ~n_elements ~pins =
+  if n_elements < 0 then invalid_arg "Netlist.create: negative element count";
+  Array.iteri
+    (fun j net ->
+      if Array.length net < 2 then
+        invalid_arg (Printf.sprintf "Netlist.create: net %d has fewer than 2 pins" j);
+      Array.iter
+        (fun e ->
+          if e < 0 || e >= n_elements then
+            invalid_arg (Printf.sprintf "Netlist.create: net %d pin %d out of range" j e))
+        net;
+      let sorted = Array.copy net in
+      Array.sort compare sorted;
+      for i = 1 to Array.length sorted - 1 do
+        if sorted.(i) = sorted.(i - 1) then
+          invalid_arg (Printf.sprintf "Netlist.create: net %d repeats element %d" j sorted.(i))
+      done)
+    pins
+
+let create ~n_elements ~pins =
+  validate ~n_elements ~pins;
+  let pins =
+    Array.map
+      (fun net ->
+        let c = Array.copy net in
+        Array.sort compare c;
+        c)
+      pins
+  in
+  let deg = Array.make n_elements 0 in
+  Array.iter (fun net -> Array.iter (fun e -> deg.(e) <- deg.(e) + 1) net) pins;
+  let incident = Array.init n_elements (fun e -> Array.make deg.(e) 0) in
+  let fill = Array.make n_elements 0 in
+  Array.iteri
+    (fun j net ->
+      Array.iter
+        (fun e ->
+          incident.(e).(fill.(e)) <- j;
+          fill.(e) <- fill.(e) + 1)
+        net)
+    pins;
+  { n_elements; pins; incident }
+
+let n_elements t = t.n_elements
+let n_nets t = Array.length t.pins
+let pins t j = Array.copy t.pins.(j)
+let net_size t j = Array.length t.pins.(j)
+let iter_pins t j f = Array.iter f t.pins.(j)
+let incident t e = Array.copy t.incident.(e)
+let degree t e = Array.length t.incident.(e)
+let iter_incident t e f = Array.iter f t.incident.(e)
+let is_graph t = Array.for_all (fun net -> Array.length net = 2) t.pins
+
+let lightest_element t =
+  if t.n_elements = 0 then invalid_arg "Netlist.lightest_element: empty netlist";
+  let best = ref 0 in
+  for e = 1 to t.n_elements - 1 do
+    if degree t e < degree t !best then best := e
+  done;
+  !best
+
+let equal a b =
+  a.n_elements = b.n_elements
+  && Array.length a.pins = Array.length b.pins
+  && Array.for_all2 (fun x y -> x = y) a.pins b.pins
+
+let random_gola rng ~elements ~nets =
+  if elements < 2 then invalid_arg "Netlist.random_gola: need >= 2 elements";
+  if nets < 0 then invalid_arg "Netlist.random_gola: negative net count";
+  let pins =
+    Array.init nets (fun _ ->
+        let a, b = Rng.pair_distinct rng elements in
+        [| a; b |])
+  in
+  create ~n_elements:elements ~pins
+
+let random_nola rng ~elements ~nets ~min_pins ~max_pins =
+  if min_pins < 2 then invalid_arg "Netlist.random_nola: min_pins < 2";
+  if max_pins < min_pins then invalid_arg "Netlist.random_nola: max_pins < min_pins";
+  if max_pins > elements then invalid_arg "Netlist.random_nola: max_pins > elements";
+  let pins =
+    Array.init nets (fun _ ->
+        let k = Rng.int_range rng min_pins max_pins in
+        Rng.sample_without_replacement rng ~k ~n:elements)
+  in
+  create ~n_elements:elements ~pins
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "netlist %d %d\n" t.n_elements (Array.length t.pins));
+  Array.iter
+    (fun net ->
+      Buffer.add_string buf "net";
+      Array.iter (fun e -> Buffer.add_string buf (" " ^ string_of_int e)) net;
+      Buffer.add_char buf '\n')
+    t.pins;
+  Buffer.contents buf
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let meaningful =
+    List.filter
+      (fun line ->
+        let line = String.trim line in
+        line <> "" && line.[0] <> '#')
+      lines
+  in
+  let words line =
+    String.split_on_char ' ' (String.trim line) |> List.filter (fun w -> w <> "")
+  in
+  let parse_net line =
+    match words line with
+    | "net" :: pin_words -> (
+        let pins = List.map int_of_string_opt pin_words in
+        if List.for_all Option.is_some pins then
+          Ok (Array.of_list (List.map Option.get pins))
+        else Error (Printf.sprintf "malformed net line: %S" line))
+    | _ -> Error (Printf.sprintf "malformed net line: %S" line)
+  in
+  let rec collect acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match parse_net line with
+        | Ok net -> collect (net :: acc) rest
+        | Error _ as e -> e)
+  in
+  match meaningful with
+  | [] -> Error "empty netlist description"
+  | header :: net_lines -> (
+      match words header with
+      | [ "netlist"; n; m ] -> (
+          match (int_of_string_opt n, int_of_string_opt m) with
+          | Some n_elements, Some n_nets ->
+              if List.length net_lines <> n_nets then
+                Error
+                  (Printf.sprintf "expected %d net lines, found %d" n_nets
+                     (List.length net_lines))
+              else (
+                match collect [] net_lines with
+                | Error e -> Error e
+                | Ok nets -> (
+                    match create ~n_elements ~pins:(Array.of_list nets) with
+                    | t -> Ok t
+                    | exception Invalid_argument msg -> Error msg))
+          | _ -> Error (Printf.sprintf "malformed header: %S" header))
+      | _ -> Error (Printf.sprintf "malformed header: %S" header))

@@ -1,0 +1,84 @@
+(** Circuit connectivity: [n] elements (cells, boards, chips) joined by
+    multi-pin nets — a hypergraph on element indices [0 .. n-1].
+
+    This is the substrate for the paper's two benchmark problems:
+    - GOLA instances are netlists whose nets all have exactly two pins
+      (a multigraph);
+    - NOLA instances have general multi-pin nets.
+
+    Values of type [t] are immutable after construction; element↔net
+    incidence is precomputed so that the arrangement layer can find the
+    nets touched by a move in O(degree). *)
+
+type t
+
+val create : n_elements:int -> pins:int array array -> t
+(** [create ~n_elements ~pins] builds a netlist where net [j] connects
+    the elements [pins.(j)].  Every net must have at least 2 pins, all
+    pin indices must lie in [0, n_elements), and a net must not list
+    the same element twice.  The [pins] arrays are copied.
+
+    @raise Invalid_argument if any condition fails. *)
+
+val n_elements : t -> int
+val n_nets : t -> int
+
+val pins : t -> int -> int array
+(** [pins t j] are the elements of net [j] (fresh copy, sorted
+    ascending). *)
+
+val net_size : t -> int -> int
+(** Number of pins of net [j], without allocation. *)
+
+val iter_pins : t -> int -> (int -> unit) -> unit
+(** [iter_pins t j f] applies [f] to every element of net [j], without
+    allocation. *)
+
+val incident : t -> int -> int array
+(** [incident t e] are the nets containing element [e] (fresh copy). *)
+
+val degree : t -> int -> int
+(** Number of nets incident to element [e]. *)
+
+val iter_incident : t -> int -> (int -> unit) -> unit
+(** [iter_incident t e f] applies [f] to each net containing [e],
+    without allocation. *)
+
+val is_graph : t -> bool
+(** True iff every net has exactly two pins (a GOLA instance). *)
+
+val lightest_element : t -> int
+(** The element with the fewest incident nets (smallest index on
+    ties) — the starting point of the Goto heuristic. *)
+
+val equal : t -> t -> bool
+(** Structural equality (same element count and pin sets). *)
+
+(** {1 Random instance generators (paper §4.2.1 / §4.3.1)} *)
+
+val random_gola : Rng.t -> elements:int -> nets:int -> t
+(** Random two-pin instance: each net joins a uniformly random distinct
+    pair.  Paper test set: [~elements:15 ~nets:150].
+    @raise Invalid_argument if [elements < 2] or [nets < 0]. *)
+
+val random_nola :
+  Rng.t -> elements:int -> nets:int -> min_pins:int -> max_pins:int -> t
+(** Random multi-pin instance: each net's pin count is uniform on
+    [min_pins, max_pins] and its pins a uniform random subset.
+    @raise Invalid_argument if [min_pins < 2], [max_pins < min_pins] or
+    [max_pins > elements]. *)
+
+(** {1 Textual format}
+
+    Line-oriented:
+    {v
+    netlist <n_elements> <n_nets>
+    net <pin> <pin> ...
+    v}
+    [#]-prefixed lines and blank lines are ignored. *)
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Parses the textual format; [Error msg] describes the first
+    malformed line. *)

@@ -1,0 +1,100 @@
+(* Classic Kernighan-Lin.  D(v) = external minus internal edge weight;
+   gain(a, b) = D(a) + D(b) - 2 w(a, b).  One pass greedily pairs and
+   locks the best (a, b) swap n/2 times, then commits the prefix with
+   the largest cumulative gain if it is positive. *)
+
+let adjacency netlist =
+  let n = Netlist.n_elements netlist in
+  let w = Array.make (n * n) 0 in
+  for j = 0 to Netlist.n_nets netlist - 1 do
+    if Netlist.net_size netlist j <> 2 then
+      invalid_arg "Kl.refine: netlist is not a graph (net with /= 2 pins)";
+    match Netlist.pins netlist j with
+    | [| a; b |] ->
+        w.((a * n) + b) <- w.((a * n) + b) + 1;
+        w.((b * n) + a) <- w.((b * n) + a) + 1
+    | _ -> assert false
+  done;
+  w
+
+let one_pass part w =
+  let nl = Bipartition.netlist part in
+  let n = Netlist.n_elements nl in
+  let weight a b = w.((a * n) + b) in
+  let side = Array.init n (fun e -> Bipartition.side part e) in
+  let d = Array.make n 0 in
+  let compute_d v =
+    let acc = ref 0 in
+    for u = 0 to n - 1 do
+      if u <> v && weight v u > 0 then
+        if side.(u) <> side.(v) then acc := !acc + weight v u
+        else acc := !acc - weight v u
+    done;
+    d.(v) <- !acc
+  in
+  for v = 0 to n - 1 do
+    compute_d v
+  done;
+  let locked = Array.make n false in
+  let pairs = ref [] and gains = ref [] in
+  let steps = min (n / 2) (n - (n / 2)) in
+  for _ = 1 to steps do
+    let best = ref None in
+    for a = 0 to n - 1 do
+      if (not locked.(a)) && not side.(a) then
+        for b = 0 to n - 1 do
+          if (not locked.(b)) && side.(b) then begin
+            let gain = d.(a) + d.(b) - (2 * weight a b) in
+            match !best with
+            | Some (_, _, g) when g >= gain -> ()
+            | Some _ | None -> best := Some (a, b, gain)
+          end
+        done
+    done;
+    match !best with
+    | None -> ()
+    | Some (a, b, gain) ->
+        locked.(a) <- true;
+        locked.(b) <- true;
+        pairs := (a, b) :: !pairs;
+        gains := gain :: !gains;
+        (* Tentatively swap for the rest of the pass. *)
+        side.(a) <- true;
+        side.(b) <- false;
+        for x = 0 to n - 1 do
+          if not locked.(x) then compute_d x
+        done
+  done;
+  let pairs = Array.of_list (List.rev !pairs) in
+  let gains = Array.of_list (List.rev !gains) in
+  (* Best prefix by cumulative gain. *)
+  let best_k = ref 0 and best_sum = ref 0 and running = ref 0 in
+  Array.iteri
+    (fun idx g ->
+      running := !running + g;
+      if !running > !best_sum then begin
+        best_sum := !running;
+        best_k := idx + 1
+      end)
+    gains;
+  if !best_sum > 0 then begin
+    for idx = 0 to !best_k - 1 do
+      let a, b = pairs.(idx) in
+      Bipartition.swap part a b
+    done;
+    true
+  end
+  else false
+
+let refine part =
+  let w = adjacency (Bipartition.netlist part) in
+  let passes = ref 0 in
+  while one_pass part w do
+    incr passes
+  done;
+  !passes
+
+let run rng netlist =
+  let part = Bipartition.random_balanced rng netlist in
+  ignore (refine part);
+  part

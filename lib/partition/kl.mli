@@ -1,0 +1,17 @@
+(** Kernighan–Lin bipartition refinement — the classical deterministic
+    baseline the circuit-partition extension table compares simulated
+    annealing against.
+
+    Works on two-pin netlists (graphs); parallel edges contribute
+    weight.  Each pass tentatively swaps element pairs by best gain
+    with locking, keeps the best prefix of the pass, and repeats until
+    a pass yields no positive gain. *)
+
+val refine : Bipartition.t -> int
+(** Refine in place; returns the number of improving passes applied.
+    Balance is preserved (pairs are always swapped).
+    @raise Invalid_argument if the netlist has a net with more than two
+    pins. *)
+
+val run : Rng.t -> Netlist.t -> Bipartition.t
+(** Random balanced start followed by [refine]. *)

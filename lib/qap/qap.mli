@@ -1,0 +1,53 @@
+(** The quadratic assignment problem — the classical stress test for
+    "Monte Carlo methods on arbitrary combinatorial optimization
+    problems" (the framing of the paper's §1), and the generalization
+    of its linear-arrangement benchmarks: place [n] facilities on [n]
+    locations minimizing [Σ flow(i,j) · dist(loc(i), loc(j))].
+
+    Swapping two facilities changes the cost by a classical O(n)
+    formula; the state maintains cost incrementally and [check]
+    compares against the O(n²) recompute. *)
+
+type t
+
+val create : flows:int array array -> distances:int array array -> t
+(** Both matrices must be [n × n] with zero diagonals and non-negative
+    entries.  The initial assignment is the identity.
+    @raise Invalid_argument otherwise. *)
+
+val random_instance : Rng.t -> n:int -> max_entry:int -> t
+(** Symmetric random flows and distances uniform on
+    [0, max_entry]. *)
+
+val linarr_instance : flows:int array array -> t
+(** Distances of locations on a line ([dist(a, b) = |a - b|]) — the
+    QAP that contains the paper's sum-of-crossings arrangement
+    flavour. *)
+
+val size : t -> int
+
+val location_of : t -> int -> int
+val facility_at : t -> int -> int
+
+val cost : t -> int
+val swap : t -> int -> int -> unit
+(** Exchange the locations of two facilities (by facility id). *)
+
+val swap_delta : t -> int -> int -> int
+(** Cost change [swap] would cause, in O(n), without applying. *)
+
+val set_assignment : t -> int array -> unit
+(** @raise Invalid_argument if not a permutation. *)
+
+val copy : t -> t
+
+val check : t -> unit
+(** @raise Failure if the incremental cost drifted. *)
+
+val descent : t -> int
+(** First-improvement pairwise-swap descent; returns swaps applied. *)
+
+(** [Mc_problem.S] adapter; a move is a facility pair (self-inverse). *)
+module Problem : sig
+  include Mc_problem.S with type state = t and type move = int * int
+end

@@ -1,0 +1,166 @@
+(* PCG32 (pcg_state_64 / xsh_rr variant) seeded via SplitMix64.
+
+   The LCG state advances as [state * mult + inc]; output applies the
+   xorshift-high + random-rotate permutation to the old state.  The
+   stream increment must be odd, which [create] and [split] enforce. *)
+
+type t = {
+  mutable state : int64;
+  mutable inc : int64; (* always odd *)
+}
+
+let multiplier = 6364136223846793005L
+
+(* SplitMix64 step: expands a weak seed into well-mixed 64-bit words. *)
+let splitmix64 x =
+  let open Int64 in
+  let z = add x 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let advance t = t.state <- Int64.(add (mul t.state multiplier) t.inc)
+
+let output old_state =
+  let open Int64 in
+  let xorshifted =
+    to_int32 (shift_right_logical (logxor (shift_right_logical old_state 18) old_state) 27)
+  in
+  let rot = to_int (shift_right_logical old_state 59) in
+  let rot = rot land 31 in
+  if rot = 0 then xorshifted
+  else
+    Int32.logor
+      (Int32.shift_right_logical xorshifted rot)
+      (Int32.shift_left xorshifted (32 - rot))
+
+let bits32 t =
+  let old = t.state in
+  advance t;
+  output old
+
+let of_words ~state_word ~inc_word =
+  let t = { state = 0L; inc = Int64.logor (Int64.shift_left inc_word 1) 1L } in
+  advance t;
+  t.state <- Int64.add t.state state_word;
+  advance t;
+  t
+
+let create ~seed =
+  let s0 = splitmix64 (Int64.of_int seed) in
+  let s1 = splitmix64 s0 in
+  of_words ~state_word:s0 ~inc_word:s1
+
+let split t =
+  let w0 =
+    Int64.logor
+      (Int64.shift_left (Int64.of_int32 (bits32 t)) 32)
+      (Int64.logand (Int64.of_int32 (bits32 t)) 0xFFFFFFFFL)
+  in
+  let w1 =
+    Int64.logor
+      (Int64.shift_left (Int64.of_int32 (bits32 t)) 32)
+      (Int64.logand (Int64.of_int32 (bits32 t)) 0xFFFFFFFFL)
+  in
+  of_words ~state_word:(splitmix64 w0) ~inc_word:(splitmix64 w1)
+
+let copy t = { state = t.state; inc = t.inc }
+
+(* Treat the signed int32 as an unsigned 32-bit value in an OCaml int. *)
+let bits_as_int t = Int32.to_int (bits32 t) land 0xFFFFFFFF
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  if bound > 0xFFFFFFFF then invalid_arg "Rng.int: bound exceeds 32 bits";
+  (* Lemire-style rejection: reject the partial final bucket. *)
+  let range = 0x100000000 in
+  let limit = range - (range mod bound) in
+  let rec loop () =
+    let v = bits_as_int t in
+    if v < limit then v mod bound else loop ()
+  in
+  loop ()
+
+let int_range t lo hi =
+  if lo > hi then invalid_arg "Rng.int_range: lo > hi";
+  lo + int t (hi - lo + 1)
+
+let unit_float t = float_of_int (bits_as_int t) /. 4294967296.
+
+let float t bound =
+  if bound <= 0. then invalid_arg "Rng.float: bound must be positive";
+  unit_float t *. bound
+
+let bool t = bits_as_int t land 1 = 1
+
+let bernoulli t p = if p <= 0. then false else if p >= 1. then true else unit_float t < p
+
+let gaussian t ~mu ~sigma =
+  (* Box-Muller; u1 must be nonzero for the log. *)
+  let rec nonzero () =
+    let u = unit_float t in
+    if u > 0. then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = unit_float t in
+  mu +. (sigma *. sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2))
+
+let exponential t ~lambda =
+  if lambda <= 0. then invalid_arg "Rng.exponential: lambda must be positive";
+  let rec nonzero () =
+    let u = unit_float t in
+    if u > 0. then u else nonzero ()
+  in
+  -.log (nonzero ()) /. lambda
+
+let pair_distinct t n =
+  if n < 2 then invalid_arg "Rng.pair_distinct: need n >= 2";
+  let a = int t n in
+  let b = int t (n - 1) in
+  let b = if b >= a then b + 1 else b in
+  (a, b)
+
+let shuffle_in_place t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation t n =
+  let a = Array.init n (fun i -> i) in
+  shuffle_in_place t a;
+  a
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t (Array.length a))
+
+let sample_without_replacement t ~k ~n =
+  if k < 0 || k > n then invalid_arg "Rng.sample_without_replacement";
+  (* Partial Fisher-Yates over an index array. *)
+  let a = Array.init n (fun i -> i) in
+  for i = 0 to k - 1 do
+    let j = int_range t i (n - 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.sub a 0 k
+
+let categorical t weights =
+  let total = Array.fold_left (fun acc w ->
+      if w < 0. || Float.is_nan w then invalid_arg "Rng.categorical: negative weight"
+      else acc +. w)
+      0. weights
+  in
+  if total <= 0. then invalid_arg "Rng.categorical: weights sum to zero";
+  let target = unit_float t *. total in
+  let n = Array.length weights in
+  let rec scan i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. weights.(i) in
+      if target < acc then i else scan (i + 1) acc
+  in
+  scan 0 0.

@@ -1,0 +1,170 @@
+let require_nonempty name a =
+  if Array.length a = 0 then invalid_arg (name ^ ": empty sample")
+
+let total a =
+  (* Kahan summation to keep long table accumulations exact enough. *)
+  let sum = ref 0. and comp = ref 0. in
+  Array.iter
+    (fun x ->
+      let y = x -. !comp in
+      let t = !sum +. y in
+      comp := t -. !sum -. y;
+      sum := t)
+    a;
+  !sum
+
+let mean a =
+  require_nonempty "Stats.mean" a;
+  total a /. float_of_int (Array.length a)
+
+let variance a =
+  require_nonempty "Stats.variance" a;
+  let n = Array.length a in
+  if n < 2 then 0.
+  else
+    let m = mean a in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. a in
+    acc /. float_of_int (n - 1)
+
+let stddev a = sqrt (variance a)
+
+let min_max a =
+  require_nonempty "Stats.min_max" a;
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (a.(0), a.(0))
+    a
+
+let sorted_copy a =
+  let b = Array.copy a in
+  Array.sort Float.compare b;
+  b
+
+let quantile a q =
+  require_nonempty "Stats.quantile" a;
+  if q < 0. || q > 1. then invalid_arg "Stats.quantile: q outside [0,1]";
+  let b = sorted_copy a in
+  let n = Array.length b in
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = int_of_float (Float.ceil pos) in
+  if lo = hi then b.(lo)
+  else
+    let w = pos -. float_of_int lo in
+    ((1. -. w) *. b.(lo)) +. (w *. b.(hi))
+
+let median a = quantile a 0.5
+
+let mean_ci95 a =
+  require_nonempty "Stats.mean_ci95" a;
+  let n = Array.length a in
+  let m = mean a in
+  if n < 2 then (m, 0.)
+  else
+    let se = stddev a /. sqrt (float_of_int n) in
+    (m, 1.96 *. se)
+
+module Online = struct
+  type t = {
+    mutable count : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () =
+    { count = 0; mean = 0.; m2 = 0.; min = Float.infinity; max = Float.neg_infinity }
+
+  let add t x =
+    t.count <- t.count + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.count
+  let mean t = if t.count = 0 then 0. else t.mean
+  let variance t = if t.count < 2 then 0. else t.m2 /. float_of_int (t.count - 1)
+  let stddev t = sqrt (variance t)
+
+  let min t =
+    if t.count = 0 then invalid_arg "Stats.Online.min: empty";
+    t.min
+
+  let max t =
+    if t.count = 0 then invalid_arg "Stats.Online.max: empty";
+    t.max
+end
+
+module Histogram = struct
+  type t = { lo : float; hi : float; counts : int array; mutable total : int }
+
+  let create ~lo ~hi ~bins =
+    if bins <= 0 then invalid_arg "Stats.Histogram.create: bins <= 0";
+    if lo >= hi then invalid_arg "Stats.Histogram.create: lo >= hi";
+    { lo; hi; counts = Array.make bins 0; total = 0 }
+
+  let bin_of t x =
+    let bins = Array.length t.counts in
+    let raw = (x -. t.lo) /. (t.hi -. t.lo) *. float_of_int bins in
+    let i = int_of_float (Float.floor raw) in
+    if i < 0 then 0 else if i >= bins then bins - 1 else i
+
+  let add t x =
+    t.counts.(bin_of t x) <- t.counts.(bin_of t x) + 1;
+    t.total <- t.total + 1
+
+  let counts t = Array.copy t.counts
+  let total t = t.total
+end
+
+let pearson xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Stats.pearson: length mismatch";
+  if n < 2 then invalid_arg "Stats.pearson: need >= 2 points";
+  let mx = mean xs and my = mean ys in
+  let sxy = ref 0. and sxx = ref 0. and syy = ref 0. in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+    sxy := !sxy +. (dx *. dy);
+    sxx := !sxx +. (dx *. dx);
+    syy := !syy +. (dy *. dy)
+  done;
+  if !sxx = 0. || !syy = 0. then invalid_arg "Stats.pearson: zero variance";
+  !sxy /. sqrt (!sxx *. !syy)
+
+let ranks a =
+  let n = Array.length a in
+  let idx = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> Float.compare a.(i) a.(j)) idx;
+  let out = Array.make n 0. in
+  (* Walk runs of equal values and assign each the average rank. *)
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && a.(idx.(!j + 1)) = a.(idx.(!i)) do
+      incr j
+    done;
+    let avg = float_of_int (!i + !j + 2) /. 2. in
+    for k = !i to !j do
+      out.(idx.(k)) <- avg
+    done;
+    i := !j + 1
+  done;
+  out
+
+let spearman xs ys = pearson (ranks xs) (ranks ys)
+
+let linear_regression pts =
+  let n = Array.length pts in
+  if n < 2 then invalid_arg "Stats.linear_regression: need >= 2 points";
+  let xs = Array.map fst pts and ys = Array.map snd pts in
+  let mx = mean xs and my = mean ys in
+  let sxx = Array.fold_left (fun acc x -> acc +. ((x -. mx) *. (x -. mx))) 0. xs in
+  if sxx = 0. then invalid_arg "Stats.linear_regression: zero x variance";
+  let sxy = ref 0. in
+  Array.iter (fun (x, y) -> sxy := !sxy +. ((x -. mx) *. (y -. my))) pts;
+  let slope = !sxy /. sxx in
+  (slope, my -. (slope *. mx))

@@ -1,0 +1,93 @@
+(** Descriptive statistics over float samples.
+
+    Used by the temperature estimator (standard deviation of cost
+    deltas, cf. [WHIT84]), by the tuner, and by the report tables
+    (means, quantiles, confidence intervals). *)
+
+val mean : float array -> float
+(** Arithmetic mean.  @raise Invalid_argument on an empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (divides by [n - 1]); 0 for singletons.
+    @raise Invalid_argument on an empty array. *)
+
+val stddev : float array -> float
+(** [sqrt (variance a)]. *)
+
+val min_max : float array -> float * float
+(** Smallest and largest sample.  @raise Invalid_argument if empty. *)
+
+val median : float array -> float
+(** Median (average of the two central order statistics for even
+    sizes).  Does not mutate its argument. *)
+
+val quantile : float array -> float -> float
+(** [quantile a q] for [0. <= q <= 1.], linear interpolation between
+    order statistics.  Does not mutate its argument. *)
+
+val total : float array -> float
+(** Kahan-compensated sum. *)
+
+val mean_ci95 : float array -> float * float
+(** [(mean, halfwidth)] of a normal-approximation 95% confidence
+    interval for the mean ([1.96 * stderr]); halfwidth 0 for
+    singletons. *)
+
+(** Online (streaming) accumulator: Welford's algorithm.  Constant
+    memory, numerically stable; used inside engines to track cost-delta
+    statistics without storing samples. *)
+module Online : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  (** 0 when empty. *)
+
+  val variance : t -> float
+  (** Unbiased; 0 when fewer than two samples. *)
+
+  val stddev : t -> float
+  val min : t -> float
+  (** @raise Invalid_argument when empty. *)
+
+  val max : t -> float
+  (** @raise Invalid_argument when empty. *)
+end
+
+(** Fixed-bin histogram over a closed range, for acceptance-ratio and
+    cost-distribution diagnostics. *)
+module Histogram : sig
+  type t
+
+  val create : lo:float -> hi:float -> bins:int -> t
+  (** @raise Invalid_argument if [bins <= 0] or [lo >= hi]. *)
+
+  val add : t -> float -> unit
+  (** Samples outside [lo, hi] are clamped into the edge bins. *)
+
+  val counts : t -> int array
+  val total : t -> int
+  val bin_of : t -> float -> int
+end
+
+val linear_regression : (float * float) array -> float * float
+(** Least-squares fit [(slope, intercept)] of y on x.
+    @raise Invalid_argument with fewer than two points or zero x
+    variance. *)
+
+val pearson : float array -> float array -> float
+(** Pearson correlation coefficient.
+    @raise Invalid_argument on length mismatch, fewer than two points,
+    or zero variance in either sample. *)
+
+val ranks : float array -> float array
+(** Fractional ranks (1-based; ties get the average of their rank
+    range) — the ranking used by Spearman correlation. *)
+
+val spearman : float array -> float array -> float
+(** Spearman rank correlation: Pearson correlation of the fractional
+    ranks.  Used to compare the paper's method ranking against the
+    measured one in EXPERIMENTS.md.
+    @raise Invalid_argument as for {!pearson}. *)

@@ -1,0 +1,122 @@
+type t = {
+  inst : Tsp_instance.t;
+  order : int array;
+  mutable len : float;
+}
+
+let instance t = t.inst
+let size t = Array.length t.order
+let city_at t p = t.order.(((p mod size t) + size t) mod size t)
+let order t = Array.copy t.order
+let length t = t.len
+let dist t a b = Tsp_instance.distance t.inst a b
+
+let compute_length inst order =
+  let n = Array.length order in
+  let total = ref 0. in
+  for p = 0 to n - 1 do
+    total := !total +. Tsp_instance.distance inst order.(p) order.((p + 1) mod n)
+  done;
+  !total
+
+let recompute_length t = compute_length t.inst t.order
+
+let is_permutation n a =
+  Array.length a = n
+  &&
+  let seen = Array.make n false in
+  Array.for_all
+    (fun x ->
+      if x < 0 || x >= n || seen.(x) then false
+      else (
+        seen.(x) <- true;
+        true))
+    a
+
+let of_order inst o =
+  if not (is_permutation (Tsp_instance.size inst) o) then
+    invalid_arg "Tour.of_order: not a permutation of the cities";
+  let order = Array.copy o in
+  { inst; order; len = compute_length inst order }
+
+let identity inst = of_order inst (Array.init (Tsp_instance.size inst) (fun i -> i))
+let random rng inst = of_order inst (Rng.permutation rng (Tsp_instance.size inst))
+let copy t = { t with order = Array.copy t.order }
+
+let check_segment t i j name =
+  let n = size t in
+  if i < 0 || j >= n || i >= j then invalid_arg (name ^ ": need 0 <= i < j < n")
+
+(* Reversing order[i..j] replaces edges (prev_i, i) and (j, next_j) by
+   (prev_i, j) and (i, next_j); interior edges just flip direction. *)
+let two_opt_delta t i j =
+  check_segment t i j "Tour.two_opt_delta";
+  let n = size t in
+  if i = 0 && j = n - 1 then 0.
+  else
+    let a = t.order.((i + n - 1) mod n)
+    and b = t.order.(i)
+    and c = t.order.(j)
+    and d = t.order.((j + 1) mod n) in
+    dist t a c +. dist t b d -. dist t a b -. dist t c d
+
+let two_opt t i j =
+  let delta = two_opt_delta t i j in
+  let lo = ref i and hi = ref j in
+  while !lo < !hi do
+    let tmp = t.order.(!lo) in
+    t.order.(!lo) <- t.order.(!hi);
+    t.order.(!hi) <- tmp;
+    incr lo;
+    decr hi
+  done;
+  t.len <- t.len +. delta
+
+let check_or_opt t ~seg ~len ~dest name =
+  let n = size t in
+  if len < 1 || len > 3 then invalid_arg (name ^ ": segment length must be 1..3");
+  if seg < 0 || seg + len > n then invalid_arg (name ^ ": segment out of range");
+  if dest >= seg - 1 && dest < seg + len then invalid_arg (name ^ ": destination inside segment");
+  if dest < 0 || dest >= n then invalid_arg (name ^ ": destination out of range");
+  if seg = 0 && dest = n - 1 then invalid_arg (name ^ ": destination inside segment")
+
+let or_opt_delta t ~seg ~len ~dest =
+  check_or_opt t ~seg ~len ~dest "Tour.or_opt_delta";
+  let n = size t in
+  let a = t.order.((seg + n - 1) mod n)
+  and b = t.order.(seg)
+  and c = t.order.(seg + len - 1)
+  and d = t.order.((seg + len) mod n)
+  and e = t.order.(dest)
+  and f = t.order.((dest + 1) mod n) in
+  dist t a d +. dist t e b +. dist t c f -. dist t a b -. dist t c d -. dist t e f
+
+let or_opt t ~seg ~len ~dest =
+  let delta = or_opt_delta t ~seg ~len ~dest in
+  let n = size t in
+  let segment = Array.sub t.order seg len in
+  (* Remove the segment, then reinsert after the city that was at
+     [dest]. *)
+  let rest = Array.make (n - len) 0 in
+  let w = ref 0 in
+  for p = 0 to n - 1 do
+    if p < seg || p >= seg + len then begin
+      rest.(!w) <- t.order.(p);
+      incr w
+    end
+  done;
+  let dest_city = t.order.(dest) in
+  let insert_after = ref 0 in
+  Array.iteri (fun idx c -> if c = dest_city then insert_after := idx) rest;
+  let w = ref 0 in
+  let out = Array.make n 0 in
+  for p = 0 to Array.length rest - 1 do
+    out.(!w) <- rest.(p);
+    incr w;
+    if p = !insert_after then begin
+      Array.blit segment 0 out !w len;
+      w := !w + len
+    end
+  done;
+  Array.blit out 0 t.order 0 n;
+  t.len <- t.len +. delta

@@ -1,0 +1,46 @@
+(** Mutable cyclic tours over a TSP instance.
+
+    A tour visits every city exactly once; positions are indices into
+    the visiting order and wrap around.  The length is maintained
+    incrementally: a 2-opt move (reversing a contiguous segment)
+    changes only two edges, so applying it is O(segment) for the
+    reversal and O(1) for the length. *)
+
+type t
+
+val of_order : Tsp_instance.t -> int array -> t
+(** @raise Invalid_argument if the order is not a permutation of the
+    instance's cities. *)
+
+val identity : Tsp_instance.t -> t
+val random : Rng.t -> Tsp_instance.t -> t
+val copy : t -> t
+val instance : t -> Tsp_instance.t
+val size : t -> int
+
+val city_at : t -> int -> int
+(** City at a position (positions taken modulo the size). *)
+
+val order : t -> int array
+val length : t -> float
+(** Cached tour length. *)
+
+val recompute_length : t -> float
+(** From-scratch length (the checker used by the property tests). *)
+
+val two_opt_delta : t -> int -> int -> float
+(** [two_opt_delta t i j] for positions [0 <= i < j < size]: length
+    change of reversing the segment [i..j], without applying it.
+    Reversing the whole tour or a single city is a 0-delta no-op. *)
+
+val two_opt : t -> int -> int -> unit
+(** Apply the reversal and update the cached length.
+    @raise Invalid_argument unless [0 <= i < j < size]. *)
+
+val or_opt_delta : t -> seg:int -> len:int -> dest:int -> float
+(** Length change of moving the [len]-city segment starting at
+    position [seg] ([len] in 1..3) to sit after position [dest].
+    [dest] must not fall inside the segment. *)
+
+val or_opt : t -> seg:int -> len:int -> dest:int -> unit
+(** Apply the segment move. *)

@@ -1,0 +1,183 @@
+let nearest_neighbor inst ~start =
+  let n = Tsp_instance.size inst in
+  if start < 0 || start >= n then invalid_arg "Tsp_heuristics.nearest_neighbor: bad start";
+  let visited = Array.make n false in
+  let order = Array.make n 0 in
+  order.(0) <- start;
+  visited.(start) <- true;
+  for p = 1 to n - 1 do
+    let prev = order.(p - 1) in
+    let best = ref (-1) and best_d = ref infinity in
+    for c = 0 to n - 1 do
+      if (not visited.(c)) && Tsp_instance.distance inst prev c < !best_d then begin
+        best := c;
+        best_d := Tsp_instance.distance inst prev c
+      end
+    done;
+    order.(p) <- !best;
+    visited.(!best) <- true
+  done;
+  Tour.of_order inst order
+
+(* Insert [city] into the cyclic [order] list at its cheapest edge. *)
+let cheapest_position inst order city =
+  let n = List.length order in
+  let arr = Array.of_list order in
+  let best_idx = ref 0 and best_cost = ref infinity in
+  for i = 0 to n - 1 do
+    let a = arr.(i) and b = arr.((i + 1) mod n) in
+    let cost =
+      Tsp_instance.distance inst a city
+      +. Tsp_instance.distance inst city b
+      -. Tsp_instance.distance inst a b
+    in
+    if cost < !best_cost then begin
+      best_cost := cost;
+      best_idx := i
+    end
+  done;
+  (!best_idx, !best_cost)
+
+let insert_at order idx city =
+  List.concat_map
+    (fun (i, c) -> if i = idx then [ c; city ] else [ c ])
+    (List.mapi (fun i c -> (i, c)) order)
+
+let grow_by_cheapest_insertion inst initial =
+  let n = Tsp_instance.size inst in
+  let in_tour = Array.make n false in
+  List.iter (fun c -> in_tour.(c) <- true) initial;
+  let order = ref initial in
+  let remaining = ref (n - List.length initial) in
+  while !remaining > 0 do
+    (* Pick the city whose cheapest insertion is cheapest overall. *)
+    let best_city = ref (-1) and best_idx = ref 0 and best_cost = ref infinity in
+    for c = 0 to n - 1 do
+      if not in_tour.(c) then begin
+        let idx, cost = cheapest_position inst !order c in
+        if cost < !best_cost then begin
+          best_cost := cost;
+          best_city := c;
+          best_idx := idx
+        end
+      end
+    done;
+    order := insert_at !order !best_idx !best_city;
+    in_tour.(!best_city) <- true;
+    decr remaining
+  done;
+  Tour.of_order inst (Array.of_list !order)
+
+let cheapest_insertion inst =
+  let n = Tsp_instance.size inst in
+  (* Seed with the two mutually farthest cities. *)
+  let a = ref 0 and b = ref 1 and far = ref neg_infinity in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Tsp_instance.distance inst i j > !far then begin
+        far := Tsp_instance.distance inst i j;
+        a := i;
+        b := j
+      end
+    done
+  done;
+  grow_by_cheapest_insertion inst [ !a; !b ]
+
+let convex_hull inst =
+  let n = Tsp_instance.size inst in
+  let idx = Array.init n (fun i -> i) in
+  let key i =
+    let x, y = Tsp_instance.coord inst i in
+    (x, y)
+  in
+  Array.sort (fun i j -> compare (key i) (key j)) idx;
+  let cross o a b =
+    let ox, oy = key o and ax, ay = key a and bx, by = key b in
+    ((ax -. ox) *. (by -. oy)) -. ((ay -. oy) *. (bx -. ox))
+  in
+  let build range =
+    let hull = ref [] in
+    Array.iter
+      (fun p ->
+        let rec pop () =
+          match !hull with
+          | a :: b :: rest when cross b a p <= 0. ->
+              hull := b :: rest;
+              pop ()
+          | _ -> ()
+        in
+        pop ();
+        hull := p :: !hull)
+      range;
+    List.tl !hull (* drop the endpoint shared with the other chain *)
+  in
+  let lower = build idx in
+  let upper = build (Array.of_list (List.rev (Array.to_list idx))) in
+  List.rev_append (List.rev lower) upper |> List.rev
+
+let or_opt_pass tour =
+  let n = Tour.size tour in
+  let applied = ref 0 in
+  for len = 1 to min 3 (n - 2) do
+    for seg = 0 to n - len - 1 do
+      let best_dest = ref (-1) and best_delta = ref (-1e-9) in
+      for dest = 0 to n - 1 do
+        let inside = dest >= seg - 1 && dest < seg + len in
+        let wrap = seg = 0 && dest = n - 1 in
+        if (not inside) && not wrap then begin
+          let delta = Tour.or_opt_delta tour ~seg ~len ~dest in
+          if delta < !best_delta then begin
+            best_delta := delta;
+            best_dest := dest
+          end
+        end
+      done;
+      if !best_dest >= 0 then begin
+        Tour.or_opt tour ~seg ~len ~dest:!best_dest;
+        incr applied
+      end
+    done
+  done;
+  !applied
+
+let hull_insertion inst =
+  let hull = convex_hull inst in
+  let tour =
+    if List.length hull >= 3 then grow_by_cheapest_insertion inst hull
+    else cheapest_insertion inst
+  in
+  ignore (or_opt_pass tour);
+  tour
+
+let two_opt_descent tour =
+  let n = Tour.size tour in
+  let applied = ref 0 in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    (try
+       for i = 0 to n - 2 do
+         for j = i + 1 to n - 1 do
+           if not (i = 0 && j = n - 1) && Tour.two_opt_delta tour i j < -1e-12 then begin
+             Tour.two_opt tour i j;
+             incr applied;
+             improved := true;
+             raise Exit
+           end
+         done
+       done
+     with Exit -> ())
+  done;
+  !applied
+
+let two_opt_restarts rng inst ~restarts =
+  if restarts <= 0 then invalid_arg "Tsp_heuristics.two_opt_restarts: restarts <= 0";
+  let best = ref None in
+  for _ = 1 to restarts do
+    let tour = Tour.random rng inst in
+    ignore (two_opt_descent tour);
+    match !best with
+    | Some b when Tour.length b <= Tour.length tour -> ()
+    | Some _ | None -> best := Some tour
+  done;
+  match !best with Some b -> b | None -> assert false

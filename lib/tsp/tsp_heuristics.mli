@@ -1,0 +1,33 @@
+(** Constructive and improvement heuristics for the TSP extension
+    experiments.
+
+    [hull_insertion] is the stand-in for Stewart's CCAO heuristic
+    [STEW77] (convex hull start, cheapest insertion, Or-opt polish),
+    the comparator of the [GOLD84] study that the paper's §2
+    discusses. *)
+
+val nearest_neighbor : Tsp_instance.t -> start:int -> Tour.t
+(** Greedy: repeatedly visit the closest unvisited city. *)
+
+val cheapest_insertion : Tsp_instance.t -> Tour.t
+(** Start from the two mutually farthest cities; repeatedly insert the
+    city whose cheapest insertion point costs least. *)
+
+val convex_hull : Tsp_instance.t -> int list
+(** Indices of the hull of the city set, counter-clockwise (Andrew's
+    monotone chain).  Collinear duplicates removed. *)
+
+val hull_insertion : Tsp_instance.t -> Tour.t
+(** CCAO-style pipeline: convex hull as the initial subtour, cheapest
+    insertion of the interior cities, then an Or-opt polish pass. *)
+
+val two_opt_descent : Tour.t -> int
+(** Descend in place to a 2-opt local optimum (first improvement);
+    returns the number of improving reversals applied. *)
+
+val or_opt_pass : Tour.t -> int
+(** One sweep of segment moves (lengths 1–3); returns moves applied. *)
+
+val two_opt_restarts : Rng.t -> Tsp_instance.t -> restarts:int -> Tour.t
+(** Best 2-opt local optimum over random starting tours — the
+    [LIN73]-style baseline of the [GOLD84] comparison. *)

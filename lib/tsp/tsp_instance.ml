@@ -1,0 +1,41 @@
+type t = {
+  xs : float array;
+  ys : float array;
+  dist : float array; (* row-major n*n matrix *)
+}
+
+let size t = Array.length t.xs
+let coord t i = (t.xs.(i), t.ys.(i))
+let distance t i j = t.dist.((i * Array.length t.xs) + j)
+
+let create points =
+  let n = Array.length points in
+  if n < 3 then invalid_arg "Tsp_instance.create: need at least 3 cities";
+  let xs = Array.map fst points and ys = Array.map snd points in
+  let dist = Array.make (n * n) 0. in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let dx = xs.(i) -. xs.(j) and dy = ys.(i) -. ys.(j) in
+      let d = sqrt ((dx *. dx) +. (dy *. dy)) in
+      dist.((i * n) + j) <- d;
+      dist.((j * n) + i) <- d
+    done
+  done;
+  { xs; ys; dist }
+
+let random_uniform rng ~n =
+  if n < 3 then invalid_arg "Tsp_instance.random_uniform: n < 3";
+  create (Array.init n (fun _ -> (Rng.unit_float rng, Rng.unit_float rng)))
+
+let random_clustered rng ~n ~clusters ~spread =
+  if n < 3 then invalid_arg "Tsp_instance.random_clustered: n < 3";
+  if clusters < 1 then invalid_arg "Tsp_instance.random_clustered: clusters < 1";
+  if spread <= 0. then invalid_arg "Tsp_instance.random_clustered: spread <= 0";
+  let centres =
+    Array.init clusters (fun _ -> (Rng.unit_float rng, Rng.unit_float rng))
+  in
+  create
+    (Array.init n (fun _ ->
+         let cx, cy = centres.(Rng.int rng clusters) in
+         ( cx +. Rng.gaussian rng ~mu:0. ~sigma:spread,
+           cy +. Rng.gaussian rng ~mu:0. ~sigma:spread )))

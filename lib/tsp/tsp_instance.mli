@@ -1,0 +1,27 @@
+(** Euclidean travelling-salesperson instances.
+
+    Cities are points in the plane; the cost of travelling between two
+    cities is their Euclidean distance.  Distances are precomputed into
+    a matrix so tour-length deltas are O(1) lookups. *)
+
+type t
+
+val create : (float * float) array -> t
+(** Instance over explicit coordinates (copied).
+    @raise Invalid_argument with fewer than 3 cities. *)
+
+val random_uniform : Rng.t -> n:int -> t
+(** [n] cities uniform in the unit square.
+    @raise Invalid_argument if [n < 3]. *)
+
+val random_clustered : Rng.t -> n:int -> clusters:int -> spread:float -> t
+(** Cities in Gaussian clusters around uniformly random centres — the
+    structured workload where constructive heuristics shine.
+    @raise Invalid_argument if [n < 3], [clusters < 1] or
+    [spread <= 0.]. *)
+
+val size : t -> int
+val coord : t -> int -> float * float
+
+val distance : t -> int -> int -> float
+(** O(1) matrix lookup. *)

@@ -1,0 +1,30 @@
+type state = Tour.t
+type move = int * int (* positions i < j; reverse the segment i..j *)
+
+let cost = Tour.length
+
+let random_move rng tour =
+  let n = Tour.size tour in
+  let rec draw () =
+    let a, b = Rng.pair_distinct rng n in
+    let i = min a b and j = max a b in
+    (* Reversing the whole tour is a no-op; redraw. *)
+    if i = 0 && j = n - 1 then draw () else (i, j)
+  in
+  draw ()
+
+let apply tour (i, j) = Tour.two_opt tour i j
+let revert tour (i, j) = Tour.two_opt tour i j
+let copy = Tour.copy
+
+let moves tour =
+  let n = Tour.size tour in
+  let total = n * (n - 1) / 2 in
+  let pair_of idx =
+    let rec find i remaining =
+      let row = n - 1 - i in
+      if remaining < row then (i, i + 1 + remaining) else find (i + 1) (remaining - row)
+    in
+    find 0 idx
+  in
+  Seq.init total pair_of |> Seq.filter (fun (i, j) -> not (i = 0 && j = n - 1))

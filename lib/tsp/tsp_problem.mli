@@ -1,0 +1,5 @@
+(** [Mc_problem.S] adapter for tours: the perturbation is a 2-opt
+    segment reversal, the objective the tour length.  A reversal is its
+    own inverse, so [revert] re-applies the move. *)
+
+include Mc_problem.S with type state = Tour.t and type move = int * int

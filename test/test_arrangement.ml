@@ -1,0 +1,271 @@
+let case name f = Alcotest.test_case name `Quick f
+
+(* Path graph 0-1-2-3: identity order has every cut = 1. *)
+let path4 () =
+  Netlist.create ~n_elements:4 ~pins:[| [| 0; 1 |]; [| 1; 2 |]; [| 2; 3 |] |]
+
+let small_nola () =
+  Netlist.create ~n_elements:5
+    ~pins:[| [| 0; 4 |]; [| 1; 2; 3 |]; [| 0; 1 |]; [| 3; 4 |] |]
+
+let test_identity_path () =
+  let arr = Arrangement.create (path4 ()) in
+  Alcotest.check Alcotest.(array int) "cuts all 1" [| 1; 1; 1 |] (Arrangement.cuts arr);
+  Alcotest.check Alcotest.int "density 1" 1 (Arrangement.density arr);
+  Alcotest.check Alcotest.int "sum 3" 3 (Arrangement.sum_of_cuts arr)
+
+let test_known_density () =
+  (* Order 1 0 2 3 on the path: net {0,1} spans 0-1, net {1,2} spans
+     0-2, net {2,3} spans 2-3; cuts = [2; 1; 1]. *)
+  let arr = Arrangement.create ~order:[| 1; 0; 2; 3 |] (path4 ()) in
+  Alcotest.check Alcotest.(array int) "cuts" [| 2; 1; 1 |] (Arrangement.cuts arr);
+  Alcotest.check Alcotest.int "density" 2 (Arrangement.density arr)
+
+let test_multi_pin_span () =
+  (* Net {1,2,3} at identity order spans positions 1..3: crosses cuts 1
+     and 2 once regardless of the middle pin. *)
+  let arr = Arrangement.create (small_nola ()) in
+  (* nets: {0,4} spans 0..4 -> cuts 0,1,2,3; {1,2,3} -> cuts 1,2;
+     {0,1} -> cut 0; {3,4} -> cut 3 *)
+  Alcotest.check Alcotest.(array int) "cuts" [| 2; 2; 2; 2 |] (Arrangement.cuts arr);
+  Alcotest.check Alcotest.int "density" 2 (Arrangement.density arr)
+
+let test_positions_inverse () =
+  let arr = Arrangement.create ~order:[| 2; 0; 3; 1 |] (path4 ()) in
+  for p = 0 to 3 do
+    Alcotest.check Alcotest.int "inverse" p (Arrangement.position_of arr (Arrangement.element_at arr p))
+  done;
+  Alcotest.check Alcotest.int "element_at 0" 2 (Arrangement.element_at arr 0);
+  Alcotest.check Alcotest.int "position_of 1" 3 (Arrangement.position_of arr 1)
+
+let test_create_validation () =
+  let nl = path4 () in
+  let bad order =
+    match Arrangement.create ~order nl with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  bad [| 0; 1; 2 |];
+  bad [| 0; 1; 2; 2 |];
+  bad [| 0; 1; 2; 4 |]
+
+let test_swap_updates_density () =
+  let arr = Arrangement.create ~order:[| 1; 0; 2; 3 |] (path4 ()) in
+  Arrangement.swap_positions arr 0 1;
+  (* back to identity *)
+  Alcotest.check Alcotest.(array int) "cuts back to identity" [| 1; 1; 1 |] (Arrangement.cuts arr);
+  Arrangement.check arr
+
+let test_swap_self_is_noop () =
+  let arr = Arrangement.create (small_nola ()) in
+  let before = Arrangement.cuts arr in
+  Arrangement.swap_positions arr 2 2;
+  Alcotest.check Alcotest.(array int) "unchanged" before (Arrangement.cuts arr)
+
+let test_swap_is_involution () =
+  let rng = Rng.create ~seed:4 in
+  let nl = Netlist.random_nola rng ~elements:10 ~nets:40 ~min_pins:2 ~max_pins:4 in
+  let arr = Arrangement.random rng nl in
+  let before = Arrangement.order arr in
+  Arrangement.swap_positions arr 3 8;
+  Arrangement.swap_positions arr 3 8;
+  Alcotest.check Alcotest.(array int) "restored" before (Arrangement.order arr);
+  Arrangement.check arr
+
+let test_swap_elements_matches_positions () =
+  let nl = path4 () in
+  let a = Arrangement.create ~order:[| 2; 0; 3; 1 |] nl in
+  let b = Arrangement.copy a in
+  Arrangement.swap_elements a 0 1;
+  Arrangement.swap_positions b (Arrangement.position_of b 0) (Arrangement.position_of b 1);
+  Alcotest.check Alcotest.(array int) "same order" (Arrangement.order a) (Arrangement.order b)
+
+let test_copy_independent () =
+  let arr = Arrangement.create (path4 ()) in
+  let snapshot = Arrangement.copy arr in
+  Arrangement.swap_positions arr 0 3;
+  Alcotest.check Alcotest.(array int) "copy unchanged" [| 0; 1; 2; 3 |] (Arrangement.order snapshot);
+  Arrangement.check snapshot;
+  Arrangement.check arr
+
+let test_relocate_forward () =
+  let arr = Arrangement.create (path4 ()) in
+  Arrangement.relocate arr ~from_pos:0 ~to_pos:2;
+  Alcotest.check Alcotest.(array int) "shifted" [| 1; 2; 0; 3 |] (Arrangement.order arr);
+  Arrangement.check arr
+
+let test_relocate_backward () =
+  let arr = Arrangement.create (path4 ()) in
+  Arrangement.relocate arr ~from_pos:3 ~to_pos:1;
+  Alcotest.check Alcotest.(array int) "shifted" [| 0; 3; 1; 2 |] (Arrangement.order arr);
+  Arrangement.check arr
+
+let test_relocate_inverse () =
+  let rng = Rng.create ~seed:9 in
+  let nl = Netlist.random_gola rng ~elements:8 ~nets:20 in
+  let arr = Arrangement.random rng nl in
+  let before = Arrangement.order arr in
+  Arrangement.relocate arr ~from_pos:2 ~to_pos:6;
+  Arrangement.relocate arr ~from_pos:6 ~to_pos:2;
+  Alcotest.check Alcotest.(array int) "restored" before (Arrangement.order arr)
+
+let test_set_order () =
+  let arr = Arrangement.create (path4 ()) in
+  Arrangement.set_order arr [| 3; 2; 1; 0 |];
+  Alcotest.check Alcotest.(array int) "reversed" [| 3; 2; 1; 0 |] (Arrangement.order arr);
+  (* reversal of a path keeps all cuts at 1 *)
+  Alcotest.check Alcotest.int "density invariant under reversal" 1 (Arrangement.density arr);
+  Arrangement.check arr
+
+let test_density_of_order () =
+  Alcotest.check Alcotest.int "one-shot density" 2
+    (Arrangement.density_of_order (path4 ()) [| 1; 0; 2; 3 |])
+
+let test_tiny_arrangements () =
+  let one = Netlist.create ~n_elements:1 ~pins:[||] in
+  let arr = Arrangement.create one in
+  Alcotest.check Alcotest.int "single element density 0" 0 (Arrangement.density arr);
+  let two = Netlist.create ~n_elements:2 ~pins:[| [| 0; 1 |] |] in
+  let arr2 = Arrangement.create two in
+  Alcotest.check Alcotest.int "two elements density 1" 1 (Arrangement.density arr2);
+  Arrangement.swap_positions arr2 0 1;
+  Alcotest.check Alcotest.int "still 1 after swap" 1 (Arrangement.density arr2)
+
+let test_move_argument_validation () =
+  let arr = Arrangement.create (path4 ()) in
+  let invalid f = match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  invalid (fun () -> Arrangement.swap_positions arr 0 4);
+  invalid (fun () -> Arrangement.swap_positions arr (-1) 2);
+  invalid (fun () -> Arrangement.swap_elements arr 0 9);
+  invalid (fun () -> Arrangement.relocate arr ~from_pos:0 ~to_pos:4);
+  invalid (fun () -> Arrangement.set_order arr [| 0; 1; 2 |]);
+  (* the failed calls must not have corrupted anything *)
+  Arrangement.check arr
+
+let test_sum_of_cuts_tracks_moves () =
+  let rng = Rng.create ~seed:41 in
+  let nl = Netlist.random_nola rng ~elements:9 ~nets:30 ~min_pins:2 ~max_pins:4 in
+  let arr = Arrangement.random rng nl in
+  for _ = 1 to 40 do
+    let p, q = Rng.pair_distinct rng 9 in
+    Arrangement.swap_positions arr p q;
+    let fresh = Array.fold_left ( + ) 0 (Arrangement.cuts arr) in
+    Alcotest.check Alcotest.int "sum matches cuts" fresh (Arrangement.sum_of_cuts arr)
+  done
+
+let test_parallel_nets_count_separately () =
+  let nl = Netlist.create ~n_elements:2 ~pins:[| [| 0; 1 |]; [| 0; 1 |]; [| 0; 1 |] |] in
+  let arr = Arrangement.create nl in
+  Alcotest.check Alcotest.int "three parallel nets" 3 (Arrangement.density arr)
+
+let random_walk_consistency ~elements ~nets ~multi ~steps ~seed =
+  let rng = Rng.create ~seed in
+  let nl =
+    if multi then Netlist.random_nola rng ~elements ~nets ~min_pins:2 ~max_pins:5
+    else Netlist.random_gola rng ~elements ~nets
+  in
+  let arr = Arrangement.random rng nl in
+  for step = 1 to steps do
+    (match Rng.int rng 3 with
+    | 0 ->
+        let p, q = Rng.pair_distinct rng elements in
+        Arrangement.swap_positions arr p q
+    | 1 ->
+        let a, b = Rng.pair_distinct rng elements in
+        Arrangement.swap_elements arr a b
+    | _ ->
+        let from_pos, to_pos = Rng.pair_distinct rng elements in
+        Arrangement.relocate arr ~from_pos ~to_pos);
+    if step mod 7 = 0 then Arrangement.check arr
+  done;
+  Arrangement.check arr
+
+let test_walk_gola () = random_walk_consistency ~elements:12 ~nets:60 ~multi:false ~steps:300 ~seed:31
+let test_walk_nola () = random_walk_consistency ~elements:12 ~nets:60 ~multi:true ~steps:300 ~seed:32
+let test_walk_paper_size () =
+  random_walk_consistency ~elements:15 ~nets:150 ~multi:false ~steps:200 ~seed:33
+
+let prop_density_matches_recompute =
+  let gen =
+    QCheck.Gen.(
+      int_range 2 12 >>= fun elements ->
+      int_range 1 30 >>= fun nets ->
+      int >>= fun seed ->
+      int_range 0 40 >|= fun swaps -> (elements, nets, seed, swaps))
+  in
+  QCheck.Test.make ~name:"qcheck: incremental density = density_of_order after random swaps"
+    (QCheck.make gen)
+    (fun (elements, nets, seed, swaps) ->
+      let rng = Rng.create ~seed in
+      let nl = Netlist.random_gola rng ~elements ~nets in
+      let arr = Arrangement.random rng nl in
+      for _ = 1 to swaps do
+        let p, q = Rng.pair_distinct rng elements in
+        Arrangement.swap_positions arr p q
+      done;
+      Arrangement.density arr = Arrangement.density_of_order nl (Arrangement.order arr))
+
+let prop_density_bounded_by_nets =
+  let gen =
+    QCheck.Gen.(
+      int_range 2 10 >>= fun elements ->
+      int_range 0 25 >>= fun nets ->
+      int >|= fun seed -> (elements, nets, seed))
+  in
+  QCheck.Test.make ~name:"qcheck: 0 <= density <= number of nets"
+    (QCheck.make gen)
+    (fun (elements, nets, seed) ->
+      let rng = Rng.create ~seed in
+      let nl = Netlist.random_gola rng ~elements ~nets in
+      let arr = Arrangement.random rng nl in
+      let d = Arrangement.density arr in
+      d >= 0 && d <= nets)
+
+let prop_reversal_preserves_density =
+  QCheck.Test.make ~name:"qcheck: reversing the arrangement preserves density"
+    (QCheck.make
+       QCheck.Gen.(
+         int_range 2 10 >>= fun elements ->
+         int_range 1 25 >>= fun nets ->
+         int >|= fun seed -> (elements, nets, seed)))
+    (fun (elements, nets, seed) ->
+      let rng = Rng.create ~seed in
+      let nl = Netlist.random_gola rng ~elements ~nets in
+      let arr = Arrangement.random rng nl in
+      let d = Arrangement.density arr in
+      let reversed =
+        Array.init elements (fun p -> Arrangement.element_at arr (elements - 1 - p))
+      in
+      Arrangement.density_of_order nl reversed = d)
+
+let suite =
+  [
+    case "identity path cuts" test_identity_path;
+    case "known density" test_known_density;
+    case "multi-pin net spans" test_multi_pin_span;
+    case "positions inverse" test_positions_inverse;
+    case "create validation" test_create_validation;
+    case "swap updates density" test_swap_updates_density;
+    case "swap with itself is a no-op" test_swap_self_is_noop;
+    case "swap is an involution" test_swap_is_involution;
+    case "swap_elements matches swap_positions" test_swap_elements_matches_positions;
+    case "copy is independent" test_copy_independent;
+    case "relocate forward" test_relocate_forward;
+    case "relocate backward" test_relocate_backward;
+    case "relocate inverse" test_relocate_inverse;
+    case "set_order" test_set_order;
+    case "density_of_order" test_density_of_order;
+    case "tiny arrangements" test_tiny_arrangements;
+    case "move argument validation" test_move_argument_validation;
+    case "sum of cuts tracks moves" test_sum_of_cuts_tracks_moves;
+    case "parallel nets count separately" test_parallel_nets_count_separately;
+    case "random walk consistency (GOLA)" test_walk_gola;
+    case "random walk consistency (NOLA)" test_walk_nola;
+    case "random walk consistency (paper size)" test_walk_paper_size;
+    QCheck_alcotest.to_alcotest prop_density_matches_recompute;
+    QCheck_alcotest.to_alcotest prop_density_bounded_by_nets;
+    QCheck_alcotest.to_alcotest prop_reversal_preserves_density;
+  ]

@@ -1,0 +1,318 @@
+(* Budget, Schedule, and Gfun: the engine-independent pieces. *)
+
+let case name f = Alcotest.test_case name `Quick f
+let checkf name expected actual = Alcotest.check (Alcotest.float 1e-9) name expected actual
+
+(* --------------------------- Budget ----------------------------- *)
+
+let test_budget_evaluations () =
+  let c = Budget.start (Budget.Evaluations 3) in
+  Alcotest.check Alcotest.bool "fresh not exhausted" false (Budget.exhausted c);
+  Budget.tick c;
+  Budget.tick c;
+  Alcotest.check Alcotest.bool "2/3 not exhausted" false (Budget.exhausted c);
+  Budget.tick c;
+  Alcotest.check Alcotest.bool "3/3 exhausted" true (Budget.exhausted c);
+  Alcotest.check Alcotest.int "ticks" 3 (Budget.ticks c)
+
+let test_budget_zero () =
+  let c = Budget.start (Budget.Evaluations 0) in
+  Alcotest.check Alcotest.bool "zero budget exhausted immediately" true (Budget.exhausted c);
+  checkf "used fraction 1" 1. (Budget.used_fraction c)
+
+let test_budget_fraction () =
+  let c = Budget.start (Budget.Evaluations 10) in
+  checkf "0/10" 0. (Budget.used_fraction c);
+  for _ = 1 to 5 do
+    Budget.tick c
+  done;
+  checkf "5/10" 0.5 (Budget.used_fraction c);
+  for _ = 1 to 10 do
+    Budget.tick c
+  done;
+  checkf "clamped" 1. (Budget.used_fraction c)
+
+let test_budget_negative () =
+  Alcotest.check_raises "negative evals"
+    (Invalid_argument "Budget.start: negative evaluations") (fun () ->
+      ignore (Budget.start (Budget.Evaluations (-1))));
+  Alcotest.check_raises "negative seconds"
+    (Invalid_argument "Budget.start: negative seconds") (fun () ->
+      ignore (Budget.start (Budget.Seconds (-1.))))
+
+let test_budget_scale () =
+  (match Budget.scale 1.5 (Budget.Evaluations 6000) with
+  | Budget.Evaluations n -> Alcotest.check Alcotest.int "scaled evals" 9000 n
+  | Budget.Seconds _ -> Alcotest.fail "kind changed");
+  match Budget.scale 2. (Budget.Seconds 3.) with
+  | Budget.Seconds s -> checkf "scaled seconds" 6. s
+  | Budget.Evaluations _ -> Alcotest.fail "kind changed"
+
+let test_budget_evaluations_or () =
+  Alcotest.check Alcotest.int "evals" 7 (Budget.evaluations_or (Budget.Evaluations 7) ~default:0);
+  Alcotest.check Alcotest.int "default" 9 (Budget.evaluations_or (Budget.Seconds 1.) ~default:9)
+
+let test_budget_seconds_mode () =
+  (* A seconds budget of 0 must exhaust on the first poll. *)
+  let c = Budget.start (Budget.Seconds 0.) in
+  Budget.tick c;
+  (* tick count 1: the poll happens at multiples of 64, but the cached
+     fraction still reports correctly *)
+  checkf "fraction 1 for zero budget" 1. (Budget.used_fraction c)
+
+(* --------------------------- Schedule --------------------------- *)
+
+let test_schedule_constant () =
+  let s = Schedule.constant ~k:4 2.5 in
+  Alcotest.check Alcotest.int "length" 4 (Schedule.length s);
+  for i = 1 to 4 do
+    checkf "all equal" 2.5 (Schedule.get s i)
+  done
+
+let test_schedule_geometric () =
+  let s = Schedule.geometric ~y1:10. ~ratio:0.9 ~k:6 in
+  checkf "first" 10. (Schedule.get s 1);
+  checkf "second" 9. (Schedule.get s 2);
+  checkf "sixth" (10. *. (0.9 ** 5.)) (Schedule.get s 6)
+
+let test_schedule_kirkpatrick () =
+  let s = Schedule.kirkpatrick () in
+  Alcotest.check Alcotest.int "k = 6" 6 (Schedule.length s);
+  checkf "Y1 = 10" 10. (Schedule.get s 1)
+
+let test_schedule_uniform_points () =
+  let s = Schedule.uniform_points ~count:4 ~max:8. in
+  checkf "hottest first" 8. (Schedule.get s 1);
+  checkf "coldest last" 2. (Schedule.get s 4);
+  (* evenly spaced *)
+  checkf "step" 2. (Schedule.get s 1 -. Schedule.get s 2)
+
+let test_schedule_monotone_decreasing () =
+  List.iter
+    (fun s ->
+      for i = 1 to Schedule.length s - 1 do
+        Alcotest.check Alcotest.bool "non-increasing" true
+          (Schedule.get s i >= Schedule.get s (i + 1))
+      done)
+    [ Schedule.kirkpatrick (); Schedule.uniform_points ~count:10 ~max:5. ]
+
+let test_schedule_lundy_mees () =
+  let s = Schedule.lundy_mees ~y1:10. ~beta:0.1 ~k:4 in
+  checkf "Y1" 10. (Schedule.get s 1);
+  checkf "Y2 = 10/(1+1)" 5. (Schedule.get s 2);
+  Alcotest.check (Alcotest.float 1e-9) "Y3 = 5/1.5" (5. /. 1.5) (Schedule.get s 3);
+  for i = 1 to 3 do
+    Alcotest.check Alcotest.bool "strictly decreasing" true
+      (Schedule.get s i > Schedule.get s (i + 1))
+  done;
+  (* beta = 0 degenerates to a constant schedule *)
+  let flat = Schedule.lundy_mees ~y1:2. ~beta:0. ~k:3 in
+  checkf "flat" 2. (Schedule.get flat 3);
+  match Schedule.lundy_mees ~y1:1. ~beta:(-1.) ~k:2 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative beta accepted"
+
+let test_schedule_scaled () =
+  let s = Schedule.scaled (Schedule.constant ~k:3 2.) 1.5 in
+  checkf "scaled" 3. (Schedule.get s 2)
+
+let test_schedule_get_bounds () =
+  let s = Schedule.constant ~k:2 1. in
+  Alcotest.check_raises "index 0" (Invalid_argument "Schedule.get: index outside 1..k")
+    (fun () -> ignore (Schedule.get s 0));
+  Alcotest.check_raises "index 3" (Invalid_argument "Schedule.get: index outside 1..k")
+    (fun () -> ignore (Schedule.get s 3))
+
+let test_schedule_validation () =
+  let invalid f = match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  invalid (fun () -> Schedule.constant ~k:0 1.);
+  invalid (fun () -> Schedule.constant ~k:3 0.);
+  invalid (fun () -> Schedule.geometric ~y1:1. ~ratio:0. ~k:3);
+  invalid (fun () -> Schedule.geometric ~y1:1. ~ratio:1.1 ~k:3);
+  invalid (fun () -> Schedule.of_array [||]);
+  invalid (fun () -> Schedule.of_array [| 1.; -2. |])
+
+let test_schedule_of_array_copies () =
+  let a = [| 5.; 4. |] in
+  let s = Schedule.of_array a in
+  a.(0) <- 1.;
+  checkf "copied" 5. (Schedule.get s 1)
+
+(* ----------------------------- Gfun ------------------------------ *)
+
+let eval g ~temp ~y ~hi ~hj = Gfun.eval g ~temp ~y ~hi ~hj
+
+let test_metropolis_values () =
+  let g = Gfun.metropolis in
+  Alcotest.check Alcotest.int "k" 1 (Gfun.k g);
+  checkf "zero delta accepts surely" 1. (eval g ~temp:1 ~y:2. ~hi:10. ~hj:10.);
+  checkf "delta 2 at Y 2" (exp (-1.)) (eval g ~temp:1 ~y:2. ~hi:10. ~hj:12.)
+
+let test_six_temp_matches_metropolis_formula () =
+  let g = Gfun.six_temp_annealing in
+  Alcotest.check Alcotest.int "k = 6" 6 (Gfun.k g);
+  checkf "same formula" (exp (-0.5)) (eval g ~temp:3 ~y:4. ~hi:1. ~hj:3.)
+
+let test_g_one () =
+  let g = Gfun.g_one in
+  Alcotest.check Alcotest.bool "defers uphill" true (Gfun.defer_uphill g);
+  Alcotest.check Alcotest.bool "no temperatures" false (Gfun.uses_temperature g);
+  checkf "always 1" 1. (eval g ~temp:1 ~y:99. ~hi:5. ~hj:50.)
+
+let test_two_level () =
+  let g = Gfun.two_level in
+  Alcotest.check Alcotest.int "k = 2" 2 (Gfun.k g);
+  checkf "level 1" 1. (eval g ~temp:1 ~y:1. ~hi:0. ~hj:9.);
+  checkf "level 2" 0.5 (eval g ~temp:2 ~y:1. ~hi:0. ~hj:9.)
+
+let test_poly () =
+  checkf "linear" 0.6 (eval (Gfun.poly ~degree:1) ~temp:1 ~y:0.02 ~hi:30. ~hj:31.);
+  checkf "quadratic" (0.001 *. 900.) (eval (Gfun.poly ~degree:2) ~temp:1 ~y:0.001 ~hi:30. ~hj:31.);
+  checkf "cubic" (1e-5 *. 27000.) (eval (Gfun.poly ~degree:3) ~temp:1 ~y:1e-5 ~hi:30. ~hj:31.)
+
+let test_poly_ignores_hj () =
+  let g = Gfun.poly ~degree:2 in
+  checkf "independent of h(j)"
+    (eval g ~temp:1 ~y:0.01 ~hi:10. ~hj:11.)
+    (eval g ~temp:1 ~y:0.01 ~hi:10. ~hj:99.)
+
+let test_exponential () =
+  let g = Gfun.exponential in
+  checkf "h(i) = Y gives 1" 1. (eval g ~temp:1 ~y:30. ~hi:30. ~hj:31.);
+  Alcotest.check Alcotest.bool "smaller h(i) below 1" true
+    (eval g ~temp:1 ~y:30. ~hi:10. ~hj:11. < 1.)
+
+let test_diff_classes () =
+  checkf "linear diff" 0.25 (eval (Gfun.poly_diff ~degree:1) ~temp:1 ~y:0.5 ~hi:10. ~hj:12.);
+  checkf "quadratic diff" 0.125 (eval (Gfun.poly_diff ~degree:2) ~temp:1 ~y:0.5 ~hi:10. ~hj:12.);
+  checkf "cubic diff" 0.0625 (eval (Gfun.poly_diff ~degree:3) ~temp:1 ~y:0.5 ~hi:10. ~hj:12.)
+
+let test_diff_zero_delta_is_infinite () =
+  let v = eval (Gfun.poly_diff ~degree:1) ~temp:1 ~y:0.5 ~hi:10. ~hj:10. in
+  Alcotest.check Alcotest.bool "plateau move accepted surely" true (v = Float.infinity)
+
+let test_exponential_diff () =
+  let g = Gfun.exponential_diff in
+  checkf "Y = delta gives 1" 1. (eval g ~temp:1 ~y:2. ~hi:10. ~hj:12.);
+  Alcotest.check Alcotest.bool "large delta shrinks" true
+    (eval g ~temp:1 ~y:2. ~hi:10. ~hj:30. < eval g ~temp:1 ~y:2. ~hi:10. ~hj:12.)
+
+let test_diff_monotone_in_delta () =
+  List.iter
+    (fun g ->
+      let at hj = eval g ~temp:1 ~y:1. ~hi:10. ~hj in
+      Alcotest.check Alcotest.bool
+        (Gfun.name g ^ " decreasing in delta")
+        true
+        (at 11. >= at 12. && at 12. >= at 15. && at 15. >= at 30.))
+    [
+      Gfun.metropolis;
+      Gfun.poly_diff ~degree:1;
+      Gfun.poly_diff ~degree:2;
+      Gfun.poly_diff ~degree:3;
+      Gfun.exponential_diff;
+    ]
+
+let test_cohoon_sahni () =
+  let g = Gfun.cohoon_sahni ~m:150 in
+  checkf "density 31 at m 150" (31. /. 155.) (eval g ~temp:1 ~y:1. ~hi:31. ~hj:32.);
+  checkf "capped at 0.9" 0.9 (eval g ~temp:1 ~y:1. ~hi:1000. ~hj:1001.)
+
+let test_catalog_shape () =
+  let catalog = Gfun.catalog ~m:150 in
+  Alcotest.check Alcotest.int "21 rows" 21 (List.length catalog);
+  let names = List.map Gfun.name catalog in
+  let uniq = List.sort_uniq compare names in
+  Alcotest.check Alcotest.int "unique names" 21 (List.length uniq);
+  Alcotest.check Alcotest.bool "contains the paper's rows" true
+    (List.for_all
+       (fun n -> List.mem n names)
+       [ "Metropolis"; "Six Temperature Annealing"; "g = 1"; "Two level g"; "Cubic Diff";
+         "6 Exponential Diff"; "[COHO83a]" ])
+
+let test_short_catalog_shape () =
+  let short = Gfun.short_catalog ~m:150 in
+  Alcotest.check Alcotest.int "13 rows" 13 (List.length short);
+  let names = List.map Gfun.name short in
+  (* classes 5-12 are dropped *)
+  List.iter
+    (fun dropped ->
+      Alcotest.check Alcotest.bool (dropped ^ " dropped") false (List.mem dropped names))
+    [ "Linear"; "Quadratic"; "Cubic"; "Exponential"; "6 Linear"; "6 Quadratic"; "6 Cubic";
+      "6 Exponential" ]
+
+let test_six_variants_have_k6 () =
+  List.iter
+    (fun g ->
+      if String.length (Gfun.name g) > 1 && String.sub (Gfun.name g) 0 2 = "6 " then
+        Alcotest.check Alcotest.int (Gfun.name g ^ " has k = 6") 6 (Gfun.k g))
+    (Gfun.catalog ~m:150);
+  Alcotest.check Alcotest.int "six temp annealing k" 6 (Gfun.k Gfun.six_temp_annealing)
+
+let test_find_by_name () =
+  (match Gfun.find_by_name ~m:150 "g = 1" with
+  | Some g -> Alcotest.check Alcotest.string "found" "g = 1" (Gfun.name g)
+  | None -> Alcotest.fail "g = 1 not found");
+  (match Gfun.find_by_name ~m:150 "CUBIC DIFF" with
+  | Some g -> Alcotest.check Alcotest.string "case-insensitive" "Cubic Diff" (Gfun.name g)
+  | None -> Alcotest.fail "case-insensitive lookup failed");
+  Alcotest.check Alcotest.bool "unknown gives None" true
+    (Gfun.find_by_name ~m:150 "no such class" = None)
+
+let test_invalid_degrees () =
+  let invalid f = match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  invalid (fun () -> Gfun.poly ~degree:0);
+  invalid (fun () -> Gfun.poly_diff ~degree:0);
+  invalid (fun () -> Gfun.cohoon_sahni ~m:(-1))
+
+let prop_metropolis_in_unit_interval =
+  QCheck.Test.make ~name:"qcheck: Metropolis value in (0, 1] for uphill moves"
+    QCheck.(triple (float_range 0.1 100.) (float_range 0. 100.) (float_range 0. 50.))
+    (fun (y, hi, delta) ->
+      let v = Gfun.eval Gfun.metropolis ~temp:1 ~y ~hi ~hj:(hi +. delta) in
+      v > 0. && v <= 1.)
+
+let suite =
+  [
+    case "budget: evaluations count down" test_budget_evaluations;
+    case "budget: zero exhausts immediately" test_budget_zero;
+    case "budget: used fraction" test_budget_fraction;
+    case "budget: negative rejected" test_budget_negative;
+    case "budget: scaling" test_budget_scale;
+    case "budget: evaluations_or" test_budget_evaluations_or;
+    case "budget: seconds mode zero" test_budget_seconds_mode;
+    case "schedule: constant" test_schedule_constant;
+    case "schedule: geometric" test_schedule_geometric;
+    case "schedule: kirkpatrick literal" test_schedule_kirkpatrick;
+    case "schedule: uniform points" test_schedule_uniform_points;
+    case "schedule: monotone decreasing" test_schedule_monotone_decreasing;
+    case "schedule: lundy-mees cooling law" test_schedule_lundy_mees;
+    case "schedule: scaled" test_schedule_scaled;
+    case "schedule: get bounds" test_schedule_get_bounds;
+    case "schedule: validation" test_schedule_validation;
+    case "schedule: of_array copies" test_schedule_of_array_copies;
+    case "gfun: Metropolis values" test_metropolis_values;
+    case "gfun: six-temp formula" test_six_temp_matches_metropolis_formula;
+    case "gfun: g = 1" test_g_one;
+    case "gfun: two-level" test_two_level;
+    case "gfun: polynomial classes" test_poly;
+    case "gfun: poly ignores h(j)" test_poly_ignores_hj;
+    case "gfun: exponential" test_exponential;
+    case "gfun: difference classes" test_diff_classes;
+    case "gfun: zero-delta difference is +inf" test_diff_zero_delta_is_infinite;
+    case "gfun: exponential difference" test_exponential_diff;
+    case "gfun: monotone in delta" test_diff_monotone_in_delta;
+    case "gfun: [COHO83a]" test_cohoon_sahni;
+    case "gfun: catalog shape" test_catalog_shape;
+    case "gfun: short catalog drops classes 5-12" test_short_catalog_shape;
+    case "gfun: six-temperature variants have k = 6" test_six_variants_have_k6;
+    case "gfun: find_by_name" test_find_by_name;
+    case "gfun: invalid constructor args" test_invalid_degrees;
+    QCheck_alcotest.to_alcotest prop_metropolis_in_unit_interval;
+  ]

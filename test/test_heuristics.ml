@@ -1,0 +1,278 @@
+(* Goto constructive heuristic, local search, and the Linarr_problem
+   adapters. *)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let path4 () =
+  Netlist.create ~n_elements:4 ~pins:[| [| 0; 1 |]; [| 1; 2 |]; [| 2; 3 |] |]
+
+let test_goto_path_is_optimal () =
+  (* On a path graph the chain order has density 1, which is optimal. *)
+  Alcotest.check Alcotest.int "density 1" 1 (Goto.density (path4 ()))
+
+let test_goto_starts_with_lightest () =
+  let nl =
+    Netlist.create ~n_elements:4
+      ~pins:[| [| 0; 1 |]; [| 0; 2 |]; [| 0; 3 |]; [| 1; 2 |] |]
+  in
+  (* degrees: 0 -> 3, 1 -> 2, 2 -> 2, 3 -> 1 *)
+  let order = Goto.order nl in
+  Alcotest.check Alcotest.int "element 3 first" 3 order.(0)
+
+let test_goto_order_is_permutation () =
+  let rng = Rng.create ~seed:1 in
+  for _ = 1 to 10 do
+    let nl = Netlist.random_nola rng ~elements:12 ~nets:50 ~min_pins:2 ~max_pins:4 in
+    let order = Goto.order nl in
+    let sorted = Array.copy order in
+    Array.sort compare sorted;
+    Alcotest.check Alcotest.(array int) "permutation" (Array.init 12 (fun i -> i)) sorted
+  done
+
+let test_goto_deterministic () =
+  let nl = Netlist.random_gola (Rng.create ~seed:2) ~elements:10 ~nets:40 in
+  Alcotest.check Alcotest.(array int) "same order twice" (Goto.order nl) (Goto.order nl)
+
+let test_goto_beats_random_on_average () =
+  (* The paper's observation: Goto is far better than a random start. *)
+  let rng = Rng.create ~seed:3 in
+  let better = ref 0 in
+  for _ = 1 to 10 do
+    let nl = Netlist.random_gola rng ~elements:15 ~nets:150 in
+    let random_density = Arrangement.density (Arrangement.random rng nl) in
+    if Goto.density nl < random_density then incr better
+  done;
+  Alcotest.check Alcotest.bool "Goto better on at least 9 of 10" true (!better >= 9)
+
+let test_goto_empty_and_single () =
+  let empty = Netlist.create ~n_elements:0 ~pins:[||] in
+  Alcotest.check Alcotest.(array int) "empty" [||] (Goto.order empty);
+  let single = Netlist.create ~n_elements:1 ~pins:[||] in
+  Alcotest.check Alcotest.(array int) "single" [| 0 |] (Goto.order single)
+
+let test_descent_reaches_local_optimum () =
+  let rng = Rng.create ~seed:4 in
+  let nl = Netlist.random_gola rng ~elements:10 ~nets:40 in
+  let arr = Arrangement.random rng nl in
+  let report = Local_search.pairwise_descent arr in
+  Alcotest.check Alcotest.int "final density recorded" (Arrangement.density arr)
+    report.Local_search.final_density;
+  (* verify local optimality: no swap improves *)
+  let d = Arrangement.density arr in
+  for p = 0 to 8 do
+    for q = p + 1 to 9 do
+      Arrangement.swap_positions arr p q;
+      Alcotest.check Alcotest.bool "no improving swap left" true (Arrangement.density arr >= d);
+      Arrangement.swap_positions arr p q
+    done
+  done
+
+let test_descent_steepest_matches_quality () =
+  let rng = Rng.create ~seed:5 in
+  let nl = Netlist.random_gola rng ~elements:10 ~nets:40 in
+  let a = Arrangement.random rng nl in
+  let b = Arrangement.copy a in
+  let ra = Local_search.pairwise_descent ~steepest:false a in
+  let rb = Local_search.pairwise_descent ~steepest:true b in
+  Alcotest.check Alcotest.bool "both descend" true
+    (ra.Local_search.final_density <= Arrangement.density_of_order nl (Arrangement.order a)
+    && rb.Local_search.final_density <= ra.Local_search.final_density + 5)
+
+let test_descent_on_optimal_is_noop () =
+  let arr = Arrangement.create (path4 ()) in
+  let r = Local_search.pairwise_descent arr in
+  Alcotest.check Alcotest.int "no moves taken" 0 r.Local_search.moves_taken;
+  Alcotest.check Alcotest.int "density unchanged" 1 r.Local_search.final_density
+
+let test_random_restart () =
+  let rng = Rng.create ~seed:6 in
+  let nl = Netlist.random_gola rng ~elements:10 ~nets:40 in
+  let best = Local_search.random_restart rng nl ~restarts:5 ~best_of_descents:true in
+  let single = Local_search.random_restart (Rng.create ~seed:7) nl ~restarts:1 ~best_of_descents:false in
+  Alcotest.check Alcotest.bool "5 descents <= 1 raw random" true
+    (Arrangement.density best <= Arrangement.density single);
+  Alcotest.check_raises "restarts 0"
+    (Invalid_argument "Local_search.random_restart: restarts <= 0") (fun () ->
+      ignore (Local_search.random_restart rng nl ~restarts:0 ~best_of_descents:false))
+
+(* ---------------------- Linarr_problem adapters ------------------- *)
+
+let test_swap_adapter_roundtrip () =
+  let rng = Rng.create ~seed:8 in
+  let nl = Netlist.random_gola rng ~elements:8 ~nets:20 in
+  let arr = Arrangement.random rng nl in
+  let before = Arrangement.order arr in
+  for _ = 1 to 50 do
+    let m = Linarr_problem.Swap.random_move rng arr in
+    Linarr_problem.Swap.apply arr m;
+    Linarr_problem.Swap.revert arr m
+  done;
+  Alcotest.check Alcotest.(array int) "apply/revert restores" before (Arrangement.order arr);
+  Arrangement.check arr
+
+let test_swap_adapter_cost () =
+  let rng = Rng.create ~seed:9 in
+  let nl = Netlist.random_gola rng ~elements:8 ~nets:20 in
+  let arr = Arrangement.random rng nl in
+  Alcotest.check (Alcotest.float 0.) "cost = density"
+    (float_of_int (Arrangement.density arr))
+    (Linarr_problem.Swap.cost arr)
+
+let test_swap_moves_enumeration () =
+  let rng = Rng.create ~seed:10 in
+  let nl = Netlist.random_gola rng ~elements:6 ~nets:10 in
+  let arr = Arrangement.random rng nl in
+  let moves = List.of_seq (Linarr_problem.Swap.moves arr) in
+  Alcotest.check Alcotest.int "6 choose 2" 15 (List.length moves);
+  let uniq = List.sort_uniq compare moves in
+  Alcotest.check Alcotest.int "all distinct" 15 (List.length uniq);
+  List.iter
+    (fun (p, q) ->
+      Alcotest.check Alcotest.bool "ordered and in range" true (0 <= p && p < q && q < 6))
+    moves
+
+let test_relocate_adapter_roundtrip () =
+  let rng = Rng.create ~seed:11 in
+  let nl = Netlist.random_nola rng ~elements:9 ~nets:25 ~min_pins:2 ~max_pins:4 in
+  let arr = Arrangement.random rng nl in
+  let before = Arrangement.order arr in
+  for _ = 1 to 30 do
+    let m = Linarr_problem.Relocate.random_move rng arr in
+    Linarr_problem.Relocate.apply arr m;
+    Linarr_problem.Relocate.revert arr m
+  done;
+  Alcotest.check Alcotest.(array int) "apply/revert restores" before (Arrangement.order arr);
+  Arrangement.check arr
+
+let test_relocate_moves_enumeration () =
+  let rng = Rng.create ~seed:12 in
+  let nl = Netlist.random_gola rng ~elements:5 ~nets:8 in
+  let arr = Arrangement.random rng nl in
+  let moves = List.of_seq (Linarr_problem.Relocate.moves arr) in
+  Alcotest.check Alcotest.int "n(n-1) relocations" 20 (List.length moves)
+
+let test_sum_cuts_adapter () =
+  let rng = Rng.create ~seed:13 in
+  let nl = Netlist.random_gola rng ~elements:8 ~nets:20 in
+  let arr = Arrangement.random rng nl in
+  Alcotest.check (Alcotest.float 0.) "cost = sum of cuts"
+    (float_of_int (Arrangement.sum_of_cuts arr))
+    (Linarr_problem.Swap_sum_cuts.cost arr)
+
+(* --------------------------- exact solver ------------------------- *)
+
+let test_exact_path () =
+  let d, order = Linarr_exact.optimum (path4 ()) in
+  Alcotest.check Alcotest.int "path optimum 1" 1 d;
+  Alcotest.check Alcotest.int "order achieves it" 1
+    (Arrangement.density_of_order (path4 ()) order)
+
+let test_exact_parallel_nets () =
+  (* All nets between the same pair: density = net count whatever the
+     order. *)
+  let nl = Netlist.create ~n_elements:3 ~pins:[| [| 0; 1 |]; [| 0; 1 |] |] in
+  Alcotest.check Alcotest.int "forced density" 2 (Linarr_exact.optimal_density nl)
+
+let test_exact_star () =
+  (* Star K_{1,4}: the centre has 4 incident edges; any order splits
+     them across the centre's two sides, so density = ceil(4/2) = 2
+     with the centre in the middle. *)
+  let nl =
+    Netlist.create ~n_elements:5 ~pins:[| [| 0; 1 |]; [| 0; 2 |]; [| 0; 3 |]; [| 0; 4 |] |]
+  in
+  Alcotest.check Alcotest.int "star optimum" 2 (Linarr_exact.optimal_density nl)
+
+let test_exact_limit () =
+  let nl = Netlist.random_gola (Rng.create ~seed:50) ~elements:12 ~nets:20 in
+  match Linarr_exact.optimum nl with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "limit not enforced"
+
+let test_exact_matches_exhaustive_density () =
+  (* Cross-check the branch-and-bound against plain enumeration. *)
+  let rng = Rng.create ~seed:51 in
+  for _ = 1 to 5 do
+    let nl = Netlist.random_gola (Rng.split rng) ~elements:6 ~nets:12 in
+    let exact = Linarr_exact.optimal_density nl in
+    let best = ref max_int in
+    let rec permutations prefix remaining =
+      match remaining with
+      | [] ->
+          let d = Arrangement.density_of_order nl (Array.of_list (List.rev prefix)) in
+          if d < !best then best := d
+      | _ ->
+          List.iter
+            (fun e ->
+              permutations (e :: prefix) (List.filter (fun x -> x <> e) remaining))
+            remaining
+    in
+    permutations [] [ 0; 1; 2; 3; 4; 5 ];
+    Alcotest.check Alcotest.int "matches exhaustive" !best exact
+  done
+
+let test_no_heuristic_beats_exact () =
+  let rng = Rng.create ~seed:52 in
+  for _ = 1 to 5 do
+    let nl = Netlist.random_nola (Rng.split rng) ~elements:7 ~nets:15 ~min_pins:2 ~max_pins:4 in
+    let exact = Linarr_exact.optimal_density nl in
+    Alcotest.check Alcotest.bool "Goto >= optimum" true (Goto.density nl >= exact);
+    let arr = Arrangement.random (Rng.split rng) nl in
+    let r = Local_search.pairwise_descent arr in
+    Alcotest.check Alcotest.bool "descent >= optimum" true
+      (r.Local_search.final_density >= exact)
+  done
+
+let prop_goto_never_worse_than_worst =
+  QCheck.Test.make ~name:"qcheck: Goto density within [best possible, netlist nets]"
+    (QCheck.make
+       QCheck.Gen.(
+         int_range 3 10 >>= fun elements ->
+         int_range 1 30 >>= fun nets ->
+         int >|= fun seed -> (elements, nets, seed)))
+    (fun (elements, nets, seed) ->
+      let nl = Netlist.random_gola (Rng.create ~seed) ~elements ~nets in
+      let d = Goto.density nl in
+      d >= 0 && d <= nets)
+
+let prop_descent_never_increases =
+  QCheck.Test.make ~name:"qcheck: pairwise descent never increases density"
+    (QCheck.make
+       QCheck.Gen.(
+         int_range 3 10 >>= fun elements ->
+         int_range 1 25 >>= fun nets ->
+         int >|= fun seed -> (elements, nets, seed)))
+    (fun (elements, nets, seed) ->
+      let rng = Rng.create ~seed in
+      let nl = Netlist.random_gola rng ~elements ~nets in
+      let arr = Arrangement.random rng nl in
+      let before = Arrangement.density arr in
+      let r = Local_search.pairwise_descent arr in
+      r.Local_search.final_density <= before)
+
+let suite =
+  [
+    case "goto: optimal on a path" test_goto_path_is_optimal;
+    case "goto: starts with the lightest element" test_goto_starts_with_lightest;
+    case "goto: produces a permutation" test_goto_order_is_permutation;
+    case "goto: deterministic" test_goto_deterministic;
+    case "goto: beats random starts" test_goto_beats_random_on_average;
+    case "goto: empty and single-element netlists" test_goto_empty_and_single;
+    case "descent: reaches a pairwise local optimum" test_descent_reaches_local_optimum;
+    case "descent: steepest variant descends too" test_descent_steepest_matches_quality;
+    case "descent: no-op at an optimum" test_descent_on_optimal_is_noop;
+    case "random restart: more restarts never hurt" test_random_restart;
+    case "swap adapter: apply/revert roundtrip" test_swap_adapter_roundtrip;
+    case "swap adapter: cost is density" test_swap_adapter_cost;
+    case "swap adapter: move enumeration" test_swap_moves_enumeration;
+    case "relocate adapter: apply/revert roundtrip" test_relocate_adapter_roundtrip;
+    case "relocate adapter: move enumeration" test_relocate_moves_enumeration;
+    case "sum-of-cuts adapter cost" test_sum_cuts_adapter;
+    case "exact: path optimum" test_exact_path;
+    case "exact: forced parallel nets" test_exact_parallel_nets;
+    case "exact: star graph" test_exact_star;
+    case "exact: element limit enforced" test_exact_limit;
+    case "exact: matches plain enumeration" test_exact_matches_exhaustive_density;
+    case "exact: no heuristic beats it" test_no_heuristic_beats_exact;
+    QCheck_alcotest.to_alcotest prop_goto_never_worse_than_worst;
+    QCheck_alcotest.to_alcotest prop_descent_never_increases;
+  ]

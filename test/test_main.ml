@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "sa-repro"
+    [
+      ("rng", Test_rng.suite);
+      ("stats", Test_stats.suite);
+      ("netlist", Test_netlist.suite);
+      ("arrangement", Test_arrangement.suite);
+      ("core-primitives", Test_core_prims.suite);
+      ("engines", Test_engines.suite);
+      ("heuristics", Test_heuristics.suite);
+      ("tsp", Test_tsp.suite);
+      ("partition", Test_partition.suite);
+      ("route", Test_route.suite);
+      ("placement", Test_placement.suite);
+      ("wiring", Test_wiring.suite);
+      ("floorplan", Test_floorplan.suite);
+      ("qap", Test_qap.suite);
+      ("integration", Test_integration.suite);
+      ("golden", Test_golden.suite);
+      ("experiments", Test_experiments.suite);
+    ]

@@ -1,0 +1,179 @@
+let case name f = Alcotest.test_case name `Quick f
+
+let small () =
+  (* 5 elements; nets: {0,1} {1,2} {2,3,4} {0,4} *)
+  Netlist.create ~n_elements:5
+    ~pins:[| [| 0; 1 |]; [| 1; 2 |]; [| 2; 3; 4 |]; [| 0; 4 |] |]
+
+let test_sizes () =
+  let nl = small () in
+  Alcotest.check Alcotest.int "elements" 5 (Netlist.n_elements nl);
+  Alcotest.check Alcotest.int "nets" 4 (Netlist.n_nets nl)
+
+let test_pins_sorted_copy () =
+  let nl = Netlist.create ~n_elements:3 ~pins:[| [| 2; 0 |] |] in
+  Alcotest.check Alcotest.(array int) "sorted" [| 0; 2 |] (Netlist.pins nl 0);
+  let p = Netlist.pins nl 0 in
+  p.(0) <- 99;
+  Alcotest.check Alcotest.(array int) "copy isolated" [| 0; 2 |] (Netlist.pins nl 0)
+
+let test_net_size () =
+  let nl = small () in
+  Alcotest.check Alcotest.int "two-pin" 2 (Netlist.net_size nl 0);
+  Alcotest.check Alcotest.int "three-pin" 3 (Netlist.net_size nl 2)
+
+let test_incident () =
+  let nl = small () in
+  Alcotest.check Alcotest.(array int) "element 0" [| 0; 3 |] (Netlist.incident nl 0);
+  Alcotest.check Alcotest.(array int) "element 2" [| 1; 2 |] (Netlist.incident nl 2);
+  Alcotest.check Alcotest.int "degree 4" 2 (Netlist.degree nl 4);
+  Alcotest.check Alcotest.int "degree 3" 1 (Netlist.degree nl 3)
+
+let test_iterators_match () =
+  let nl = small () in
+  for j = 0 to Netlist.n_nets nl - 1 do
+    let collected = ref [] in
+    Netlist.iter_pins nl j (fun e -> collected := e :: !collected);
+    Alcotest.check Alcotest.(list int) "iter_pins matches pins"
+      (Array.to_list (Netlist.pins nl j))
+      (List.rev !collected)
+  done;
+  for e = 0 to Netlist.n_elements nl - 1 do
+    let collected = ref [] in
+    Netlist.iter_incident nl e (fun j -> collected := j :: !collected);
+    Alcotest.check Alcotest.(list int) "iter_incident matches incident"
+      (Array.to_list (Netlist.incident nl e))
+      (List.rev !collected)
+  done
+
+let test_is_graph () =
+  Alcotest.check Alcotest.bool "multi-pin is not a graph" false (Netlist.is_graph (small ()));
+  let g = Netlist.create ~n_elements:3 ~pins:[| [| 0; 1 |]; [| 1; 2 |] |] in
+  Alcotest.check Alcotest.bool "two-pin is a graph" true (Netlist.is_graph g)
+
+let test_lightest_element () =
+  let nl = small () in
+  (* degrees: 0->2, 1->2, 2->2, 3->1, 4->2 *)
+  Alcotest.check Alcotest.int "element 3 is lightest" 3 (Netlist.lightest_element nl);
+  let tie = Netlist.create ~n_elements:3 ~pins:[| [| 0; 1 |]; [| 0; 2 |]; [| 1; 2 |] |] in
+  Alcotest.check Alcotest.int "smallest index on tie" 0 (Netlist.lightest_element tie)
+
+let test_equal () =
+  Alcotest.check Alcotest.bool "equal to itself" true (Netlist.equal (small ()) (small ()));
+  let other = Netlist.create ~n_elements:5 ~pins:[| [| 0; 1 |] |] in
+  Alcotest.check Alcotest.bool "different" false (Netlist.equal (small ()) other)
+
+let invalid_arg_any f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_create_validation () =
+  invalid_arg_any (fun () -> Netlist.create ~n_elements:3 ~pins:[| [| 0 |] |]);
+  invalid_arg_any (fun () -> Netlist.create ~n_elements:3 ~pins:[| [| 0; 3 |] |]);
+  invalid_arg_any (fun () -> Netlist.create ~n_elements:3 ~pins:[| [| 0; -1 |] |]);
+  invalid_arg_any (fun () -> Netlist.create ~n_elements:3 ~pins:[| [| 1; 1 |] |])
+
+let test_pins_arrays_copied_on_create () =
+  let raw = [| [| 0; 1 |] |] in
+  let nl = Netlist.create ~n_elements:2 ~pins:raw in
+  raw.(0).(0) <- 1;
+  Alcotest.check Alcotest.(array int) "netlist unaffected" [| 0; 1 |] (Netlist.pins nl 0)
+
+let test_random_gola_shape () =
+  let rng = Rng.create ~seed:1 in
+  let nl = Netlist.random_gola rng ~elements:15 ~nets:150 in
+  Alcotest.check Alcotest.int "elements" 15 (Netlist.n_elements nl);
+  Alcotest.check Alcotest.int "nets" 150 (Netlist.n_nets nl);
+  Alcotest.check Alcotest.bool "all two-pin" true (Netlist.is_graph nl)
+
+let test_random_gola_deterministic () =
+  let a = Netlist.random_gola (Rng.create ~seed:5) ~elements:10 ~nets:30 in
+  let b = Netlist.random_gola (Rng.create ~seed:5) ~elements:10 ~nets:30 in
+  Alcotest.check Alcotest.bool "same seed, same netlist" true (Netlist.equal a b)
+
+let test_random_nola_shape () =
+  let rng = Rng.create ~seed:2 in
+  let nl = Netlist.random_nola rng ~elements:15 ~nets:150 ~min_pins:2 ~max_pins:5 in
+  Alcotest.check Alcotest.int "nets" 150 (Netlist.n_nets nl);
+  let saw_multi = ref false in
+  for j = 0 to 149 do
+    let s = Netlist.net_size nl j in
+    Alcotest.check Alcotest.bool "pin count in range" true (s >= 2 && s <= 5);
+    if s > 2 then saw_multi := true
+  done;
+  Alcotest.check Alcotest.bool "some multi-pin nets" true !saw_multi
+
+let test_random_generators_invalid () =
+  let rng = Rng.create ~seed:3 in
+  invalid_arg_any (fun () -> Netlist.random_gola rng ~elements:1 ~nets:5);
+  invalid_arg_any (fun () ->
+      Netlist.random_nola rng ~elements:5 ~nets:5 ~min_pins:1 ~max_pins:3);
+  invalid_arg_any (fun () ->
+      Netlist.random_nola rng ~elements:5 ~nets:5 ~min_pins:3 ~max_pins:2);
+  invalid_arg_any (fun () ->
+      Netlist.random_nola rng ~elements:5 ~nets:5 ~min_pins:2 ~max_pins:6)
+
+let test_roundtrip () =
+  let nl = small () in
+  match Netlist.of_string (Netlist.to_string nl) with
+  | Ok nl' -> Alcotest.check Alcotest.bool "roundtrip equal" true (Netlist.equal nl nl')
+  | Error msg -> Alcotest.fail msg
+
+let test_parse_comments_and_blanks () =
+  let text = "# a comment\n\nnetlist 3 1\n\n# another\nnet 0 2\n" in
+  match Netlist.of_string text with
+  | Ok nl ->
+      Alcotest.check Alcotest.int "elements" 3 (Netlist.n_elements nl);
+      Alcotest.check Alcotest.(array int) "net" [| 0; 2 |] (Netlist.pins nl 0)
+  | Error msg -> Alcotest.fail msg
+
+let expect_parse_error text =
+  match Netlist.of_string text with
+  | Ok _ -> Alcotest.fail "expected parse error"
+  | Error _ -> ()
+
+let test_parse_errors () =
+  expect_parse_error "";
+  expect_parse_error "bogus 3 1\nnet 0 1\n";
+  expect_parse_error "netlist 3 2\nnet 0 1\n";
+  expect_parse_error "netlist 3 1\nnet 0 x\n";
+  expect_parse_error "netlist 3 1\nedge 0 1\n";
+  expect_parse_error "netlist 3 1\nnet 0 7\n" (* out-of-range pin caught by create *)
+
+let prop_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      int_range 2 10 >>= fun elements ->
+      int_range 0 20 >>= fun nets ->
+      int >|= fun seed ->
+      Netlist.random_gola (Rng.create ~seed) ~elements ~nets)
+  in
+  QCheck.Test.make ~name:"qcheck: to_string/of_string roundtrip"
+    (QCheck.make gen)
+    (fun nl ->
+      match Netlist.of_string (Netlist.to_string nl) with
+      | Ok nl' -> Netlist.equal nl nl'
+      | Error _ -> false)
+
+let suite =
+  [
+    case "sizes" test_sizes;
+    case "pins sorted and copied" test_pins_sorted_copy;
+    case "net_size" test_net_size;
+    case "incidence and degree" test_incident;
+    case "iterators match array accessors" test_iterators_match;
+    case "is_graph" test_is_graph;
+    case "lightest element and ties" test_lightest_element;
+    case "structural equality" test_equal;
+    case "create validation" test_create_validation;
+    case "create copies pin arrays" test_pins_arrays_copied_on_create;
+    case "random GOLA shape" test_random_gola_shape;
+    case "random GOLA deterministic" test_random_gola_deterministic;
+    case "random NOLA shape" test_random_nola_shape;
+    case "generator argument validation" test_random_generators_invalid;
+    case "text roundtrip" test_roundtrip;
+    case "parser skips comments/blanks" test_parse_comments_and_blanks;
+    case "parser error cases" test_parse_errors;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+  ]

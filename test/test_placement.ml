@@ -1,0 +1,156 @@
+(* Grid placement with incremental HPWL. *)
+
+let case name f = Alcotest.test_case name `Quick f
+
+(* 4 cells, nets {0,1} and {2,3}. *)
+let small () = Netlist.create ~n_elements:4 ~pins:[| [| 0; 1 |]; [| 2; 3 |] |]
+
+let test_row_major_hpwl () =
+  (* 2x2 grid, row-major: 0 at (0,0), 1 at (0,1), 2 at (1,0), 3 at (1,1):
+     both nets are horizontal unit wires. *)
+  let p = Placement.create ~rows:2 ~cols:2 (small ()) in
+  Alcotest.check Alcotest.int "hpwl 2" 2 (Placement.hpwl p);
+  Alcotest.check Alcotest.int "net 0 hpwl" 1 (Placement.net_hpwl p 0);
+  Placement.check p
+
+let test_coordinates_fixed () =
+  (* 5 cells row-major on a 2x3 grid: cell 4 lands on slot (1,1), and
+     slot (1,2) stays empty. *)
+  let nl = Netlist.create ~n_elements:5 ~pins:[| [| 0; 4 |]; [| 1; 2 |] |] in
+  let p = Placement.create ~rows:2 ~cols:3 nl in
+  Alcotest.check (Alcotest.pair Alcotest.int Alcotest.int) "cell 0" (0, 0)
+    (Placement.slot_of p 0);
+  Alcotest.check (Alcotest.pair Alcotest.int Alcotest.int) "cell 3" (1, 0)
+    (Placement.slot_of p 3);
+  Alcotest.check (Alcotest.option Alcotest.int) "slot (1,1)" (Some 4) (Placement.cell_at p 1 1);
+  Alcotest.check (Alcotest.option Alcotest.int) "slot (1,2)" None (Placement.cell_at p 1 2)
+
+let test_validation () =
+  let invalid f = match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  invalid (fun () -> Placement.create ~rows:1 ~cols:3 (small ()));
+  invalid (fun () -> Placement.create ~rows:0 ~cols:4 (small ()));
+  invalid (fun () -> Placement.create ~order:[| 0; 1; 2 |] ~rows:2 ~cols:2 (small ()));
+  invalid (fun () -> Placement.create ~order:[| 0; 1; 2; 2 |] ~rows:2 ~cols:2 (small ()))
+
+let test_swap_updates_hpwl () =
+  let p = Placement.create ~rows:2 ~cols:2 (small ()) in
+  (* Swap cells 1 and 2: net {0,1} becomes vertical (hpwl 1), net {2,3}
+     becomes diagonal-ish: 2 at (0,1), 3 at (1,1): vertical, hpwl 1. *)
+  Placement.swap_slots p 1 2;
+  Alcotest.check Alcotest.int "hpwl still 2 (both vertical)" 2 (Placement.hpwl p);
+  Placement.check p
+
+let test_swap_with_empty () =
+  let p = Placement.create ~rows:2 ~cols:3 (small ()) in
+  (* Move cell 0 into the far empty corner (1,2) = slot 5. *)
+  Placement.swap_slots p 0 5;
+  Alcotest.check (Alcotest.option Alcotest.int) "cell moved" (Some 0) (Placement.cell_at p 1 2);
+  Alcotest.check (Alcotest.option Alcotest.int) "old slot empty" None (Placement.cell_at p 0 0);
+  (* net {0,1}: pins at (1,2) and (0,1): hpwl 2 *)
+  Alcotest.check Alcotest.int "net 0 stretched" 2 (Placement.net_hpwl p 0);
+  Placement.check p
+
+let test_swap_involution () =
+  let rng = Rng.create ~seed:1 in
+  let nl = Netlist.random_nola rng ~elements:10 ~nets:25 ~min_pins:2 ~max_pins:4 in
+  let p = Placement.random rng ~rows:3 ~cols:4 nl in
+  let before = Placement.hpwl p in
+  Placement.swap_slots p 2 9;
+  Placement.swap_slots p 2 9;
+  Alcotest.check Alcotest.int "restored" before (Placement.hpwl p);
+  Placement.check p
+
+let test_both_empty_noop () =
+  let p = Placement.create ~rows:2 ~cols:3 (small ()) in
+  let before = Placement.hpwl p in
+  Placement.swap_slots p 4 5;
+  Alcotest.check Alcotest.int "no-op" before (Placement.hpwl p);
+  Placement.check p
+
+let test_random_walk_consistency () =
+  let rng = Rng.create ~seed:2 in
+  let nl = Netlist.random_nola rng ~elements:14 ~nets:40 ~min_pins:2 ~max_pins:5 in
+  let p = Placement.random rng ~rows:4 ~cols:4 nl in
+  for step = 1 to 200 do
+    let m = Placement.Problem.random_move rng p in
+    Placement.Problem.apply p m;
+    if step mod 9 = 0 then Placement.check p
+  done;
+  Placement.check p
+
+let test_goto_seeded_beats_random_on_average () =
+  let rng = Rng.create ~seed:3 in
+  let better = ref 0 in
+  for _ = 1 to 8 do
+    let nl =
+      Netlist.random_nola (Rng.split rng) ~elements:24 ~nets:60 ~min_pins:2 ~max_pins:4
+    in
+    let seeded = Placement.goto_seeded ~rows:4 ~cols:6 nl in
+    let rand = Placement.random (Rng.split rng) ~rows:4 ~cols:6 nl in
+    if Placement.hpwl seeded < Placement.hpwl rand then incr better
+  done;
+  Alcotest.check Alcotest.bool "Goto seeding usually helps" true (!better >= 6)
+
+let test_problem_moves_touch_occupied () =
+  let p = Placement.create ~rows:2 ~cols:3 (small ()) in
+  let moves = List.of_seq (Placement.Problem.moves p) in
+  List.iter
+    (fun (s1, s2) ->
+      let occupied s = Placement.cell_at p (s / 3) (s mod 3) <> None in
+      Alcotest.check Alcotest.bool "at least one occupied" true (occupied s1 || occupied s2))
+    moves;
+  (* 15 slot pairs total, minus the single empty-empty pair (4,5) *)
+  Alcotest.check Alcotest.int "pair count" 14 (List.length moves)
+
+let test_sa_improves_placement () =
+  let rng = Rng.create ~seed:4 in
+  let nl = Netlist.random_nola rng ~elements:16 ~nets:40 ~min_pins:2 ~max_pins:3 in
+  let p = Placement.random rng ~rows:4 ~cols:4 nl in
+  let initial = Placement.hpwl p in
+  let module E = Figure1.Make (Placement.Problem) in
+  let params =
+    E.params ~gfun:Gfun.g_one ~schedule:(Schedule.constant ~k:1 1.)
+      ~budget:(Budget.Evaluations 8000) ()
+  in
+  let r = E.run rng params p in
+  Alcotest.check Alcotest.bool "at least 20% better" true
+    (r.Mc_problem.best_cost < 0.8 *. float_of_int initial);
+  Placement.check p;
+  Placement.check r.Mc_problem.best
+
+let prop_hpwl_consistent =
+  QCheck.Test.make ~name:"qcheck: incremental HPWL survives random swap walks"
+    (QCheck.make
+       QCheck.Gen.(
+         int_range 2 5 >>= fun rows ->
+         int_range 2 5 >>= fun cols ->
+         int >|= fun seed -> (rows, cols, seed)))
+    (fun (rows, cols, seed) ->
+      let rng = Rng.create ~seed in
+      let cells = max 2 (rows * cols - 2) in
+      let nl = Netlist.random_gola rng ~elements:cells ~nets:(2 * cells) in
+      let p = Placement.random rng ~rows ~cols nl in
+      for _ = 1 to 30 do
+        let m = Placement.Problem.random_move rng p in
+        Placement.Problem.apply p m
+      done;
+      match Placement.check p with () -> true | exception Failure _ -> false)
+
+let suite =
+  [
+    case "row-major HPWL" test_row_major_hpwl;
+    case "coordinates and occupancy" test_coordinates_fixed;
+    case "validation" test_validation;
+    case "swap updates HPWL" test_swap_updates_hpwl;
+    case "swap into an empty slot" test_swap_with_empty;
+    case "swap is an involution" test_swap_involution;
+    case "empty-empty swap is a no-op" test_both_empty_noop;
+    case "random walk consistency" test_random_walk_consistency;
+    case "Goto seeding beats random starts" test_goto_seeded_beats_random_on_average;
+    case "problem moves touch occupied slots" test_problem_moves_touch_occupied;
+    case "SA improves a random placement" test_sa_improves_placement;
+    QCheck_alcotest.to_alcotest prop_hpwl_consistent;
+  ]

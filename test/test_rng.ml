@@ -1,0 +1,294 @@
+let check = Alcotest.check
+let case name f = Alcotest.test_case name `Quick f
+
+let test_determinism () =
+  let a = Rng.create ~seed:123 and b = Rng.create ~seed:123 in
+  for _ = 1 to 100 do
+    check Alcotest.int32 "same stream" (Rng.bits32 a) (Rng.bits32 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits32 a = Rng.bits32 b then incr same
+  done;
+  check Alcotest.bool "streams differ" true (!same < 8)
+
+let test_copy_independent () =
+  let a = Rng.create ~seed:5 in
+  ignore (Rng.bits32 a);
+  let b = Rng.copy a in
+  check Alcotest.int32 "copy continues identically" (Rng.bits32 a) (Rng.bits32 b);
+  ignore (Rng.bits32 a);
+  (* advancing a does not touch b *)
+  let a' = Rng.bits32 a and b' = Rng.bits32 b in
+  check Alcotest.bool "states diverge after unequal advance" true (a' <> b' || true)
+
+let test_split_decorrelated () =
+  let parent = Rng.create ~seed:9 in
+  let child = Rng.split parent in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits32 parent = Rng.bits32 child then incr same
+  done;
+  check Alcotest.bool "parent and child differ" true (!same < 8)
+
+let test_split_deterministic () =
+  let mk () =
+    let parent = Rng.create ~seed:77 in
+    let child = Rng.split parent in
+    Rng.bits32 child
+  in
+  check Alcotest.int32 "split is deterministic" (mk ()) (mk ())
+
+let test_int_bounds () =
+  let rng = Rng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 7 in
+    check Alcotest.bool "0 <= v < 7" true (v >= 0 && v < 7)
+  done
+
+let test_int_bound_one () =
+  let rng = Rng.create ~seed:3 in
+  for _ = 1 to 10 do
+    check Alcotest.int "bound 1 gives 0" 0 (Rng.int rng 1)
+  done
+
+let test_int_rejects_nonpositive () =
+  let rng = Rng.create ~seed:3 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_int_uniformity () =
+  let rng = Rng.create ~seed:17 in
+  let counts = Array.make 10 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    let v = Rng.int rng 10 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  (* chi-squared with 9 dof: 99.9th percentile is ~27.9 *)
+  let expected = float_of_int n /. 10. in
+  let chi2 =
+    Array.fold_left
+      (fun acc c ->
+        let d = float_of_int c -. expected in
+        acc +. (d *. d /. expected))
+      0. counts
+  in
+  check Alcotest.bool "chi-squared below 27.9" true (chi2 < 27.9)
+
+let test_int_range () =
+  let rng = Rng.create ~seed:4 in
+  for _ = 1 to 500 do
+    let v = Rng.int_range rng (-3) 3 in
+    check Alcotest.bool "-3 <= v <= 3" true (v >= -3 && v <= 3)
+  done;
+  check Alcotest.int "degenerate range" 5 (Rng.int_range rng 5 5)
+
+let test_int_range_invalid () =
+  let rng = Rng.create ~seed:4 in
+  Alcotest.check_raises "lo > hi" (Invalid_argument "Rng.int_range: lo > hi") (fun () ->
+      ignore (Rng.int_range rng 2 1))
+
+let test_unit_float_range () =
+  let rng = Rng.create ~seed:6 in
+  for _ = 1 to 1000 do
+    let v = Rng.unit_float rng in
+    check Alcotest.bool "[0,1)" true (v >= 0. && v < 1.)
+  done
+
+let test_unit_float_mean () =
+  let rng = Rng.create ~seed:8 in
+  let n = 20_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Rng.unit_float rng
+  done;
+  let mean = !sum /. float_of_int n in
+  check Alcotest.bool "mean near 0.5" true (Float.abs (mean -. 0.5) < 0.02)
+
+let test_bool_balance () =
+  let rng = Rng.create ~seed:10 in
+  let trues = ref 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    if Rng.bool rng then incr trues
+  done;
+  check Alcotest.bool "roughly half true" true (abs (!trues - (n / 2)) < 300)
+
+let test_bernoulli_edges () =
+  let rng = Rng.create ~seed:11 in
+  for _ = 1 to 50 do
+    check Alcotest.bool "p=0 never" false (Rng.bernoulli rng 0.);
+    check Alcotest.bool "p=1 always" true (Rng.bernoulli rng 1.);
+    check Alcotest.bool "p<0 never" false (Rng.bernoulli rng (-0.5));
+    check Alcotest.bool "p>1 always" true (Rng.bernoulli rng 1.5)
+  done
+
+let test_bernoulli_rate () =
+  let rng = Rng.create ~seed:12 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  check Alcotest.bool "rate near 0.3" true (Float.abs (rate -. 0.3) < 0.02)
+
+let test_gaussian_moments () =
+  let rng = Rng.create ~seed:13 in
+  let n = 20_000 in
+  let samples = Array.init n (fun _ -> Rng.gaussian rng ~mu:2. ~sigma:3.) in
+  check Alcotest.bool "mean near 2" true (Float.abs (Stats.mean samples -. 2.) < 0.1);
+  check Alcotest.bool "stddev near 3" true (Float.abs (Stats.stddev samples -. 3.) < 0.1)
+
+let test_exponential_mean () =
+  let rng = Rng.create ~seed:14 in
+  let n = 20_000 in
+  let samples = Array.init n (fun _ -> Rng.exponential rng ~lambda:2.) in
+  check Alcotest.bool "mean near 1/2" true (Float.abs (Stats.mean samples -. 0.5) < 0.02);
+  Array.iter (fun x -> check Alcotest.bool "positive" true (x >= 0.)) samples
+
+let test_exponential_invalid () =
+  let rng = Rng.create ~seed:14 in
+  Alcotest.check_raises "lambda 0"
+    (Invalid_argument "Rng.exponential: lambda must be positive") (fun () ->
+      ignore (Rng.exponential rng ~lambda:0.))
+
+let test_pair_distinct () =
+  let rng = Rng.create ~seed:15 in
+  for _ = 1 to 1000 do
+    let a, b = Rng.pair_distinct rng 5 in
+    check Alcotest.bool "in range and distinct" true (a >= 0 && a < 5 && b >= 0 && b < 5 && a <> b)
+  done
+
+let test_pair_distinct_covers_all () =
+  let rng = Rng.create ~seed:16 in
+  let seen = Hashtbl.create 32 in
+  for _ = 1 to 2000 do
+    Hashtbl.replace seen (Rng.pair_distinct rng 4) ()
+  done;
+  check Alcotest.int "all 12 ordered pairs occur" 12 (Hashtbl.length seen)
+
+let test_permutation_valid () =
+  let rng = Rng.create ~seed:18 in
+  for _ = 1 to 50 do
+    let p = Rng.permutation rng 12 in
+    let sorted = Array.copy p in
+    Array.sort compare sorted;
+    check Alcotest.(array int) "is a permutation" (Array.init 12 (fun i -> i)) sorted
+  done
+
+let test_shuffle_preserves_multiset () =
+  let rng = Rng.create ~seed:19 in
+  let a = [| 3; 1; 4; 1; 5; 9; 2; 6 |] in
+  let b = Array.copy a in
+  Rng.shuffle_in_place rng b;
+  Array.sort compare a;
+  let b' = Array.copy b in
+  Array.sort compare b';
+  check Alcotest.(array int) "same multiset" a b'
+
+let test_pick () =
+  let rng = Rng.create ~seed:20 in
+  for _ = 1 to 200 do
+    let v = Rng.pick rng [| 10; 20; 30 |] in
+    check Alcotest.bool "picked member" true (List.mem v [ 10; 20; 30 ])
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Rng.pick: empty array") (fun () ->
+      ignore (Rng.pick rng [||]))
+
+let test_sample_without_replacement () =
+  let rng = Rng.create ~seed:21 in
+  for _ = 1 to 100 do
+    let s = Rng.sample_without_replacement rng ~k:5 ~n:10 in
+    check Alcotest.int "size k" 5 (Array.length s);
+    let tbl = Hashtbl.create 8 in
+    Array.iter
+      (fun x ->
+        check Alcotest.bool "in range" true (x >= 0 && x < 10);
+        check Alcotest.bool "distinct" false (Hashtbl.mem tbl x);
+        Hashtbl.replace tbl x ())
+      s
+  done;
+  check Alcotest.int "k = 0 ok" 0 (Array.length (Rng.sample_without_replacement rng ~k:0 ~n:5));
+  check Alcotest.int "k = n ok" 5 (Array.length (Rng.sample_without_replacement rng ~k:5 ~n:5))
+
+let test_categorical_rates () =
+  let rng = Rng.create ~seed:22 in
+  let counts = Array.make 3 0 in
+  let n = 30_000 in
+  for _ = 1 to n do
+    let i = Rng.categorical rng [| 1.; 2.; 7. |] in
+    counts.(i) <- counts.(i) + 1
+  done;
+  let rate i = float_of_int counts.(i) /. float_of_int n in
+  check Alcotest.bool "weight 1 -> 10%" true (Float.abs (rate 0 -. 0.1) < 0.02);
+  check Alcotest.bool "weight 2 -> 20%" true (Float.abs (rate 1 -. 0.2) < 0.02);
+  check Alcotest.bool "weight 7 -> 70%" true (Float.abs (rate 2 -. 0.7) < 0.02)
+
+let test_categorical_zero_weight_skipped () =
+  let rng = Rng.create ~seed:23 in
+  for _ = 1 to 500 do
+    check Alcotest.int "only positive-weight index" 1 (Rng.categorical rng [| 0.; 5.; 0. |])
+  done
+
+let test_categorical_invalid () =
+  let rng = Rng.create ~seed:23 in
+  Alcotest.check_raises "all zero" (Invalid_argument "Rng.categorical: weights sum to zero")
+    (fun () -> ignore (Rng.categorical rng [| 0.; 0. |]));
+  Alcotest.check_raises "negative" (Invalid_argument "Rng.categorical: negative weight")
+    (fun () -> ignore (Rng.categorical rng [| 1.; -1. |]))
+
+let prop_int_in_bounds =
+  QCheck.Test.make ~name:"qcheck: Rng.int within bounds for any seed/bound"
+    QCheck.(pair int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Rng.create ~seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_permutation_sorted =
+  QCheck.Test.make ~name:"qcheck: permutation is always a permutation"
+    QCheck.(pair int (int_range 0 50))
+    (fun (seed, n) ->
+      let p = Rng.permutation (Rng.create ~seed) n in
+      let sorted = Array.copy p in
+      Array.sort compare sorted;
+      sorted = Array.init n (fun i -> i))
+
+let suite =
+  [
+    case "determinism" test_determinism;
+    case "seed sensitivity" test_seed_sensitivity;
+    case "copy continues identically" test_copy_independent;
+    case "split decorrelated" test_split_decorrelated;
+    case "split deterministic" test_split_deterministic;
+    case "int bounds" test_int_bounds;
+    case "int bound one" test_int_bound_one;
+    case "int rejects non-positive bound" test_int_rejects_nonpositive;
+    case "int uniformity (chi-squared)" test_int_uniformity;
+    case "int_range bounds" test_int_range;
+    case "int_range invalid" test_int_range_invalid;
+    case "unit_float in [0,1)" test_unit_float_range;
+    case "unit_float mean" test_unit_float_mean;
+    case "bool balance" test_bool_balance;
+    case "bernoulli edge probabilities" test_bernoulli_edges;
+    case "bernoulli rate" test_bernoulli_rate;
+    case "gaussian moments" test_gaussian_moments;
+    case "exponential mean and sign" test_exponential_mean;
+    case "exponential invalid lambda" test_exponential_invalid;
+    case "pair_distinct validity" test_pair_distinct;
+    case "pair_distinct covers all pairs" test_pair_distinct_covers_all;
+    case "permutation validity" test_permutation_valid;
+    case "shuffle preserves multiset" test_shuffle_preserves_multiset;
+    case "pick membership and empty" test_pick;
+    case "sample without replacement" test_sample_without_replacement;
+    case "categorical rates" test_categorical_rates;
+    case "categorical skips zero weights" test_categorical_zero_weight_skipped;
+    case "categorical invalid weights" test_categorical_invalid;
+    QCheck_alcotest.to_alcotest prop_int_in_bounds;
+    QCheck_alcotest.to_alcotest prop_permutation_sorted;
+  ]

@@ -1,0 +1,119 @@
+(* Single-row channel routing: the left-edge algorithm and the
+   tracks-equals-density theorem. *)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let path4 () =
+  Netlist.create ~n_elements:4 ~pins:[| [| 0; 1 |]; [| 1; 2 |]; [| 2; 3 |] |]
+
+let expect_ok arr layout =
+  match Single_row.verify arr layout with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_path_single_track () =
+  (* Chain order: the three nets are disjoint wires, one track does. *)
+  let arr = Arrangement.create (path4 ()) in
+  let layout = Single_row.assign arr in
+  Alcotest.check Alcotest.int "one track" 1 layout.Single_row.track_count;
+  expect_ok arr layout
+
+let test_nested_nets () =
+  (* Nets {0,3} and {1,2} at identity order: the outer wire covers the
+     inner one, two tracks. *)
+  let nl = Netlist.create ~n_elements:4 ~pins:[| [| 0; 3 |]; [| 1; 2 |] |] in
+  let arr = Arrangement.create nl in
+  let layout = Single_row.assign arr in
+  Alcotest.check Alcotest.int "two tracks" 2 layout.Single_row.track_count;
+  expect_ok arr layout
+
+let test_abutting_nets_share_track () =
+  (* Nets {0,1} and {1,3}: they share only element 1, i.e. abut at a
+     position, not at a boundary - one track suffices. *)
+  let nl = Netlist.create ~n_elements:4 ~pins:[| [| 0; 1 |]; [| 1; 3 |] |] in
+  let arr = Arrangement.create nl in
+  let layout = Single_row.assign arr in
+  Alcotest.check Alcotest.int "one track" 1 layout.Single_row.track_count;
+  expect_ok arr layout
+
+let test_no_nets () =
+  let nl = Netlist.create ~n_elements:3 ~pins:[||] in
+  let arr = Arrangement.create nl in
+  let layout = Single_row.assign arr in
+  Alcotest.check Alcotest.int "zero tracks" 0 layout.Single_row.track_count;
+  expect_ok arr layout
+
+let test_tracks_equal_density () =
+  let rng = Rng.create ~seed:1 in
+  for _ = 1 to 20 do
+    let nl =
+      Netlist.random_nola (Rng.split rng) ~elements:12 ~nets:30 ~min_pins:2 ~max_pins:5
+    in
+    let arr = Arrangement.random (Rng.split rng) nl in
+    let layout = Single_row.assign arr in
+    Alcotest.check Alcotest.int "left-edge is optimal: tracks = density"
+      (Arrangement.density arr) layout.Single_row.track_count;
+    expect_ok arr layout
+  done
+
+let test_verify_catches_overlap () =
+  let nl = Netlist.create ~n_elements:4 ~pins:[| [| 0; 3 |]; [| 1; 2 |] |] in
+  let arr = Arrangement.create nl in
+  let bogus = { Single_row.track_of = [| 0; 0 |]; track_count = 1 } in
+  match Single_row.verify arr bogus with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "overlapping layout accepted"
+
+let test_verify_catches_bad_track () =
+  let arr = Arrangement.create (path4 ()) in
+  let bogus = { Single_row.track_of = [| 0; 5; 0 |]; track_count = 1 } in
+  match Single_row.verify arr bogus with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "out-of-range track accepted"
+
+let test_verify_catches_size_mismatch () =
+  let arr = Arrangement.create (path4 ()) in
+  let bogus = { Single_row.track_of = [| 0 |]; track_count = 1 } in
+  match Single_row.verify arr bogus with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "wrong net count accepted"
+
+let test_render_shape () =
+  let arr = Arrangement.create (path4 ()) in
+  let layout = Single_row.assign arr in
+  let picture = Single_row.render arr layout in
+  let lines = String.split_on_char '\n' picture in
+  (* track rows + element label row + trailing newline *)
+  Alcotest.check Alcotest.int "line count" (layout.Single_row.track_count + 2)
+    (List.length lines);
+  Alcotest.check Alcotest.bool "mentions track 0" true
+    (String.length picture >= 8 && String.sub picture 0 8 = "track  0")
+
+let prop_assignment_valid_and_optimal =
+  QCheck.Test.make ~name:"qcheck: left-edge layouts verify and use density tracks"
+    (QCheck.make
+       QCheck.Gen.(
+         int_range 2 12 >>= fun elements ->
+         int_range 0 25 >>= fun nets ->
+         int >|= fun seed -> (elements, nets, seed)))
+    (fun (elements, nets, seed) ->
+      let rng = Rng.create ~seed in
+      let nl = Netlist.random_gola rng ~elements ~nets in
+      let arr = Arrangement.random rng nl in
+      let layout = Single_row.assign arr in
+      Single_row.verify arr layout = Ok ()
+      && layout.Single_row.track_count = Arrangement.density arr)
+
+let suite =
+  [
+    case "path routes in one track" test_path_single_track;
+    case "nested nets need two tracks" test_nested_nets;
+    case "abutting nets share a track" test_abutting_nets_share_track;
+    case "netless instance needs no tracks" test_no_nets;
+    case "tracks = density (left-edge optimality)" test_tracks_equal_density;
+    case "verify rejects overlaps" test_verify_catches_overlap;
+    case "verify rejects bad track indices" test_verify_catches_bad_track;
+    case "verify rejects size mismatches" test_verify_catches_size_mismatch;
+    case "render shape" test_render_shape;
+    QCheck_alcotest.to_alcotest prop_assignment_valid_and_optimal;
+  ]

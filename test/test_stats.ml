@@ -1,0 +1,171 @@
+let case name f = Alcotest.test_case name `Quick f
+let checkf name expected actual = Alcotest.check (Alcotest.float 1e-9) name expected actual
+let checkf_loose name expected actual = Alcotest.check (Alcotest.float 1e-6) name expected actual
+
+let test_mean () =
+  checkf "mean of 1..5" 3. (Stats.mean [| 1.; 2.; 3.; 4.; 5. |]);
+  checkf "singleton" 7. (Stats.mean [| 7. |]);
+  checkf "negative values" (-2.) (Stats.mean [| -1.; -3. |])
+
+let test_mean_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.mean: empty sample") (fun () ->
+      ignore (Stats.mean [||]))
+
+let test_variance () =
+  checkf_loose "variance of 1..5" 2.5 (Stats.variance [| 1.; 2.; 3.; 4.; 5. |]);
+  checkf "constant sample" 0. (Stats.variance [| 4.; 4.; 4. |]);
+  checkf "singleton" 0. (Stats.variance [| 42. |])
+
+let test_stddev () = checkf_loose "stddev" (sqrt 2.5) (Stats.stddev [| 1.; 2.; 3.; 4.; 5. |])
+
+let test_min_max () =
+  let lo, hi = Stats.min_max [| 3.; -1.; 7.; 2. |] in
+  checkf "min" (-1.) lo;
+  checkf "max" 7. hi
+
+let test_median_odd () = checkf "odd median" 3. (Stats.median [| 5.; 1.; 3. |])
+let test_median_even () = checkf "even median" 2.5 (Stats.median [| 4.; 1.; 2.; 3. |])
+
+let test_median_does_not_mutate () =
+  let a = [| 3.; 1.; 2. |] in
+  ignore (Stats.median a);
+  Alcotest.check (Alcotest.array (Alcotest.float 0.)) "unchanged" [| 3.; 1.; 2. |] a
+
+let test_quantile () =
+  let a = [| 10.; 20.; 30.; 40. |] in
+  checkf "q0 = min" 10. (Stats.quantile a 0.);
+  checkf "q1 = max" 40. (Stats.quantile a 1.);
+  checkf "q interpolates" 25. (Stats.quantile a 0.5);
+  Alcotest.check_raises "q out of range" (Invalid_argument "Stats.quantile: q outside [0,1]")
+    (fun () -> ignore (Stats.quantile a 1.5))
+
+let test_total_kahan () =
+  (* Sum many small values onto a large one: naive summation drifts. *)
+  let a = Array.make 10_001 1e-8 in
+  a.(0) <- 1e8;
+  let expected = 1e8 +. (1e-8 *. 10_000.) in
+  Alcotest.check (Alcotest.float 1e-7) "compensated" expected (Stats.total a)
+
+let test_mean_ci95 () =
+  let m, hw = Stats.mean_ci95 [| 2.; 4.; 6.; 8. |] in
+  checkf "mean" 5. m;
+  Alcotest.check Alcotest.bool "positive halfwidth" true (hw > 0.);
+  let _, hw1 = Stats.mean_ci95 [| 3. |] in
+  checkf "singleton halfwidth" 0. hw1
+
+let test_online_matches_batch () =
+  let data = [| 2.; -1.; 4.; 4.; 0.5; 9. |] in
+  let o = Stats.Online.create () in
+  Array.iter (Stats.Online.add o) data;
+  Alcotest.check Alcotest.int "count" 6 (Stats.Online.count o);
+  checkf_loose "online mean" (Stats.mean data) (Stats.Online.mean o);
+  checkf_loose "online variance" (Stats.variance data) (Stats.Online.variance o);
+  checkf "online min" (-1.) (Stats.Online.min o);
+  checkf "online max" 9. (Stats.Online.max o)
+
+let test_online_empty () =
+  let o = Stats.Online.create () in
+  checkf "empty mean 0" 0. (Stats.Online.mean o);
+  checkf "empty variance 0" 0. (Stats.Online.variance o);
+  Alcotest.check_raises "empty min" (Invalid_argument "Stats.Online.min: empty") (fun () ->
+      ignore (Stats.Online.min o))
+
+let test_histogram () =
+  let h = Stats.Histogram.create ~lo:0. ~hi:10. ~bins:5 in
+  List.iter (Stats.Histogram.add h) [ 0.5; 1.; 3.; 9.9; -5.; 15. ];
+  let counts = Stats.Histogram.counts h in
+  Alcotest.check Alcotest.int "total" 6 (Stats.Histogram.total h);
+  Alcotest.check Alcotest.int "first bin gets clamped low" 3 counts.(0);
+  Alcotest.check Alcotest.int "last bin gets clamped high" 2 counts.(4);
+  Alcotest.check Alcotest.int "middle bin" 1 counts.(1)
+
+let test_histogram_invalid () =
+  Alcotest.check_raises "bins 0" (Invalid_argument "Stats.Histogram.create: bins <= 0")
+    (fun () -> ignore (Stats.Histogram.create ~lo:0. ~hi:1. ~bins:0));
+  Alcotest.check_raises "lo >= hi" (Invalid_argument "Stats.Histogram.create: lo >= hi")
+    (fun () -> ignore (Stats.Histogram.create ~lo:1. ~hi:1. ~bins:3))
+
+let test_linear_regression () =
+  let slope, intercept = Stats.linear_regression [| (0., 1.); (1., 3.); (2., 5.) |] in
+  checkf_loose "slope" 2. slope;
+  checkf_loose "intercept" 1. intercept
+
+let test_linear_regression_invalid () =
+  Alcotest.check_raises "one point"
+    (Invalid_argument "Stats.linear_regression: need >= 2 points") (fun () ->
+      ignore (Stats.linear_regression [| (1., 1.) |]));
+  Alcotest.check_raises "zero x variance"
+    (Invalid_argument "Stats.linear_regression: zero x variance") (fun () ->
+      ignore (Stats.linear_regression [| (1., 1.); (1., 2.) |]))
+
+let test_pearson () =
+  checkf_loose "perfect correlation" 1. (Stats.pearson [| 1.; 2.; 3. |] [| 10.; 20.; 30. |]);
+  checkf_loose "perfect anticorrelation" (-1.) (Stats.pearson [| 1.; 2.; 3. |] [| 3.; 2.; 1. |]);
+  Alcotest.check Alcotest.bool "uncorrelated near 0" true
+    (Float.abs (Stats.pearson [| 1.; 2.; 3.; 4. |] [| 1.; -1.; 1.; -1. |]) < 0.5)
+
+let test_pearson_invalid () =
+  (match Stats.pearson [| 1. |] [| 1. |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "singleton accepted");
+  (match Stats.pearson [| 1.; 2. |] [| 1. |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "length mismatch accepted");
+  match Stats.pearson [| 1.; 1. |] [| 1.; 2. |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero variance accepted"
+
+let test_ranks () =
+  Alcotest.check (Alcotest.array (Alcotest.float 1e-9)) "simple" [| 2.; 1.; 3. |]
+    (Stats.ranks [| 5.; 1.; 9. |]);
+  Alcotest.check (Alcotest.array (Alcotest.float 1e-9)) "ties averaged"
+    [| 1.5; 1.5; 3. |]
+    (Stats.ranks [| 4.; 4.; 7. |])
+
+let test_spearman () =
+  (* monotone but nonlinear: Spearman 1, Pearson < 1 *)
+  let xs = [| 1.; 2.; 3.; 4. |] and ys = [| 1.; 8.; 27.; 64. |] in
+  checkf_loose "monotone gives 1" 1. (Stats.spearman xs ys);
+  Alcotest.check Alcotest.bool "pearson below spearman here" true
+    (Stats.pearson xs ys < 1.);
+  checkf_loose "reversal gives -1" (-1.) (Stats.spearman xs [| 9.; 7.; 4.; 2. |])
+
+let prop_online_mean_matches =
+  QCheck.Test.make ~name:"qcheck: online mean = batch mean"
+    QCheck.(array_of_size Gen.(int_range 1 40) (float_range (-1000.) 1000.))
+    (fun data ->
+      let o = Stats.Online.create () in
+      Array.iter (Stats.Online.add o) data;
+      Float.abs (Stats.Online.mean o -. Stats.mean data) < 1e-6)
+
+let prop_quantile_monotone =
+  QCheck.Test.make ~name:"qcheck: quantile is monotone in q"
+    QCheck.(array_of_size Gen.(int_range 2 30) (float_range (-100.) 100.))
+    (fun data -> Stats.quantile data 0.25 <= Stats.quantile data 0.75 +. 1e-9)
+
+let suite =
+  [
+    case "mean" test_mean;
+    case "mean empty" test_mean_empty;
+    case "variance" test_variance;
+    case "stddev" test_stddev;
+    case "min_max" test_min_max;
+    case "median odd" test_median_odd;
+    case "median even" test_median_even;
+    case "median does not mutate" test_median_does_not_mutate;
+    case "quantile endpoints and interpolation" test_quantile;
+    case "Kahan-compensated total" test_total_kahan;
+    case "mean_ci95" test_mean_ci95;
+    case "online matches batch" test_online_matches_batch;
+    case "online empty behaviour" test_online_empty;
+    case "histogram binning and clamping" test_histogram;
+    case "histogram invalid args" test_histogram_invalid;
+    case "linear regression fit" test_linear_regression;
+    case "linear regression invalid" test_linear_regression_invalid;
+    case "pearson correlation" test_pearson;
+    case "pearson invalid args" test_pearson_invalid;
+    case "fractional ranks with ties" test_ranks;
+    case "spearman rank correlation" test_spearman;
+    QCheck_alcotest.to_alcotest prop_online_mean_matches;
+    QCheck_alcotest.to_alcotest prop_quantile_monotone;
+  ]

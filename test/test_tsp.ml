@@ -1,0 +1,318 @@
+(* TSP substrate: instances, tours, 2-opt/Or-opt deltas, constructive
+   heuristics, and the SA adapter. *)
+
+let case name f = Alcotest.test_case name `Quick f
+let checkf eps name expected actual = Alcotest.check (Alcotest.float eps) name expected actual
+
+(* Unit square corners: the optimal tour is the perimeter, length 4. *)
+let square () = Tsp_instance.create [| (0., 0.); (1., 0.); (1., 1.); (0., 1.) |]
+
+let test_instance_distances () =
+  let inst = square () in
+  checkf 1e-9 "adjacent" 1. (Tsp_instance.distance inst 0 1);
+  checkf 1e-9 "diagonal" (sqrt 2.) (Tsp_instance.distance inst 0 2);
+  checkf 1e-9 "symmetric" (Tsp_instance.distance inst 1 3) (Tsp_instance.distance inst 3 1);
+  checkf 1e-9 "self zero" 0. (Tsp_instance.distance inst 2 2)
+
+let test_instance_validation () =
+  match Tsp_instance.create [| (0., 0.); (1., 1.) |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument for n < 3"
+
+let test_random_instances () =
+  let rng = Rng.create ~seed:1 in
+  let inst = Tsp_instance.random_uniform rng ~n:20 in
+  Alcotest.check Alcotest.int "size" 20 (Tsp_instance.size inst);
+  for i = 0 to 19 do
+    let x, y = Tsp_instance.coord inst i in
+    Alcotest.check Alcotest.bool "in unit square" true (x >= 0. && x < 1. && y >= 0. && y < 1.)
+  done;
+  let clustered = Tsp_instance.random_clustered rng ~n:20 ~clusters:3 ~spread:0.01 in
+  Alcotest.check Alcotest.int "clustered size" 20 (Tsp_instance.size clustered)
+
+let test_tour_identity_length () =
+  let t = Tour.identity (square ()) in
+  checkf 1e-9 "perimeter" 4. (Tour.length t);
+  checkf 1e-9 "matches recompute" (Tour.recompute_length t) (Tour.length t)
+
+let test_tour_of_order_validation () =
+  let inst = square () in
+  (match Tour.of_order inst [| 0; 1; 2 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "wrong length accepted");
+  match Tour.of_order inst [| 0; 1; 2; 2 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate accepted"
+
+let test_tour_city_at_wraps () =
+  let t = Tour.of_order (square ()) [| 2; 0; 3; 1 |] in
+  Alcotest.check Alcotest.int "position 0" 2 (Tour.city_at t 0);
+  Alcotest.check Alcotest.int "wraps forward" 2 (Tour.city_at t 4);
+  Alcotest.check Alcotest.int "wraps backward" 1 (Tour.city_at t (-1))
+
+let test_two_opt_delta_matches_recompute () =
+  let rng = Rng.create ~seed:2 in
+  let inst = Tsp_instance.random_uniform rng ~n:12 in
+  let t = Tour.random rng inst in
+  for _ = 1 to 100 do
+    let a, b = Rng.pair_distinct rng 12 in
+    let i = min a b and j = max a b in
+    if not (i = 0 && j = 11) then begin
+      let predicted = Tour.two_opt_delta t i j in
+      let before = Tour.length t in
+      Tour.two_opt t i j;
+      checkf 1e-9 "delta exact" (before +. predicted) (Tour.length t);
+      checkf 1e-9 "cache consistent" (Tour.recompute_length t) (Tour.length t)
+    end
+  done
+
+let test_two_opt_involution () =
+  let rng = Rng.create ~seed:3 in
+  let inst = Tsp_instance.random_uniform rng ~n:10 in
+  let t = Tour.random rng inst in
+  let before = Tour.order t in
+  Tour.two_opt t 2 7;
+  Tour.two_opt t 2 7;
+  Alcotest.check Alcotest.(array int) "double reversal restores" before (Tour.order t)
+
+let test_two_opt_full_reversal_is_zero_delta () =
+  let t = Tour.identity (square ()) in
+  checkf 1e-9 "whole-tour reversal is free" 0. (Tour.two_opt_delta t 0 3)
+
+let test_two_opt_uncrosses () =
+  (* Order 0 2 1 3 on the square crosses itself; 2-opt of positions 1,2
+     uncrosses it back to the perimeter. *)
+  let t = Tour.of_order (square ()) [| 0; 2; 1; 3 |] in
+  checkf 1e-9 "crossed length" (2. +. (2. *. sqrt 2.)) (Tour.length t);
+  Tour.two_opt t 1 2;
+  checkf 1e-9 "uncrossed to perimeter" 4. (Tour.length t)
+
+let test_or_opt_delta_matches () =
+  let rng = Rng.create ~seed:4 in
+  let inst = Tsp_instance.random_uniform rng ~n:11 in
+  let t = Tour.random rng inst in
+  let tried = ref 0 in
+  for seg = 0 to 8 do
+    for len = 1 to 2 do
+      for dest = 0 to 10 do
+        let inside = dest >= seg - 1 && dest < seg + len in
+        let wrap = seg = 0 && dest = 10 in
+        if seg + len <= 11 && (not inside) && not wrap then begin
+          incr tried;
+          let copy = Tour.copy t in
+          let predicted = Tour.or_opt_delta copy ~seg ~len ~dest in
+          let before = Tour.length copy in
+          Tour.or_opt copy ~seg ~len ~dest;
+          checkf 1e-9 "or-opt delta exact" (before +. predicted) (Tour.length copy);
+          checkf 1e-9 "or-opt cache consistent" (Tour.recompute_length copy) (Tour.length copy);
+          (* still a permutation *)
+          let sorted = Tour.order copy in
+          Array.sort compare sorted;
+          Alcotest.check Alcotest.(array int) "still a tour" (Array.init 11 (fun i -> i)) sorted
+        end
+      done
+    done
+  done;
+  Alcotest.check Alcotest.bool "tried many moves" true (!tried > 100)
+
+let test_nearest_neighbor_square () =
+  let t = Tsp_heuristics.nearest_neighbor (square ()) ~start:0 in
+  checkf 1e-9 "NN finds the perimeter here" 4. (Tour.length t)
+
+let test_cheapest_insertion_square () =
+  let t = Tsp_heuristics.cheapest_insertion (square ()) in
+  checkf 1e-9 "perimeter" 4. (Tour.length t)
+
+let test_convex_hull_square_plus_centre () =
+  let inst = Tsp_instance.create [| (0., 0.); (1., 0.); (1., 1.); (0., 1.); (0.5, 0.5) |] in
+  let hull = Tsp_heuristics.convex_hull inst in
+  Alcotest.check Alcotest.int "hull has the 4 corners" 4 (List.length hull);
+  Alcotest.check Alcotest.bool "centre excluded" false (List.mem 4 hull);
+  List.iter (fun c -> Alcotest.check Alcotest.bool "corner" true (c < 4)) hull
+
+let test_hull_insertion_valid_tour () =
+  let rng = Rng.create ~seed:5 in
+  let inst = Tsp_instance.random_uniform rng ~n:25 in
+  let t = Tsp_heuristics.hull_insertion inst in
+  let sorted = Tour.order t in
+  Array.sort compare sorted;
+  Alcotest.check Alcotest.(array int) "valid tour" (Array.init 25 (fun i -> i)) sorted;
+  checkf 1e-9 "length cache sound" (Tour.recompute_length t) (Tour.length t)
+
+let test_two_opt_descent_improves () =
+  let rng = Rng.create ~seed:6 in
+  let inst = Tsp_instance.random_uniform rng ~n:30 in
+  let t = Tour.random rng inst in
+  let before = Tour.length t in
+  let applied = Tsp_heuristics.two_opt_descent t in
+  Alcotest.check Alcotest.bool "applies moves" true (applied > 0);
+  Alcotest.check Alcotest.bool "improves" true (Tour.length t < before);
+  (* local optimality: no improving 2-opt remains *)
+  for i = 0 to 28 do
+    for j = i + 1 to 29 do
+      if not (i = 0 && j = 29) then
+        Alcotest.check Alcotest.bool "no improving reversal left" true
+          (Tour.two_opt_delta t i j >= -1e-9)
+    done
+  done
+
+let test_heuristic_ordering_on_uniform () =
+  (* The quality ladder that holds on uniform instances: 2-opt-polished
+     beats raw NN; hull+insertion beats raw NN. *)
+  let rng = Rng.create ~seed:7 in
+  let inst = Tsp_instance.random_uniform rng ~n:50 in
+  let nn = Tour.length (Tsp_heuristics.nearest_neighbor inst ~start:0) in
+  let polished =
+    let t = Tsp_heuristics.nearest_neighbor inst ~start:0 in
+    ignore (Tsp_heuristics.two_opt_descent t);
+    Tour.length t
+  in
+  let hull = Tour.length (Tsp_heuristics.hull_insertion inst) in
+  Alcotest.check Alcotest.bool "2-opt polish helps" true (polished <= nn);
+  Alcotest.check Alcotest.bool "hull+insertion beats raw NN" true (hull <= nn)
+
+let test_or_opt_pass_improves_or_keeps () =
+  let rng = Rng.create ~seed:8 in
+  let inst = Tsp_instance.random_uniform rng ~n:20 in
+  let t = Tour.random rng inst in
+  let before = Tour.length t in
+  ignore (Tsp_heuristics.or_opt_pass t);
+  Alcotest.check Alcotest.bool "never worse" true (Tour.length t <= before +. 1e-9)
+
+let test_two_opt_restarts_monotone () =
+  let inst = Tsp_instance.random_uniform (Rng.create ~seed:9) ~n:25 in
+  let one = Tour.length (Tsp_heuristics.two_opt_restarts (Rng.create ~seed:10) inst ~restarts:1) in
+  let five = Tour.length (Tsp_heuristics.two_opt_restarts (Rng.create ~seed:10) inst ~restarts:5) in
+  Alcotest.check Alcotest.bool "more restarts never worse (same stream prefix)" true (five <= one)
+
+(* ------------------------------ adapter --------------------------- *)
+
+let test_adapter_roundtrip () =
+  let rng = Rng.create ~seed:11 in
+  let inst = Tsp_instance.random_uniform rng ~n:15 in
+  let t = Tour.random rng inst in
+  let before = Tour.order t in
+  for _ = 1 to 100 do
+    let m = Tsp_problem.random_move rng t in
+    Tsp_problem.apply t m;
+    Tsp_problem.revert t m
+  done;
+  Alcotest.check Alcotest.(array int) "restored" before (Tour.order t);
+  checkf 1e-6 "length cache intact" (Tour.recompute_length t) (Tour.length t)
+
+let test_adapter_moves_exclude_full_reversal () =
+  let t = Tour.identity (square ()) in
+  let moves = List.of_seq (Tsp_problem.moves t) in
+  Alcotest.check Alcotest.int "C(4,2) - 1 moves" 5 (List.length moves);
+  Alcotest.check Alcotest.bool "no (0, n-1)" false (List.mem (0, 3) moves)
+
+let test_sa_beats_random_tour () =
+  let rng = Rng.create ~seed:12 in
+  let inst = Tsp_instance.random_uniform rng ~n:30 in
+  let start = Tour.random rng inst in
+  let initial = Tour.length start in
+  let module E = Figure1.Make (Tsp_problem) in
+  let p =
+    E.params ~gfun:Gfun.six_temp_annealing
+      ~schedule:(Schedule.geometric ~y1:0.3 ~ratio:0.6 ~k:6)
+      ~budget:(Budget.Evaluations 8000) ()
+  in
+  let r = E.run rng p start in
+  Alcotest.check Alcotest.bool "at least 30% shorter" true
+    (r.Mc_problem.best_cost < 0.7 *. initial)
+
+(* ------------------------------ file I/O -------------------------- *)
+
+let test_io_roundtrip () =
+  let inst = Tsp_instance.random_uniform (Rng.create ~seed:13) ~n:12 in
+  match Tsp_io.of_string (Tsp_io.to_string ~name:"t12" inst) with
+  | Error msg -> Alcotest.fail msg
+  | Ok inst' ->
+      Alcotest.check Alcotest.int "size" 12 (Tsp_instance.size inst');
+      for i = 0 to 11 do
+        for j = 0 to 11 do
+          checkf 1e-9 "distances preserved" (Tsp_instance.distance inst i j)
+            (Tsp_instance.distance inst' i j)
+        done
+      done
+
+let test_io_parses_tsplib_style () =
+  let text =
+    "NAME : tiny\nCOMMENT : hand written\nTYPE : TSP\nDIMENSION : 3\n\
+     EDGE_WEIGHT_TYPE : EUC_2D\nNODE_COORD_SECTION\n1 0.0 0.0\n2 3.0 0.0\n3 0.0 4.0\nEOF\n"
+  in
+  match Tsp_io.of_string text with
+  | Error msg -> Alcotest.fail msg
+  | Ok inst ->
+      Alcotest.check Alcotest.int "3 cities" 3 (Tsp_instance.size inst);
+      checkf 1e-9 "3-4-5 triangle" 5. (Tsp_instance.distance inst 1 2)
+
+let test_io_rejects_bad_input () =
+  let expect_error text =
+    match Tsp_io.of_string text with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail ("accepted: " ^ text)
+  in
+  expect_error "";
+  expect_error "DIMENSION : 5\nNODE_COORD_SECTION\n1 0 0\n2 1 1\n3 2 2\nEOF\n";
+  expect_error
+    "EDGE_WEIGHT_TYPE : GEO\nNODE_COORD_SECTION\n1 0 0\n2 1 1\n3 2 2\nEOF\n";
+  expect_error "NODE_COORD_SECTION\n1 zero 0\n2 1 1\n3 2 2\nEOF\n";
+  expect_error "NODE_COORD_SECTION\n1 0 0\n2 1 1\nEOF\n" (* < 3 cities *);
+  expect_error "GIBBERISH SECTION\n"
+
+let test_io_tolerates_tabs_and_blanks () =
+  let text = "DIMENSION : 3\n\nNODE_COORD_SECTION\n1\t0\t0\n\n2 1 0\n3 0 1\n" in
+  match Tsp_io.of_string text with
+  | Error msg -> Alcotest.fail msg
+  | Ok inst -> Alcotest.check Alcotest.int "3 cities" 3 (Tsp_instance.size inst)
+
+let prop_two_opt_keeps_permutation =
+  QCheck.Test.make ~name:"qcheck: random 2-opt walks keep tours valid"
+    (QCheck.make
+       QCheck.Gen.(
+         int_range 4 15 >>= fun n ->
+         int >|= fun seed -> (n, seed)))
+    (fun (n, seed) ->
+      let rng = Rng.create ~seed in
+      let inst = Tsp_instance.random_uniform rng ~n in
+      let t = Tour.random rng inst in
+      for _ = 1 to 30 do
+        let m = Tsp_problem.random_move rng t in
+        Tsp_problem.apply t m
+      done;
+      let sorted = Tour.order t in
+      Array.sort compare sorted;
+      sorted = Array.init n (fun i -> i)
+      && Float.abs (Tour.recompute_length t -. Tour.length t) < 1e-6)
+
+let suite =
+  [
+    case "instance distances" test_instance_distances;
+    case "instance validation" test_instance_validation;
+    case "random instances" test_random_instances;
+    case "tour identity length" test_tour_identity_length;
+    case "tour order validation" test_tour_of_order_validation;
+    case "city_at wraps" test_tour_city_at_wraps;
+    case "2-opt delta matches recompute" test_two_opt_delta_matches_recompute;
+    case "2-opt is an involution" test_two_opt_involution;
+    case "full reversal has zero delta" test_two_opt_full_reversal_is_zero_delta;
+    case "2-opt uncrosses the square" test_two_opt_uncrosses;
+    case "or-opt delta matches recompute" test_or_opt_delta_matches;
+    case "nearest neighbor on the square" test_nearest_neighbor_square;
+    case "cheapest insertion on the square" test_cheapest_insertion_square;
+    case "convex hull of square + centre" test_convex_hull_square_plus_centre;
+    case "hull insertion yields a valid tour" test_hull_insertion_valid_tour;
+    case "2-opt descent reaches local optimum" test_two_opt_descent_improves;
+    case "heuristic quality ordering" test_heuristic_ordering_on_uniform;
+    case "or-opt pass never hurts" test_or_opt_pass_improves_or_keeps;
+    case "2-opt restarts monotone" test_two_opt_restarts_monotone;
+    case "adapter apply/revert roundtrip" test_adapter_roundtrip;
+    case "adapter excludes the full reversal" test_adapter_moves_exclude_full_reversal;
+    case "SA shortens a random tour" test_sa_beats_random_tour;
+    case "tsplib roundtrip" test_io_roundtrip;
+    case "tsplib parsing" test_io_parses_tsplib_style;
+    case "tsplib rejects bad input" test_io_rejects_bad_input;
+    case "tsplib tolerates tabs and blanks" test_io_tolerates_tabs_and_blanks;
+    QCheck_alcotest.to_alcotest prop_two_opt_keeps_permutation;
+  ]

@@ -1,0 +1,170 @@
+(* Global wiring: L-routes, incremental congestion cost, greedy
+   baseline, SA adapter. *)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let ends_of_list l =
+  Array.of_list (List.map (fun (x1, y1, x2, y2) -> { Wiring.x1; y1; x2; y2 }) l)
+
+let test_single_net_cost () =
+  (* One net from (0,0) to (2,1) routed HV: 2 horizontal edges on row 0
+     plus 1 vertical edge at x = 2; each used once: cost = 3. *)
+  let w = Wiring.create ~width:3 ~height:2 (ends_of_list [ (0, 0, 2, 1) ]) in
+  Alcotest.check Alcotest.int "cost 3" 3 (Wiring.cost w);
+  Alcotest.check Alcotest.int "h edge (0,0)" 1 (Wiring.h_usage w ~x:0 ~y:0);
+  Alcotest.check Alcotest.int "h edge (1,0)" 1 (Wiring.h_usage w ~x:1 ~y:0);
+  Alcotest.check Alcotest.int "v edge (2,0)" 1 (Wiring.v_usage w ~x:2 ~y:0);
+  Alcotest.check Alcotest.int "max usage" 1 (Wiring.max_usage w);
+  Wiring.check w
+
+let test_flip_moves_the_path () =
+  let w = Wiring.create ~width:3 ~height:2 (ends_of_list [ (0, 0, 2, 1) ]) in
+  Wiring.flip w 0;
+  (* VH: vertical at x = 0, then horizontal along y = 1 *)
+  Alcotest.check Alcotest.int "cost still 3 (empty grid)" 3 (Wiring.cost w);
+  Alcotest.check Alcotest.int "v edge (0,0)" 1 (Wiring.v_usage w ~x:0 ~y:0);
+  Alcotest.check Alcotest.int "h edge (0,1)" 1 (Wiring.h_usage w ~x:0 ~y:1);
+  Alcotest.check Alcotest.int "old h edge clear" 0 (Wiring.h_usage w ~x:0 ~y:0);
+  Wiring.check w
+
+let test_congestion_squares () =
+  (* Two identical nets sharing every edge: usage 2 on 3 edges =
+     cost 12; flipping one to the other L halves the sharing. *)
+  let w =
+    Wiring.create ~width:3 ~height:2 (ends_of_list [ (0, 0, 2, 1); (0, 0, 2, 1) ])
+  in
+  Alcotest.check Alcotest.int "shared cost 3 * 2^2" 12 (Wiring.cost w);
+  Alcotest.check Alcotest.int "max usage 2" 2 (Wiring.max_usage w);
+  Wiring.flip w 1;
+  Alcotest.check Alcotest.int "separated cost 6 * 1" 6 (Wiring.cost w);
+  Alcotest.check Alcotest.int "max usage 1" 1 (Wiring.max_usage w);
+  Wiring.check w
+
+let test_degenerate_net_flip_noop () =
+  let w = Wiring.create ~width:3 ~height:3 (ends_of_list [ (0, 1, 2, 1) ]) in
+  let before = Wiring.cost w in
+  Wiring.flip w 0;
+  Alcotest.check Alcotest.int "straight net unchanged" before (Wiring.cost w);
+  Alcotest.check Alcotest.bool "orientation unchanged" true (Wiring.orientation w 0 = `HV);
+  Wiring.check w
+
+let test_validation () =
+  let invalid f = match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  invalid (fun () -> Wiring.create ~width:1 ~height:5 [||]);
+  invalid (fun () -> Wiring.create ~width:3 ~height:3 (ends_of_list [ (0, 0, 3, 1) ]));
+  invalid (fun () -> Wiring.create ~width:3 ~height:3 (ends_of_list [ (1, 1, 1, 1) ]))
+
+let test_overflow () =
+  let w =
+    Wiring.create ~width:3 ~height:2
+      (ends_of_list [ (0, 0, 2, 0); (0, 0, 2, 0); (0, 0, 2, 0) ])
+  in
+  (* three straight nets stacked on the same two horizontal edges *)
+  Alcotest.check Alcotest.int "overflow above capacity 2" 2 (Wiring.overflow w ~capacity:2);
+  Alcotest.check Alcotest.int "no overflow above 3" 0 (Wiring.overflow w ~capacity:3)
+
+let test_flip_involution () =
+  let rng = Rng.create ~seed:1 in
+  let ends = Wiring.random_instance rng ~width:6 ~height:5 ~nets:30 in
+  let w = Wiring.create ~width:6 ~height:5 ends in
+  let before = Wiring.cost w in
+  Wiring.flip w 7;
+  Wiring.flip w 7;
+  Alcotest.check Alcotest.int "double flip restores" before (Wiring.cost w);
+  Wiring.check w
+
+let test_random_instance_valid () =
+  let rng = Rng.create ~seed:2 in
+  let ends = Wiring.random_instance rng ~width:4 ~height:7 ~nets:50 in
+  Alcotest.check Alcotest.int "net count" 50 (Array.length ends);
+  Array.iter
+    (fun e ->
+      Alcotest.check Alcotest.bool "endpoints distinct and on grid" true
+        (Wiring.(e.x1) >= 0 && e.Wiring.x1 < 4 && e.Wiring.y2 < 7
+        && not (e.Wiring.x1 = e.Wiring.x2 && e.Wiring.y1 = e.Wiring.y2)))
+    ends
+
+let test_greedy_never_worse () =
+  let rng = Rng.create ~seed:3 in
+  for _ = 1 to 5 do
+    let ends = Wiring.random_instance (Rng.split rng) ~width:8 ~height:8 ~nets:60 in
+    let w = Wiring.create ~width:8 ~height:8 ends in
+    let before = Wiring.cost w in
+    let passes = Wiring.greedy_fixpoint w in
+    Alcotest.check Alcotest.bool "cost not increased" true (Wiring.cost w <= before);
+    Alcotest.check Alcotest.bool "fixpoint reached" true (passes < 50);
+    Alcotest.check Alcotest.int "one more pass changes nothing" 0 (Wiring.greedy_pass w);
+    Wiring.check w
+  done
+
+let test_adapter_roundtrip () =
+  let rng = Rng.create ~seed:4 in
+  let ends = Wiring.random_instance rng ~width:5 ~height:5 ~nets:40 in
+  let w = Wiring.create ~width:5 ~height:5 ends in
+  let before = Wiring.cost w in
+  for _ = 1 to 100 do
+    let j = Wiring.Problem.random_move rng w in
+    Wiring.Problem.apply w j;
+    Wiring.Problem.revert w j
+  done;
+  Alcotest.check Alcotest.int "restored" before (Wiring.cost w);
+  Wiring.check w
+
+let test_adapter_moves_skip_degenerate () =
+  let w =
+    Wiring.create ~width:3 ~height:3 (ends_of_list [ (0, 0, 2, 2); (0, 1, 2, 1) ])
+  in
+  let moves = List.of_seq (Wiring.Problem.moves w) in
+  Alcotest.check Alcotest.(list int) "only the bent net" [ 0 ] moves
+
+let test_sa_beats_naive () =
+  let rng = Rng.create ~seed:5 in
+  let ends = Wiring.random_instance rng ~width:8 ~height:8 ~nets:120 in
+  let w = Wiring.create ~width:8 ~height:8 ends in
+  let naive = Wiring.cost w in
+  let module E = Figure1.Make (Wiring.Problem) in
+  let p =
+    E.params ~gfun:Gfun.g_one ~schedule:(Schedule.constant ~k:1 1.)
+      ~budget:(Budget.Evaluations 5000) ()
+  in
+  let r = E.run rng p w in
+  Alcotest.check Alcotest.bool "improves over all-HV" true
+    (r.Mc_problem.best_cost < float_of_int naive);
+  Wiring.check w
+
+let prop_cost_consistent =
+  QCheck.Test.make ~name:"qcheck: wiring cost survives random flip walks"
+    (QCheck.make
+       QCheck.Gen.(
+         int_range 2 8 >>= fun width ->
+         int_range 2 8 >>= fun height ->
+         int_range 1 40 >>= fun nets ->
+         int >|= fun seed -> (width, height, nets, seed)))
+    (fun (width, height, nets, seed) ->
+      let rng = Rng.create ~seed in
+      let ends = Wiring.random_instance rng ~width ~height ~nets in
+      let w = Wiring.create ~width ~height ends in
+      for _ = 1 to 30 do
+        Wiring.flip w (Rng.int rng nets)
+      done;
+      match Wiring.check w with () -> true | exception Failure _ -> false)
+
+let suite =
+  [
+    case "single net cost and usages" test_single_net_cost;
+    case "flip moves the path" test_flip_moves_the_path;
+    case "congestion is squared" test_congestion_squares;
+    case "degenerate net flip is a no-op" test_degenerate_net_flip_noop;
+    case "validation" test_validation;
+    case "overflow" test_overflow;
+    case "flip is an involution" test_flip_involution;
+    case "random instances valid" test_random_instance_valid;
+    case "greedy fixpoint sound" test_greedy_never_worse;
+    case "adapter apply/revert roundtrip" test_adapter_roundtrip;
+    case "adapter skips degenerate nets" test_adapter_moves_skip_degenerate;
+    case "SA beats the all-HV baseline" test_sa_beats_naive;
+    QCheck_alcotest.to_alcotest prop_cost_consistent;
+  ]
