@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-quick examples doc clean
+.PHONY: all build test bench bench-quick bench-smoke examples doc clean
 
 all: build
 
@@ -17,6 +17,13 @@ bench:
 # ~10x faster, noisier tables for a smoke check.
 bench-quick:
 	dune exec bench/main.exe -- --scale 0.1 2>/dev/null
+
+# Miniature tables + JSON summary, validated; fails on missing or
+# malformed BENCH_results.json.  (dune runtest runs the same check via
+# the bench-smoke alias.)
+bench-smoke:
+	dune exec bench/main.exe -- --scale 0.05 --skip-micro --json BENCH_results.json > /dev/null
+	dune exec bench/check_json.exe -- BENCH_results.json
 
 examples:
 	@for e in quickstart gola_study nola_goto tsp_compare partition_demo \

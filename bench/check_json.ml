@@ -1,0 +1,70 @@
+(* Smoke validator for the bench harness's JSON summary: `check_json
+   PATH` exits non-zero (with a message naming the failing check) when
+   the file is missing, malformed, or structurally wrong.  Run by the
+   bench-smoke alias so `dune runtest` catches a bench regression that
+   breaks the machine-readable output. *)
+
+let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("check_json: " ^ msg); exit 1) fmt
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; path |] -> path
+    | _ ->
+        prerr_endline "usage: check_json BENCH_results.json";
+        exit 2
+  in
+  if not (Sys.file_exists path) then fail "%s: no such file" path;
+  let text =
+    let ic = open_in path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    s
+  in
+  let json =
+    match Obs.Json.parse (String.trim text) with
+    | Ok j -> j
+    | Error msg -> fail "%s: malformed JSON: %s" path msg
+  in
+  let member name =
+    match Obs.Json.member name json with
+    | Some v -> v
+    | None -> fail "%s: missing top-level field %S" path name
+  in
+  (match member "schema" with
+  | Obs.Json.String "sa-lab/bench-results/v1" -> ()
+  | Obs.Json.String other -> fail "%s: unexpected schema %S" path other
+  | _ -> fail "%s: schema is not a string" path);
+  (match Obs.Json.to_float (member "engine_evals_per_sec") with
+  | Some v when v > 0. && Float.is_finite v -> ()
+  | Some v -> fail "%s: engine_evals_per_sec = %g is not positive" path v
+  | None -> fail "%s: engine_evals_per_sec is not a number" path);
+  (match Obs.Json.to_float (member "scale") with
+  | Some _ -> ()
+  | None -> fail "%s: scale is not a number" path);
+  (match member "tables" with
+  | Obs.Json.List [] -> fail "%s: tables is empty" path
+  | Obs.Json.List tables ->
+      List.iteri
+        (fun i t ->
+          let tmember name =
+            match Obs.Json.member name t with
+            | Some v -> v
+            | None -> fail "%s: tables[%d] missing field %S" path i name
+          in
+          (match tmember "name" with
+          | Obs.Json.String _ -> ()
+          | _ -> fail "%s: tables[%d].name is not a string" path i);
+          (match Obs.Json.to_float (tmember "wall_seconds") with
+          | Some v when v >= 0. -> ()
+          | _ -> fail "%s: tables[%d].wall_seconds is not a non-negative number" path i);
+          match Obs.Json.to_int (tmember "rows") with
+          | Some r when r > 0 -> ()
+          | _ -> fail "%s: tables[%d].rows is not a positive integer" path i)
+        tables
+  | _ -> fail "%s: tables is not a list" path);
+  (match member "micro" with
+  | Obs.Json.List _ -> ()
+  | _ -> fail "%s: micro is not a list" path);
+  Printf.printf "check_json: %s ok\n" path

@@ -11,38 +11,105 @@
       engine/substrate throughput benches.
 
    Flags: --scale F (budget multiplier for the tables, default 1.0),
-   --seed N, --skip-tables, --skip-micro. *)
+   --seed N, --skip-tables, --skip-micro, --wide-tuning, --json PATH.
+
+   Besides the human-readable text on stdout, a machine-readable
+   summary (per-table best/mean cost and wall time, engine throughput,
+   micro-bench estimates) is written to --json (default
+   BENCH_results.json) so the perf trajectory has structured data. *)
 
 let scale = ref 1.0
 let seed = ref 42
 let skip_tables = ref false
 let skip_micro = ref false
 let wide_tuning = ref false
+let json_path = ref "BENCH_results.json"
 
 let () =
-  let rec parse = function
-    | [] -> ()
-    | "--scale" :: v :: rest ->
-        scale := float_of_string v;
-        parse rest
-    | "--seed" :: v :: rest ->
-        seed := int_of_string v;
-        parse rest
-    | "--skip-tables" :: rest ->
-        skip_tables := true;
-        parse rest
-    | "--skip-micro" :: rest ->
-        skip_micro := true;
-        parse rest
-    | "--wide-tuning" :: rest ->
-        wide_tuning := true;
-        parse rest
-    | arg :: _ -> failwith ("unknown argument: " ^ arg)
+  let specs =
+    [
+      ( "--scale",
+        Arg.Set_float scale,
+        "FACTOR  multiply every table budget by FACTOR (default 1.0; smaller = faster, noisier)" );
+      ("--seed", Arg.Set_int seed, "N  master random seed (default 42)");
+      ("--skip-tables", Arg.Set skip_tables, " skip the reproduction tables");
+      ("--skip-micro", Arg.Set skip_micro, " skip the Bechamel micro-benchmarks");
+      ( "--wide-tuning",
+        Arg.Set wide_tuning,
+        " tune temperatures over the wide grid (slower)" );
+      ( "--json",
+        Arg.Set_string json_path,
+        "PATH  write the machine-readable summary to PATH (default BENCH_results.json)" );
+    ]
   in
-  parse (List.tl (Array.to_list Sys.argv))
+  let usage = "usage: bench [options]\n\noptions:" in
+  Arg.parse specs
+    (fun arg -> raise (Arg.Bad (Printf.sprintf "unexpected positional argument %S" arg)))
+    usage
 
 let section title =
   Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '#')
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable summary accumulation                               *)
+(* ------------------------------------------------------------------ *)
+
+let table_summaries = ref ([] : Obs.Json.t list)
+let micro_results = ref ([] : Obs.Json.t list)
+let engine_evals_per_sec = ref 0.
+
+(* Per-table roll-up: wall time plus the spread of the numeric cells
+   (for the reproduction tables those are costs/densities, so min and
+   mean track solution quality release over release). *)
+let summarize_table name wall (t : Report.t) =
+  let numeric =
+    List.concat_map
+      (fun (_, cells) ->
+        List.filter_map
+          (function
+            | Report.Int i -> Some (float_of_int i)
+            | Report.Float f when Float.is_finite f -> Some f
+            | Report.Float _ | Report.Text _ | Report.Missing -> None)
+          cells)
+      t.Report.rows
+  in
+  let best, mean =
+    match numeric with
+    | [] -> (Obs.Json.Null, Obs.Json.Null)
+    | xs ->
+        let a = Array.of_list xs in
+        ( Obs.Json.Float (fst (Stats.min_max a)),
+          Obs.Json.Float (Stats.mean a) )
+  in
+  table_summaries :=
+    Obs.Json.Obj
+      [
+        ("name", Obs.Json.String name);
+        ("title", Obs.Json.String t.Report.title);
+        ("rows", Obs.Json.Int (List.length t.Report.rows));
+        ("wall_seconds", Obs.Json.Float wall);
+        ("best_cost", best);
+        ("mean_cost", mean);
+      ]
+    :: !table_summaries
+
+let write_json () =
+  let json =
+    Obs.Json.Obj
+      [
+        ("schema", Obs.Json.String "sa-lab/bench-results/v1");
+        ("scale", Obs.Json.Float !scale);
+        ("seed", Obs.Json.Int !seed);
+        ("engine_evals_per_sec", Obs.Json.Float !engine_evals_per_sec);
+        ("tables", Obs.Json.List (List.rev !table_summaries));
+        ("micro", Obs.Json.List (List.rev !micro_results));
+      ]
+  in
+  let oc = open_out !json_path in
+  output_string oc (Obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.eprintf "[bench] summary written to %s\n" !json_path
 
 (* ------------------------------------------------------------------ *)
 (* Part 1: reproduction tables                                         *)
@@ -64,16 +131,18 @@ let print_tables () =
   in
   prerr_endline "[bench] tuning temperatures (section 4.2.1 protocol)...";
   let ctx = Linarr_tables.make_context ~config () in
-  let emit name f =
+  let emit_keep name f =
     prerr_endline ("[bench] " ^ name ^ "...");
     print_newline ();
-    print_string (Report.render (f ()))
+    let t0 = Obs.now () in
+    let table = f () in
+    summarize_table name (Obs.now () -. t0) table;
+    print_string (Report.render table);
+    table
   in
+  let emit name f = ignore (emit_keep name f) in
   emit "tuning table" (fun () -> Linarr_tables.tuning_table ctx);
-  prerr_endline "[bench] table 4.1...";
-  let measured_4_1 = Linarr_tables.table_4_1 ctx in
-  print_newline ();
-  print_string (Report.render measured_4_1);
+  let measured_4_1 = emit_keep "table 4.1" (fun () -> Linarr_tables.table_4_1 ctx) in
   emit "agreement with the paper" (fun () ->
       Paper_data.agreement_table ctx ~measured:measured_4_1);
   emit "table 4.2(a)" (fun () -> Linarr_tables.table_4_2a ctx);
@@ -133,12 +202,34 @@ let run_f1 gfun schedule evals () =
   let p = F1.params ~gfun ~schedule ~budget:(Budget.Evaluations evals) () in
   (F1.run (Rng.create ~seed:6) p state).Mc_problem.best_cost
 
+(* Same walk with a live observer, to price the instrumentation
+   against the null-observer run above. *)
+let run_f1_observed make_observer gfun schedule evals () =
+  let state = Arrangement.copy bench_start in
+  let p = F1.params ~gfun ~schedule ~budget:(Budget.Evaluations evals) () in
+  (F1.run ~observer:(make_observer ()) (Rng.create ~seed:6) p state)
+    .Mc_problem.best_cost
+
 let engine_tests =
   Test.make_grouped ~name:"engine"
     [
       Test.make ~name:"figure1/six-temp-annealing (1k evals)"
         (Staged.stage
            (run_f1 Gfun.six_temp_annealing (Schedule.geometric ~y1:3. ~ratio:0.9 ~k:6) 1000));
+      Test.make ~name:"figure1/six-temp +ring-observer (1k evals)"
+        (Staged.stage
+           (run_f1_observed
+              (fun () -> Obs.Ring.observer (Obs.Ring.create 1024))
+              Gfun.six_temp_annealing
+              (Schedule.geometric ~y1:3. ~ratio:0.9 ~k:6)
+              1000));
+      Test.make ~name:"figure1/six-temp +metrics-observer (1k evals)"
+        (Staged.stage
+           (run_f1_observed
+              (fun () -> Obs.Metrics.observer (Obs.Metrics.create ()))
+              Gfun.six_temp_annealing
+              (Schedule.geometric ~y1:3. ~ratio:0.9 ~k:6)
+              1000));
       Test.make ~name:"figure1/g=1 (1k evals)"
         (Staged.stage (run_f1 Gfun.g_one (Schedule.constant ~k:1 1.) 1000));
       Test.make ~name:"figure1/cubic-diff (1k evals)"
@@ -287,11 +378,42 @@ let run_micro () =
             | Some [] | None -> nan
           in
           let r2 = Option.value ~default:nan (Analyze.OLS.r_square ols_result) in
-          Printf.printf "%-48s %14.0f ns/run   r2 %.3f\n" name estimate r2)
+          Printf.printf "%-48s %14.0f ns/run   r2 %.3f\n" name estimate r2;
+          micro_results :=
+            Obs.Json.Obj
+              [
+                ("name", Obs.Json.String name);
+                ("ns_per_run", Obs.Json.Float estimate);
+                ("r_square", Obs.Json.Float r2);
+              ]
+            :: !micro_results)
         names)
     groups
 
+(* One timed null-observer engine run, long enough for a stable
+   evaluations/sec figure; this is the headline throughput number of
+   the JSON summary. *)
+let measure_throughput () =
+  section "Engine throughput";
+  let evals = 100_000 in
+  let state = Arrangement.copy bench_start in
+  let p =
+    F1.params ~gfun:Gfun.six_temp_annealing
+      ~schedule:(Schedule.geometric ~y1:3. ~ratio:0.9 ~k:6)
+      ~budget:(Budget.Evaluations evals) ()
+  in
+  let t0 = Obs.now () in
+  let r = F1.run (Rng.create ~seed:20) p state in
+  let dt = Obs.now () -. t0 in
+  let done_evals = r.Mc_problem.stats.Mc_problem.evaluations in
+  engine_evals_per_sec := float_of_int done_evals /. dt;
+  Printf.printf
+    "figure1/six-temp-annealing, %d evaluations, null observer: %.4g evals/sec (%.3f s wall)\n"
+    done_evals !engine_evals_per_sec dt
+
 let () =
   if not !skip_tables then print_tables ();
+  measure_throughput ();
   if not !skip_micro then run_micro ();
+  write_json ();
   print_newline ()

@@ -3,6 +3,7 @@
    Subcommands:
      tables     regenerate the paper's tables (selectable, scalable, CSV-able)
      solve      minimize the density of a netlist file with any g-class
+     trace      solve while streaming engine events to JSONL / metrics
      generate   emit a random GOLA/NOLA instance in the textual format
      goto       run only the Goto heuristic on a netlist file
      info       summarize a netlist (degrees, densities, exact optimum if small)
@@ -103,6 +104,17 @@ let tables_cmd =
 
 module Engine1 = Figure1.Make (Linarr_problem.Swap)
 module Engine2 = Figure2.Make (Linarr_problem.Swap)
+module EngineRL = Rejectionless.Make (Linarr_problem.Swap)
+
+(* Shared by solve and trace: build the schedule a g-class expects at a
+   base temperature (geometric 0.9 shape for multi-temperature
+   classes, as in the tables). *)
+let schedule_for gfun base =
+  if Gfun.uses_temperature gfun then
+    match Gfun.k gfun with
+    | 1 -> Schedule.of_array [| base |]
+    | k -> Schedule.geometric ~y1:base ~ratio:0.9 ~k
+  else Schedule.constant ~k:(Gfun.k gfun) 1.
 
 let solve_cmd =
   let file =
@@ -130,7 +142,10 @@ let solve_cmd =
            ~doc:"Start from the Goto arrangement instead of a random one.")
   in
   let seed = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.") in
-  let run file method_ strategy evals base goto_start seed =
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print the run's engine statistics.")
+  in
+  let run file method_ strategy evals base goto_start seed stats =
     match read_netlist file with
     | Error msg ->
         prerr_endline msg;
@@ -146,13 +161,7 @@ let solve_cmd =
               if goto_start then Goto.arrange nl else Arrangement.random rng nl
             in
             let initial = Arrangement.density state in
-            let schedule =
-              if Gfun.uses_temperature gfun then
-                match Gfun.k gfun with
-                | 1 -> Schedule.of_array [| base |]
-                | k -> Schedule.geometric ~y1:base ~ratio:0.9 ~k
-              else Schedule.constant ~k:(Gfun.k gfun) 1.
-            in
+            let schedule = schedule_for gfun base in
             let budget = Budget.Evaluations evals in
             let result =
               match strategy with
@@ -166,11 +175,186 @@ let solve_cmd =
             Printf.printf "order: %s\n"
               (String.concat " "
                  (Array.to_list (Array.map string_of_int (Arrangement.order result.Mc_problem.best))));
+            if stats then
+              Format.printf "%a@." Mc_problem.pp_stats result.Mc_problem.stats;
             0)
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Minimize the density of a netlist with a chosen method.")
-    Term.(const run $ file $ method_ $ strategy $ evals $ base $ goto_start $ seed)
+    Term.(const run $ file $ method_ $ strategy $ evals $ base $ goto_start $ seed $ stats)
+
+(* ---------------------------------------------------------------- *)
+(* trace                                                             *)
+(* ---------------------------------------------------------------- *)
+
+let trace_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"NETLIST"
+           ~doc:"Netlist file in the textual format (see $(b,generate)).")
+  in
+  let method_ =
+    Arg.(value & opt string "Metropolis" & info [ "method"; "m" ] ~docv:"NAME"
+           ~doc:"g-function class name as in Table 4.1.")
+  in
+  let strategy =
+    Arg.(value
+         & opt (enum [ ("figure1", `Figure1); ("figure2", `Figure2);
+                       ("rejectionless", `Rejectionless) ]) `Figure1
+         & info [ "strategy" ] ~docv:"STRATEGY"
+             ~doc:"figure1, figure2, or rejectionless.")
+  in
+  let evals =
+    Arg.(value & opt int 20_000 & info [ "evals"; "n" ] ~docv:"N"
+           ~doc:"Perturbation budget.")
+  in
+  let base =
+    Arg.(value & opt float 1.0 & info [ "temperature"; "y" ] ~docv:"Y"
+           ~doc:"Base temperature (geometric 0.9 shape for multi-temperature classes).")
+  in
+  let goto_start =
+    Arg.(value & flag & info [ "goto-start" ]
+           ~doc:"Start from the Goto arrangement instead of a random one.")
+  in
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.") in
+  let trace_file =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE.jsonl"
+           ~doc:"Write one JSON event per line to $(docv), then re-read the file
+                 and reconcile its event counts against the engine's statistics.")
+  in
+  let metrics =
+    Arg.(value & flag & info [ "metrics" ]
+           ~doc:"Collect and print the standard metrics registry (counters,
+                 acceptance ratio per temperature, uphill-delta histogram,
+                 phase spans).")
+  in
+  let downsample =
+    Arg.(value & opt (some int) None & info [ "downsample" ] ~docv:"CAP"
+           ~doc:"Thin the $(b,proposed) events written to the trace with the
+                 stride-doubling rule at capacity $(docv) (other events pass
+                 through).  The trace no longer reconciles exactly.")
+  in
+  let run file method_ strategy evals base goto_start seed trace_file metrics
+      downsample =
+    match read_netlist file with
+    | Error msg ->
+        prerr_endline msg;
+        1
+    | Ok nl -> (
+        match Gfun.find_by_name ~m:(Netlist.n_nets nl) method_ with
+        | None ->
+            Printf.eprintf "unknown method %S; see Table 4.1 for names\n" method_;
+            1
+        | Some gfun ->
+            let rng = Rng.create ~seed in
+            let state =
+              if goto_start then Goto.arrange nl else Arrangement.random rng nl
+            in
+            let initial = Arrangement.density state in
+            let schedule = schedule_for gfun base in
+            let budget = Budget.Evaluations evals in
+            let registry = if metrics then Some (Obs.Metrics.create ()) else None in
+            let run_with observer =
+              let observer =
+                match registry with
+                | Some r -> Obs.Observer.tee [ observer; Obs.Metrics.observer r ]
+                | None -> observer
+              in
+              match strategy with
+              | `Figure1 ->
+                  Engine1.run ~observer rng
+                    (Engine1.params ~gfun ~schedule ~budget ())
+                    state
+              | `Figure2 ->
+                  Engine2.run ~observer rng
+                    (Engine2.params ~gfun ~schedule ~budget ())
+                    state
+              | `Rejectionless ->
+                  EngineRL.run ~observer rng
+                    (EngineRL.params ~gfun ~schedule ~budget)
+                    state
+            in
+            let result =
+              match trace_file with
+              | None -> run_with Obs.Observer.null
+              | Some path -> (
+                  try
+                    Obs.Jsonl.with_file path (fun sink ->
+                        let sink =
+                          match downsample with
+                          | Some cap -> Obs.Downsample.observer ~capacity:cap sink
+                          | None -> sink
+                        in
+                        run_with sink)
+                  with Sys_error msg ->
+                    prerr_endline msg;
+                    exit 1)
+            in
+            let stats = result.Mc_problem.stats in
+            Printf.printf "initial density: %d\n" initial;
+            Printf.printf "best density:    %.0f\n" result.Mc_problem.best_cost;
+            Printf.printf "final density:   %.0f\n" result.Mc_problem.final_cost;
+            Format.printf "%a@." Mc_problem.pp_stats stats;
+            (match registry with
+            | Some r -> Format.printf "%a@." Obs.Metrics.pp r
+            | None -> ());
+            let reconcile path =
+              match Obs.Jsonl.read_file path with
+              | Error msg ->
+                  Printf.eprintf "trace re-read failed: %s\n" msg;
+                  1
+              | Ok events ->
+                  Printf.printf "trace: %d events in %s\n" (List.length events) path;
+                  if downsample <> None then begin
+                    print_endline
+                      "trace: downsampled; skipping exact reconciliation";
+                    0
+                  end
+                  else begin
+                    let derived = Mc_problem.stats_of_events events in
+                    let mismatches =
+                      List.filter_map
+                        (fun (name, from_events, from_stats) ->
+                          if from_events = from_stats then None
+                          else
+                            Some
+                              (Printf.sprintf "%s: events say %d, stats say %d"
+                                 name from_events from_stats))
+                        ([
+                           ("evaluations", derived.Mc_problem.evaluations, stats.Mc_problem.evaluations);
+                           ("improving", derived.Mc_problem.improving, stats.Mc_problem.improving);
+                           ("lateral_accepted", derived.Mc_problem.lateral_accepted, stats.Mc_problem.lateral_accepted);
+                           ("uphill_accepted", derived.Mc_problem.uphill_accepted, stats.Mc_problem.uphill_accepted);
+                           ("temperatures_visited", derived.Mc_problem.temperatures_visited, stats.Mc_problem.temperatures_visited);
+                           ("descents", derived.Mc_problem.descents, stats.Mc_problem.descents);
+                         ]
+                        @
+                        (* The rejectionless engine never rejects; its
+                           [rejected] stat counts scan overhead and has no
+                           event counterpart. *)
+                        (match strategy with
+                        | `Rejectionless -> []
+                        | `Figure1 | `Figure2 ->
+                            [ ("rejected", derived.Mc_problem.rejected, stats.Mc_problem.rejected) ]))
+                    in
+                    match mismatches with
+                    | [] ->
+                        print_endline "trace: event counts reconcile with stats";
+                        0
+                    | ms ->
+                        List.iter
+                          (fun m -> Printf.eprintf "reconciliation mismatch: %s\n" m)
+                          ms;
+                        1
+                  end
+            in
+            (match trace_file with Some path -> reconcile path | None -> 0))
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Solve a netlist while streaming engine events to a JSONL trace
+             and/or a metrics registry.")
+    Term.(const run $ file $ method_ $ strategy $ evals $ base $ goto_start
+          $ seed $ trace_file $ metrics $ downsample)
 
 (* ---------------------------------------------------------------- *)
 (* generate                                                          *)
@@ -520,6 +704,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            tables_cmd; solve_cmd; generate_cmd; goto_cmd; tsp_cmd; partition_cmd;
-            route_cmd; floorplan_cmd; info_cmd;
+            tables_cmd; solve_cmd; trace_cmd; generate_cmd; goto_cmd; tsp_cmd;
+            partition_cmd; route_cmd; floorplan_cmd; info_cmd;
           ]))

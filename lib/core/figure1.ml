@@ -33,7 +33,9 @@ module Make (P : Mc_problem.S) = struct
            (Schedule.length schedule) (Gfun.name gfun) (Gfun.k gfun));
     { gfun; schedule; budget; counter_limit; acceptance_limit; defer_threshold }
 
-  let run rng p state =
+  let run ?(observer = Obs.Observer.null) rng p state =
+    let observing = Obs.Observer.enabled observer in
+    let emit ev = Obs.Observer.emit observer ev in
     let k = Gfun.k p.gfun in
     let clock = Budget.start p.budget in
     let hi = ref (P.cost state) in
@@ -48,19 +50,63 @@ module Make (P : Mc_problem.S) = struct
     let defer_run = ref 0 in
     let temp = ref 1 in
     let stop = ref false in
+    let run_t0 = if observing then Obs.now () else 0. in
+    let epoch_t0 = ref run_t0 in
+    let close_epoch t =
+      if observing then begin
+        let t1 = Obs.now () in
+        emit
+          (Obs.Event.Span
+             { name = Printf.sprintf "temp:%d" t; seconds = t1 -. !epoch_t0 });
+        epoch_t0 := t1
+      end
+    in
+    let enter_temp t =
+      if observing then
+        emit (Obs.Event.Temp_advance { temp = t; y = Schedule.get p.schedule t })
+    in
+    if observing then emit (Obs.Event.Run_start { cost = !hi });
+    enter_temp 1;
+    let advance_temp () =
+      close_epoch !temp;
+      incr temp;
+      counter := 0;
+      accepted_at_temp := 0;
+      enter_temp !temp
+    in
     let accept hj =
-      if hj < !hi then incr improving
-      else if hj = !hi then incr lateral
-      else incr uphill;
+      (* Classify by comparison and only materialise the delta when an
+         observer is attached: a [let delta = hj -. !hi] used in the
+         event record would be boxed on every acceptance, observer or
+         not. *)
+      let kind =
+        if hj < !hi then begin
+          incr improving;
+          Obs.Event.Improving
+        end
+        else if hj = !hi then begin
+          incr lateral;
+          Obs.Event.Lateral
+        end
+        else begin
+          incr uphill;
+          Obs.Event.Uphill
+        end
+      in
+      if observing then
+        emit (Obs.Event.Accepted { kind; cost = hj; delta = hj -. !hi });
       hi := hj;
       counter := 0;
       incr accepted_at_temp;
       if hj < !best_cost then begin
         best := P.copy state;
-        best_cost := hj
+        best_cost := hj;
+        if observing then
+          emit (Obs.Event.New_best { evaluation = Budget.ticks clock; cost = hj })
       end
     in
-    let reject m =
+    let reject m hj =
+      if observing then emit (Obs.Event.Rejected { delta = hj -. !hi });
       P.revert state m;
       incr rejected;
       incr counter
@@ -71,22 +117,18 @@ module Make (P : Mc_problem.S) = struct
         !temp < k
         && Budget.used_fraction clock >= float_of_int !temp /. float_of_int k
       do
-        incr temp;
-        counter := 0;
-        accepted_at_temp := 0
+        advance_temp ()
       done;
       if !counter >= p.counter_limit || !accepted_at_temp >= p.acceptance_limit then
         if !temp >= k then stop := true
-        else begin
-          incr temp;
-          counter := 0;
-          accepted_at_temp := 0
-        end
+        else advance_temp ()
       else begin
         let m = P.random_move rng state in
         Budget.tick clock;
         P.apply state m;
         let hj = P.cost state in
+        if observing then
+          emit (Obs.Event.Proposed { evaluation = Budget.ticks clock; cost = hj });
         if hj < !hi then begin
           accept hj;
           defer_run := 0
@@ -99,16 +141,26 @@ module Make (P : Mc_problem.S) = struct
               accept hj;
               defer_run := 1
             end
-            else reject m
+            else reject m hj
           end
         end
         else begin
           let y = Schedule.get p.schedule !temp in
           let g = Gfun.eval p.gfun ~temp:!temp ~y ~hi:!hi ~hj in
-          if Rng.unit_float rng < g then accept hj else reject m
+          if Rng.unit_float rng < g then accept hj else reject m hj
         end
       end
     done;
+    close_epoch !temp;
+    if observing then
+      emit
+        (Obs.Event.Run_end
+           {
+             evaluations = Budget.ticks clock;
+             final_cost = !hi;
+             best_cost = !best_cost;
+             seconds = Obs.now () -. run_t0;
+           });
     {
       Mc_problem.best = !best;
       best_cost = !best_cost;

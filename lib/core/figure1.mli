@@ -36,8 +36,16 @@ module Make (P : Mc_problem.S) : sig
   (** @raise Invalid_argument if the schedule length differs from the
       g-function's [k], or a threshold is non-positive. *)
 
-  val run : Rng.t -> params -> P.state -> P.state Mc_problem.run
+  val run :
+    ?observer:Obs.Observer.t -> Rng.t -> params -> P.state -> P.state Mc_problem.run
   (** [run rng params state] perturbs [state] in place until the budget
       is exhausted and returns the best snapshot found.  [state] is
-      left at the walk's final configuration. *)
+      left at the walk's final configuration.
+
+      [observer] (default {!Obs.null}) receives the full event stream:
+      [Run_start], a [Temp_advance] per temperature entered (the first
+      included), one [Proposed] per budget tick, [Accepted]/[Rejected]
+      wherever the returned statistics count one, [New_best] at every
+      strict improvement of the incumbent, a [Span "temp:<i>"] per
+      temperature epoch, and [Run_end]. *)
 end

@@ -28,7 +28,9 @@ module Make (P : Mc_problem.S) = struct
            (Schedule.length schedule) (Gfun.name gfun) (Gfun.k gfun));
     { gfun; schedule; budget; counter_limit; restart_schedule }
 
-  let run rng p state =
+  let run ?(observer = Obs.Observer.null) rng p state =
+    let observing = Obs.Observer.enabled observer in
+    let emit ev = Obs.Observer.emit observer ev in
     let k = Gfun.k p.gfun in
     let clock = Budget.start p.budget in
     let hi = ref (P.cost state) in
@@ -40,16 +42,27 @@ module Make (P : Mc_problem.S) = struct
     and rejected = ref 0
     and descents = ref 0
     and max_temp = ref 1 in
+    let run_t0 = if observing then Obs.now () else 0. in
+    let enter_temp t =
+      if observing then
+        emit (Obs.Event.Temp_advance { temp = t; y = Schedule.get p.schedule t })
+    in
+    if observing then emit (Obs.Event.Run_start { cost = !hi });
+    enter_temp 1;
     let note_best () =
       if !hi < !best_cost then begin
         best := P.copy state;
-        best_cost := !hi
+        best_cost := !hi;
+        if observing then
+          emit
+            (Obs.Event.New_best { evaluation = Budget.ticks clock; cost = !hi })
       end
     in
     (* First-improvement descent: rescan the neighborhood after every
        accepted move until a full pass finds nothing better.  Every
        tested move costs one budget tick. *)
     let descend () =
+      let span = Obs.Span.enter observer "descent" in
       let improved_this_pass = ref true in
       while !improved_this_pass && not (Budget.exhausted clock) do
         improved_this_pass := false;
@@ -61,13 +74,27 @@ module Make (P : Mc_problem.S) = struct
                 Budget.tick clock;
                 P.apply state m;
                 let hj = P.cost state in
+                if observing then
+                  emit
+                    (Obs.Event.Proposed
+                       { evaluation = Budget.ticks clock; cost = hj });
                 if hj < !hi then begin
+                  if observing then
+                    emit
+                      (Obs.Event.Accepted
+                         {
+                           kind = Obs.Event.Improving;
+                           cost = hj;
+                           delta = hj -. !hi;
+                         });
                   hi := hj;
                   incr improving;
                   improved_this_pass := true
                   (* restart the pass from the new configuration *)
                 end
                 else begin
+                  (* A tested, non-improving descent move is not a
+                     rejection in the statistics — no event either. *)
                   P.revert state m;
                   scan rest
                 end
@@ -75,6 +102,11 @@ module Make (P : Mc_problem.S) = struct
         scan (P.moves state)
       done;
       incr descents;
+      Obs.Span.exit observer span;
+      if observing then
+        emit
+          (Obs.Event.Descent_done
+             { cost = !hi; evaluations = Budget.ticks clock });
       note_best ()
     in
     let stop = ref false in
@@ -86,13 +118,15 @@ module Make (P : Mc_problem.S) = struct
         if !temp >= k then
           if p.restart_schedule then begin
             temp := 1;
-            counter := 0
+            counter := 0;
+            enter_temp 1
           end
           else stop := true
         else begin
           incr temp;
           counter := 0;
-          if !temp > !max_temp then max_temp := !temp
+          if !temp > !max_temp then max_temp := !temp;
+          enter_temp !temp
         end
       else begin
         incr counter;
@@ -100,22 +134,50 @@ module Make (P : Mc_problem.S) = struct
         Budget.tick clock;
         P.apply state m;
         let hj = P.cost state in
+        if observing then
+          emit (Obs.Event.Proposed { evaluation = Budget.ticks clock; cost = hj });
         let y = Schedule.get p.schedule !temp in
         let g = Gfun.eval p.gfun ~temp:!temp ~y ~hi:!hi ~hj in
         if Rng.unit_float rng < g then begin
-          if hj < !hi then incr improving
-          else if hj = !hi then incr lateral
-          else incr uphill;
+          (* Compare rather than bind a delta: a float let bound here
+             and stored in the event record would be boxed on every
+             acceptance, observer or not. *)
+          let kind =
+            if hj < !hi then begin
+              incr improving;
+              Obs.Event.Improving
+            end
+            else if hj = !hi then begin
+              incr lateral;
+              Obs.Event.Lateral
+            end
+            else begin
+              incr uphill;
+              Obs.Event.Uphill
+            end
+          in
+          if observing then
+            emit (Obs.Event.Accepted { kind; cost = hj; delta = hj -. !hi });
           hi := hj;
           note_best ();
           descend ()
         end
         else begin
+          if observing then emit (Obs.Event.Rejected { delta = hj -. !hi });
           P.revert state m;
           incr rejected
         end
       end
     done;
+    if observing then
+      emit
+        (Obs.Event.Run_end
+           {
+             evaluations = Budget.ticks clock;
+             final_cost = !hi;
+             best_cost = !best_cost;
+             seconds = Obs.now () -. run_t0;
+           });
     {
       Mc_problem.best = !best;
       best_cost = !best_cost;

@@ -28,8 +28,17 @@ module Make (P : Mc_problem.S) : sig
       @raise Invalid_argument if the schedule length differs from the
       g-function's [k] or [counter_limit <= 0]. *)
 
-  val run : Rng.t -> params -> P.state -> P.state Mc_problem.run
+  val run :
+    ?observer:Obs.Observer.t -> Rng.t -> params -> P.state -> P.state Mc_problem.run
   (** Mutates [state]; returns the best snapshot.  Each tested move of
-      the descent and each random perturbation costs one budget
-      tick. *)
+      the descent and each random perturbation costs one budget tick.
+
+      [observer] (default {!Obs.null}) receives one [Proposed] per
+      budget tick, [Accepted {kind = Improving}] for every descent
+      step taken (tested-but-worse descent moves emit nothing further,
+      mirroring the statistics, which do not count them as
+      rejections), [Accepted]/[Rejected] for every probe,
+      a [Span "descent"] plus [Descent_done] per descent, a
+      [Temp_advance] per temperature entered (restarts re-enter
+      temperature 1), [New_best], and [Run_start]/[Run_end]. *)
 end

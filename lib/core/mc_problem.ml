@@ -56,3 +56,61 @@ let empty_stats =
     temperatures_visited = 1;
     descents = 0;
   }
+
+let accepted s = s.improving + s.lateral_accepted + s.uphill_accepted
+
+(** One aligned line per counter, plus the derived acceptance ratio. *)
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<v>evaluations          %12d@,\
+     improving            %12d@,\
+     lateral accepted     %12d@,\
+     uphill accepted      %12d@,\
+     rejected             %12d@,\
+     temperatures visited %12d@,\
+     descents             %12d@,\
+     acceptance ratio     %12s@]"
+    s.evaluations s.improving s.lateral_accepted s.uphill_accepted s.rejected
+    s.temperatures_visited s.descents
+    (if s.evaluations = 0 then "-"
+     else Printf.sprintf "%.3f" (float_of_int (accepted s) /. float_of_int s.evaluations))
+
+let stats_to_json s =
+  Obs.Json.Obj
+    [
+      ("evaluations", Obs.Json.Int s.evaluations);
+      ("improving", Obs.Json.Int s.improving);
+      ("lateral_accepted", Obs.Json.Int s.lateral_accepted);
+      ("uphill_accepted", Obs.Json.Int s.uphill_accepted);
+      ("rejected", Obs.Json.Int s.rejected);
+      ("temperatures_visited", Obs.Json.Int s.temperatures_visited);
+      ("descents", Obs.Json.Int s.descents);
+    ]
+
+(** Reconstruct the counters from an event stream: [evaluations] counts
+    [Proposed], the acceptance counters count [Accepted] by kind,
+    [rejected] counts [Rejected], [descents] counts [Descent_done], and
+    [temperatures_visited] is the highest temperature index any
+    [Temp_advance] announced (restart-safe).  For Figure 1 and Figure 2
+    this reproduces the returned stats exactly; the rejectionless
+    engine emits no [Rejected] events (its [rejected] counter is scan
+    overhead, not rejections), so that field reconstructs as 0 there. *)
+let stats_of_events events =
+  List.fold_left
+    (fun s ev ->
+      match ev with
+      | Obs.Event.Proposed _ -> { s with evaluations = s.evaluations + 1 }
+      | Obs.Event.Accepted { kind = Obs.Event.Improving; _ } ->
+          { s with improving = s.improving + 1 }
+      | Obs.Event.Accepted { kind = Obs.Event.Lateral; _ } ->
+          { s with lateral_accepted = s.lateral_accepted + 1 }
+      | Obs.Event.Accepted { kind = Obs.Event.Uphill; _ } ->
+          { s with uphill_accepted = s.uphill_accepted + 1 }
+      | Obs.Event.Rejected _ -> { s with rejected = s.rejected + 1 }
+      | Obs.Event.Temp_advance { temp; _ } ->
+          { s with temperatures_visited = max s.temperatures_visited temp }
+      | Obs.Event.Descent_done _ -> { s with descents = s.descents + 1 }
+      | Obs.Event.Run_start _ | Obs.Event.New_best _ | Obs.Event.Span _
+      | Obs.Event.Run_end _ ->
+          s)
+    empty_stats events

@@ -7,7 +7,8 @@ module Make (P : Mc_problem.S) = struct
     total_evaluations : int;
   }
 
-  let run ?(domains = 1) rng ~chains ~params ~make_state =
+  let run ?(domains = 1) ?(observer = Obs.Observer.null) rng ~chains ~params
+      ~make_state =
     if chains <= 0 then invalid_arg "Multi_start.run: chains <= 0";
     if domains <= 0 then invalid_arg "Multi_start.run: domains <= 0";
     (* Fix every chain's inputs up front so the outcome does not depend
@@ -20,7 +21,7 @@ module Make (P : Mc_problem.S) = struct
     let results = Array.make chains None in
     let run_job (i, chain_rng) =
       let state = make_state i in
-      results.(i) <- Some (Engine.run chain_rng params state)
+      results.(i) <- Some (Engine.run ~observer chain_rng params state)
     in
     let workers = min domains chains in
     if workers = 1 then Array.iter run_job jobs
@@ -35,7 +36,7 @@ module Make (P : Mc_problem.S) = struct
                     if i mod workers = w then begin
                       let (i, chain_rng) = job in
                       let state = make_state i in
-                      local := (i, Engine.run chain_rng params state) :: !local
+                      local := (i, Engine.run ~observer chain_rng params state) :: !local
                     end)
                   jobs;
                 !local))

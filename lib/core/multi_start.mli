@@ -19,6 +19,7 @@ module Make (P : Mc_problem.S) : sig
 
   val run :
     ?domains:int ->
+    ?observer:Obs.Observer.t ->
     Rng.t ->
     chains:int ->
     params:Engine.params ->
@@ -33,6 +34,12 @@ module Make (P : Mc_problem.S) : sig
       and must not mutate shared state; reading immutable inputs (a
       netlist, a TSP instance) is fine, which is what the adapters in
       this repository do.
+
+      [observer] (default {!Obs.null}) is handed to every chain's
+      engine run, so the event streams of all chains interleave
+      through it.  The bundled sinks are single-domain; combine an
+      observer with [domains:1] (or supply your own domain-safe
+      observer) when tracing.
 
       @raise Invalid_argument if [chains <= 0] or [domains <= 0]. *)
 end

@@ -20,7 +20,9 @@ module Make (P : Mc_problem.S) = struct
       invalid_arg "Rejectionless.params: schedule length mismatch";
     { gfun; schedule; budget }
 
-  let run rng p state =
+  let run ?(observer = Obs.Observer.null) rng p state =
+    let observing = Obs.Observer.enabled observer in
+    let emit ev = Obs.Observer.emit observer ev in
     let k = Gfun.k p.gfun in
     let clock = Budget.start p.budget in
     let hi = ref (P.cost state) in
@@ -32,12 +34,20 @@ module Make (P : Mc_problem.S) = struct
     and steps = ref 0 in
     let temp = ref 1 in
     let stop = ref false in
+    let run_t0 = if observing then Obs.now () else 0. in
+    let enter_temp t =
+      if observing then
+        emit (Obs.Event.Temp_advance { temp = t; y = Schedule.get p.schedule t })
+    in
+    if observing then emit (Obs.Event.Run_start { cost = !hi });
+    enter_temp 1;
     while (not !stop) && not (Budget.exhausted clock) do
       while
         !temp < k
         && Budget.used_fraction clock >= float_of_int !temp /. float_of_int k
       do
-        incr temp
+        incr temp;
+        enter_temp !temp
       done;
       let y = Schedule.get p.schedule !temp in
       (* Weigh every move by its acceptance probability. *)
@@ -50,6 +60,10 @@ module Make (P : Mc_problem.S) = struct
                  P.apply state m;
                  let hj = P.cost state in
                  P.revert state m;
+                 if observing then
+                   emit
+                     (Obs.Event.Proposed
+                        { evaluation = Budget.ticks clock; cost = hj });
                  let w =
                    if hj < !hi then 1.
                    else
@@ -61,24 +75,60 @@ module Make (P : Mc_problem.S) = struct
                end)
         |> Array.of_seq
       in
-      if Array.length weighted = 0 then
+      if Array.length weighted = 0 then begin
         (* Frozen at this temperature: advance or finish. *)
-        if !temp >= k then stop := true else incr temp
+        if !temp >= k then stop := true
+        else begin
+          incr temp;
+          enter_temp !temp
+        end
+      end
       else begin
         let weights = Array.map (fun (_, _, w) -> w) weighted in
         let m, hj, _ = weighted.(Rng.categorical rng weights) in
         P.apply state m;
-        if hj < !hi then incr improving
-        else if hj = !hi then incr lateral
-        else incr uphill;
+        (* Compare rather than bind a delta: a float let bound here and
+           stored in the event record would be boxed on every committed
+           step, observer or not. *)
+        let kind =
+          if hj < !hi then begin
+            incr improving;
+            Obs.Event.Improving
+          end
+          else if hj = !hi then begin
+            incr lateral;
+            Obs.Event.Lateral
+          end
+          else begin
+            incr uphill;
+            Obs.Event.Uphill
+          end
+        in
+        if observing then begin
+          emit (Obs.Event.Accepted { kind; cost = hj; delta = hj -. !hi });
+          emit
+            (Obs.Event.Descent_done { cost = hj; evaluations = Budget.ticks clock })
+        end;
         hi := hj;
         incr steps;
         if hj < !best_cost then begin
           best := P.copy state;
-          best_cost := hj
+          best_cost := hj;
+          if observing then
+            emit
+              (Obs.Event.New_best { evaluation = Budget.ticks clock; cost = hj })
         end
       end
     done;
+    if observing then
+      emit
+        (Obs.Event.Run_end
+           {
+             evaluations = Budget.ticks clock;
+             final_cost = !hi;
+             best_cost = !best_cost;
+             seconds = Obs.now () -. run_t0;
+           });
     {
       Mc_problem.best = !best;
       best_cost = !best_cost;

@@ -15,5 +15,13 @@ module Make (P : Mc_problem.S) : sig
   val params : gfun:Gfun.t -> schedule:Schedule.t -> budget:Budget.t -> params
   (** @raise Invalid_argument on schedule/g-function length mismatch. *)
 
-  val run : Rng.t -> params -> P.state -> P.state Mc_problem.run
+  val run :
+    ?observer:Obs.Observer.t -> Rng.t -> params -> P.state -> P.state Mc_problem.run
+  (** [observer] (default {!Obs.null}) receives one [Proposed] per
+      neighborhood evaluation, an [Accepted] plus a [Descent_done] per
+      committed step, a [Temp_advance] per temperature entered,
+      [New_best], and [Run_start]/[Run_end].  No [Rejected] events are
+      emitted — this engine never rejects; the scan overhead the stats
+      report under [rejected] is the difference between [Proposed] and
+      [Descent_done] counts. *)
 end

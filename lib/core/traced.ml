@@ -1,73 +1,28 @@
-module Recorder = struct
-  type t = {
-    capacity : int;
-    mutable indices : int array;
-    mutable costs : float array;
-    mutable len : int;
-    mutable stride : int;
-    mutable count : int;
-    mutable minimum : float;
-  }
-
-  let create capacity =
-    let capacity = max 2 capacity in
-    {
-      capacity;
-      indices = Array.make capacity 0;
-      costs = Array.make capacity 0.;
-      len = 0;
-      stride = 1;
-      count = 0;
-      minimum = infinity;
-    }
-
-  (* Keep every even-position sample and double the stride: the
-     retained series stays evenly spaced over the whole run. *)
-  let compact t =
-    let kept = ref 0 in
-    for i = 0 to t.len - 1 do
-      if i land 1 = 0 then begin
-        t.indices.(!kept) <- t.indices.(i);
-        t.costs.(!kept) <- t.costs.(i);
-        incr kept
-      end
-    done;
-    t.len <- !kept;
-    t.stride <- t.stride * 2
-
-  let record t cost =
-    if cost < t.minimum then t.minimum <- cost;
-    if t.count mod t.stride = 0 then begin
-      if t.len = t.capacity then compact t;
-      (* After compaction the current count may no longer be on the new
-         stride grid; keep it anyway - one off-grid point does not bend
-         the series. *)
-      t.indices.(t.len) <- t.count;
-      t.costs.(t.len) <- cost;
-      t.len <- t.len + 1
-    end;
-    t.count <- t.count + 1
-
-  let count t = t.count
-  let stride t = t.stride
-  let series t = Array.init t.len (fun i -> (t.indices.(i), t.costs.(i)))
-
-  let minimum t =
-    if t.count = 0 then invalid_arg "Traced.Recorder.minimum: empty recorder";
-    t.minimum
-end
+(* The recorder lives in the observability layer now (stride-doubling
+   decimation, usable as an Obs sink on its own); Traced keeps its
+   historical role as a problem wrapper that feeds one. *)
+module Recorder = Obs.Trajectory
 
 module Make (P : Mc_problem.S) = struct
-  type state = { inner : P.state; recorder : Recorder.t }
+  type state = {
+    inner : P.state;
+    recorder : Recorder.t;
+    observer : Obs.Observer.t;
+  }
+
   type move = P.move
 
-  let wrap ?(capacity = 512) inner = { inner; recorder = Recorder.create capacity }
+  let wrap ?(capacity = 512) inner =
+    let recorder = Recorder.create capacity in
+    { inner; recorder; observer = Obs.Trajectory.observer recorder }
+
   let unwrap s = s.inner
   let recorder s = s.recorder
 
   let cost s =
     let c = P.cost s.inner in
-    Recorder.record s.recorder c;
+    Obs.Observer.emit s.observer
+      (Obs.Event.Proposed { evaluation = Recorder.count s.recorder; cost = c });
     c
 
   let random_move rng s = P.random_move rng s.inner

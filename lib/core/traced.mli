@@ -6,27 +6,20 @@
     Snapshots taken by the engines ([copy]) share the recorder, so one
     run produces one trajectory.
 
-    The recorder keeps memory bounded by decimation: when its buffer
-    fills, it drops every other sample and doubles its sampling
-    stride, so a million-evaluation run still yields an evenly spread
-    series of at most [capacity] points. *)
+    The wrapper is a thin adapter over the observability layer: each
+    cost evaluation is emitted as an {!Obs.Event.Proposed} event into
+    an {!Obs.Trajectory} sink, which keeps memory bounded by
+    decimation — when its buffer fills, it drops every other sample
+    and doubles its sampling stride, so a million-evaluation run still
+    yields an evenly spread series of at most [capacity] points.
 
-module Recorder : sig
-  type t
+    Engines that accept [?observer] directly (with an
+    [Obs.Trajectory.observer] sink) record the same trajectory without
+    wrapping the problem; [Traced] remains for problems that must be
+    traced under an engine unaware of observers. *)
 
-  val count : t -> int
-  (** Cost evaluations seen. *)
-
-  val series : t -> (int * float) array
-  (** Retained samples as (evaluation index, cost), oldest first. *)
-
-  val minimum : t -> float
-  (** Smallest cost ever evaluated.  @raise Invalid_argument if
-      nothing was recorded. *)
-
-  val stride : t -> int
-  (** Current decimation stride (1 until the buffer first fills). *)
-end
+module Recorder : module type of Obs.Trajectory with type t = Obs.Trajectory.t
+(** Alias of {!Obs.Trajectory} (the implementation moved there). *)
 
 module Make (P : Mc_problem.S) : sig
   include Mc_problem.S with type move = P.move

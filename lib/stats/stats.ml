@@ -96,6 +96,22 @@ module Online = struct
   let max t =
     if t.count = 0 then invalid_arg "Stats.Online.max: empty";
     t.max
+
+  let merge a b =
+    (* Chan et al. pairwise combination of Welford accumulators. *)
+    if a.count = 0 then { b with count = b.count }
+    else if b.count = 0 then { a with count = a.count }
+    else
+      let na = float_of_int a.count and nb = float_of_int b.count in
+      let n = na +. nb in
+      let delta = b.mean -. a.mean in
+      {
+        count = a.count + b.count;
+        mean = a.mean +. (delta *. nb /. n);
+        m2 = a.m2 +. b.m2 +. (delta *. delta *. na *. nb /. n);
+        min = Float.min a.min b.min;
+        max = Float.max a.max b.max;
+      }
 end
 
 module Histogram = struct

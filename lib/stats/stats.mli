@@ -54,6 +54,11 @@ module Online : sig
 
   val max : t -> float
   (** @raise Invalid_argument when empty. *)
+
+  val merge : t -> t -> t
+  (** Combine two accumulators into a fresh one equivalent to having
+      seen both sample streams (Chan et al.'s parallel Welford
+      update); neither argument is mutated. *)
 end
 
 (** Fixed-bin histogram over a closed range, for acceptance-ratio and
