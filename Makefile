@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-quick bench-smoke examples doc clean
+.PHONY: all build test lint bench bench-quick bench-smoke examples doc clean
 
 all: build
 
@@ -9,6 +9,12 @@ build:
 
 test:
 	dune runtest
+
+# Static analysis gate: sa_lint over lib/ bin/ bench/ test/ plus
+# schema validation of its JSON report.  Also runs as part of
+# `dune runtest` via the @lint alias.
+lint:
+	dune build @lint
 
 # Full reproduction run: every table of the paper + extensions + micro-benches.
 bench:

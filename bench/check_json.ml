@@ -1,41 +1,17 @@
-(* Smoke validator for the bench harness's JSON summary: `check_json
-   PATH` exits non-zero (with a message naming the failing check) when
-   the file is missing, malformed, or structurally wrong.  Run by the
-   bench-smoke alias so `dune runtest` catches a bench regression that
-   breaks the machine-readable output. *)
+(* Schema validator for the repo's machine-readable JSON documents:
+   `check_json PATH` exits non-zero (with a message naming the failing
+   check) when the file is missing, malformed, or structurally wrong.
+   The top-level "schema" field selects the rule set:
+
+   - sa-lab/bench-results/v1  (bench/main.exe --json; bench-smoke alias)
+   - sa-lab/lint-report/v1    (sa_lint --json / --json-file; @lint alias)
+
+   Run by `dune runtest` through both aliases, so a regression that
+   breaks either machine-readable output fails the tier-1 gate. *)
 
 let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("check_json: " ^ msg); exit 1) fmt
 
-let () =
-  let path =
-    match Sys.argv with
-    | [| _; path |] -> path
-    | _ ->
-        prerr_endline "usage: check_json BENCH_results.json";
-        exit 2
-  in
-  if not (Sys.file_exists path) then fail "%s: no such file" path;
-  let text =
-    let ic = open_in path in
-    let len = in_channel_length ic in
-    let s = really_input_string ic len in
-    close_in ic;
-    s
-  in
-  let json =
-    match Obs.Json.parse (String.trim text) with
-    | Ok j -> j
-    | Error msg -> fail "%s: malformed JSON: %s" path msg
-  in
-  let member name =
-    match Obs.Json.member name json with
-    | Some v -> v
-    | None -> fail "%s: missing top-level field %S" path name
-  in
-  (match member "schema" with
-  | Obs.Json.String "sa-lab/bench-results/v1" -> ()
-  | Obs.Json.String other -> fail "%s: unexpected schema %S" path other
-  | _ -> fail "%s: schema is not a string" path);
+let check_bench path member =
   (match Obs.Json.to_float (member "engine_evals_per_sec") with
   | Some v when v > 0. && Float.is_finite v -> ()
   | Some v -> fail "%s: engine_evals_per_sec = %g is not positive" path v
@@ -64,7 +40,98 @@ let () =
           | _ -> fail "%s: tables[%d].rows is not a positive integer" path i)
         tables
   | _ -> fail "%s: tables is not a list" path);
-  (match member "micro" with
+  match member "micro" with
   | Obs.Json.List _ -> ()
-  | _ -> fail "%s: micro is not a list" path);
-  Printf.printf "check_json: %s ok\n" path
+  | _ -> fail "%s: micro is not a list" path
+
+let check_lint path member =
+  let non_negative_int name =
+    match Obs.Json.to_int (member name) with
+    | Some v when v >= 0 -> v
+    | _ -> fail "%s: %s is not a non-negative integer" path name
+  in
+  let _files = non_negative_int "files_scanned" in
+  let _supp = non_negative_int "suppressions" in
+  let errors = non_negative_int "error_count" in
+  let warnings = non_negative_int "warning_count" in
+  (match member "rules" with
+  | Obs.Json.List [] -> fail "%s: rules is empty" path
+  | Obs.Json.List rules ->
+      List.iteri
+        (fun i r ->
+          let field name =
+            match Obs.Json.member name r with
+            | Some (Obs.Json.String s) when s <> "" -> s
+            | _ -> fail "%s: rules[%d].%s is not a non-empty string" path i name
+          in
+          let _ = field "name" in
+          let _ = field "doc" in
+          match field "severity" with
+          | "error" | "warning" -> ()
+          | s -> fail "%s: rules[%d].severity %S is not error/warning" path i s)
+        rules
+  | _ -> fail "%s: rules is not a list" path);
+  match member "diagnostics" with
+  | Obs.Json.List diags ->
+      let counted = ref 0 in
+      List.iteri
+        (fun i d ->
+          let field name =
+            match Obs.Json.member name d with
+            | Some v -> v
+            | None -> fail "%s: diagnostics[%d] missing field %S" path i name
+          in
+          (match (field "rule", field "file", field "message") with
+          | Obs.Json.String _, Obs.Json.String _, Obs.Json.String _ -> ()
+          | _ -> fail "%s: diagnostics[%d] rule/file/message must be strings" path i);
+          (match Obs.Json.to_int (field "line") with
+          | Some l when l >= 1 -> ()
+          | _ -> fail "%s: diagnostics[%d].line is not a positive integer" path i);
+          (match Obs.Json.to_int (field "col") with
+          | Some c when c >= 0 -> ()
+          | _ -> fail "%s: diagnostics[%d].col is not a non-negative integer" path i);
+          match field "severity" with
+          | Obs.Json.String ("error" | "warning") -> incr counted
+          | _ -> fail "%s: diagnostics[%d].severity is not error/warning" path i)
+        diags;
+      if !counted <> errors + warnings then
+        fail "%s: error_count + warning_count = %d but %d diagnostics listed"
+          path (errors + warnings) !counted
+  | _ -> fail "%s: diagnostics is not a list" path
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; path |] -> path
+    | _ ->
+        prerr_endline "usage: check_json FILE.json";
+        exit 2
+  in
+  if not (Sys.file_exists path) then fail "%s: no such file" path;
+  let text =
+    let ic = open_in path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    s
+  in
+  let json =
+    match Obs.Json.parse (String.trim text) with
+    | Ok j -> j
+    | Error msg -> fail "%s: malformed JSON: %s" path msg
+  in
+  let member name =
+    match Obs.Json.member name json with
+    | Some v -> v
+    | None -> fail "%s: missing top-level field %S" path name
+  in
+  let schema =
+    match member "schema" with
+    | Obs.Json.String s -> s
+    | _ -> fail "%s: schema is not a string" path
+  in
+  (match schema with
+  | "sa-lab/bench-results/v1" -> check_bench path member
+  | "sa-lab/lint-report/v1" -> check_lint path member
+  | other -> fail "%s: unknown schema %S" path other);
+  Printf.printf "check_json: %s ok (%s)\n" path schema

@@ -1,0 +1,63 @@
+(* The project lint gate: `sa_lint [options] [paths...]` walks the
+   given trees (default: lib bin bench test), runs the built-in rule
+   catalog, and exits non-zero on any finding — the `@lint` dune alias
+   and `make lint` are thin wrappers over this.
+
+   Output is the human text report by default; `--json` emits the
+   sa-lab/lint-report/v1 document to stdout and `--json-file PATH`
+   writes it to a file (both may be combined with the text report
+   suppressed only in `--json` mode). *)
+
+let usage = "usage: sa_lint [--root DIR] [--json] [--json-file PATH] [--list-rules] [paths...]"
+
+let () =
+  let root = ref "." in
+  let json_stdout = ref false in
+  let json_file = ref "" in
+  let list_rules = ref false in
+  let paths = ref [] in
+  let spec =
+    [
+      ("--root", Arg.Set_string root, "DIR directory the paths are relative to (default .)");
+      ("--json", Arg.Set json_stdout, " print the sa-lab/lint-report/v1 JSON to stdout");
+      ("--json-file", Arg.Set_string json_file, "PATH also write the JSON report to PATH");
+      ("--list-rules", Arg.Set list_rules, " print the rule catalog and exit");
+    ]
+  in
+  Arg.parse spec (fun p -> paths := p :: !paths) usage;
+  Lint_rules.register_builtin ();
+  if !list_rules then begin
+    List.iter
+      (fun r ->
+        Printf.printf "%-22s %-7s %s\n" r.Lint_rule.name
+          (Lint_diagnostic.severity_name r.Lint_rule.severity)
+          r.Lint_rule.doc)
+      (Lint_rule.all ());
+    exit 0
+  end;
+  let paths =
+    match List.rev !paths with
+    | [] ->
+        (* Default to the repo's linted trees, tolerating absent ones
+           so the exe also works from a partial checkout. *)
+        List.filter
+          (fun p -> Sys.file_exists (Filename.concat !root p))
+          [ "lib"; "bin"; "bench"; "test" ]
+    | ps -> ps
+  in
+  let report =
+    try Lint.run ~root:!root paths
+    with Sys_error msg ->
+      prerr_endline msg;
+      exit 2
+  in
+  if !json_file <> "" then begin
+    let oc = open_out !json_file in
+    output_string oc (Obs.Json.to_string (Lint.to_json report));
+    output_char oc '\n';
+    close_out oc
+  end;
+  if !json_stdout then
+    print_endline (Obs.Json.to_string (Lint.to_json report))
+  else Format.printf "%a@?" Lint.pp_text report;
+  if report.Lint.diagnostics <> [] then exit 1

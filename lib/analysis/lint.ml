@@ -1,0 +1,210 @@
+type report = {
+  files_scanned : int;
+  suppressions : int;
+  rules : Lint_rule.t list;
+  diagnostics : Lint_diagnostic.t list;
+}
+
+let skip_marker = "sa-lint.skip"
+
+let is_source p =
+  Filename.check_suffix p ".ml" || Filename.check_suffix p ".mli"
+
+(* [_build] artifacts, hidden directories and marker-skipped trees are
+   never linted.  The marker is only honoured below the requested
+   roots, so `sa_lint test/lint_fixtures` still lints the fixtures. *)
+let skip_dir name = name = "_build" || (String.length name > 0 && name.[0] = '.')
+
+let scan_files ~root paths =
+  let results = ref [] in
+  let rec walk_dir rel abs =
+    Array.iter
+      (fun entry ->
+        let rel' = if rel = "" then entry else rel ^ "/" ^ entry in
+        let abs' = Filename.concat abs entry in
+        if Sys.is_directory abs' then begin
+          if
+            (not (skip_dir entry))
+            && not (Sys.file_exists (Filename.concat abs' skip_marker))
+          then walk_dir rel' abs'
+        end
+        else if is_source entry then results := rel' :: !results)
+      (Sys.readdir abs)
+  in
+  List.iter
+    (fun path ->
+      (* Normalize so "." / "./lib" requests classify the same as
+         "lib": relative paths in reports never carry a "./" prefix. *)
+      let path =
+        let rec strip p =
+          if p = "." then ""
+          else if String.length p >= 2 && String.sub p 0 2 = "./" then
+            strip (String.sub p 2 (String.length p - 2))
+          else p
+        in
+        strip path
+      in
+      let abs = if path = "" then root else Filename.concat root path in
+      if not (Sys.file_exists abs) then
+        raise (Sys_error (Printf.sprintf "sa-lint: no such path: %s" abs))
+      else if Sys.is_directory abs then walk_dir path abs
+      else if is_source path then results := path :: !results)
+    paths;
+  List.sort_uniq String.compare !results
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Synthetic rule for files the front end rejects: a lint pass that
+   silently skipped unparseable files would be worse than useless. *)
+let parse_error_rule =
+  {
+    Lint_rule.name = "parse-error";
+    severity = Lint_diagnostic.Error;
+    doc = "the file does not parse";
+    check = Lint_rule.Fileset (fun _ -> []);
+  }
+
+let parse_error_diag (file : Lint_rule.source_file) exn =
+  let line, col, end_line, end_col, message =
+    match Location.error_of_exn exn with
+    | Some (`Ok report) ->
+        let loc = report.Location.main.Location.loc in
+        let s = loc.Location.loc_start and e = loc.Location.loc_end in
+        ( s.Lexing.pos_lnum,
+          s.Lexing.pos_cnum - s.Lexing.pos_bol,
+          e.Lexing.pos_lnum,
+          e.Lexing.pos_cnum - e.Lexing.pos_bol,
+          Format.asprintf "%t" report.Location.main.Location.txt )
+    | _ -> (1, 0, 1, 0, Printexc.to_string exn)
+  in
+  {
+    Lint_diagnostic.rule = parse_error_rule.Lint_rule.name;
+    severity = Lint_diagnostic.Error;
+    file = file.Lint_rule.path;
+    line;
+    col;
+    end_line;
+    end_col;
+    message;
+  }
+
+(* Parse one implementation with the compiler's front end, also
+   harvesting its comments for the suppression table.  Docstrings are
+   plain comments here: directives may live in either. *)
+let parse_ml (file : Lint_rule.source_file) =
+  Lexer.handle_docstrings := false;
+  let lexbuf = Lexing.from_string file.Lint_rule.source in
+  Lexing.set_filename lexbuf file.Lint_rule.path;
+  match Parse.implementation lexbuf with
+  | str -> Ok (str, Lexer.comments ())
+  | exception exn -> Error (parse_error_diag file exn)
+
+let run ?rules ~root paths =
+  let rules = match rules with Some r -> r | None -> Lint_rule.all () in
+  let files =
+    List.map
+      (fun path ->
+        let source = read_file (Filename.concat root path) in
+        Lint_rule.classify ~root ~path ~source)
+      (scan_files ~root paths)
+  in
+  let structure_rules, fileset_rules =
+    List.partition
+      (fun r ->
+        match r.Lint_rule.check with
+        | Lint_rule.Structure _ -> true
+        | Lint_rule.Fileset _ -> false)
+      rules
+  in
+  (* Per-file pass: parse once, run every structure rule, remember the
+     suppression table keyed by path for the final filter. *)
+  let suppress_tables = Hashtbl.create 64 in
+  let per_file =
+    List.concat_map
+      (fun (file : Lint_rule.source_file) ->
+        if file.Lint_rule.kind <> `Ml then []
+        else
+          match parse_ml file with
+          | Error diag -> [ diag ]
+          | Ok (str, comments) ->
+              Hashtbl.replace suppress_tables file.Lint_rule.path
+                (Lint_suppress.of_comments comments);
+              List.concat_map
+                (fun r ->
+                  match r.Lint_rule.check with
+                  | Lint_rule.Structure f -> f file str
+                  | Lint_rule.Fileset _ -> [])
+                structure_rules)
+      files
+  in
+  let fileset =
+    List.concat_map
+      (fun r ->
+        match r.Lint_rule.check with
+        | Lint_rule.Fileset f -> f files
+        | Lint_rule.Structure _ -> [])
+      fileset_rules
+  in
+  let suppressed (d : Lint_diagnostic.t) =
+    match Hashtbl.find_opt suppress_tables d.Lint_diagnostic.file with
+    | None -> false
+    | Some table ->
+        Lint_suppress.suppressed table ~rule:d.Lint_diagnostic.rule
+          ~line:d.Lint_diagnostic.line
+  in
+  let diagnostics =
+    List.sort Lint_diagnostic.compare
+      (List.filter (fun d -> not (suppressed d)) (per_file @ fileset))
+  in
+  let suppressions =
+    Hashtbl.fold (fun _ t acc -> acc + Lint_suppress.count t) suppress_tables 0
+  in
+  { files_scanned = List.length files; suppressions; rules; diagnostics }
+
+let count severity report =
+  List.length
+    (List.filter
+       (fun d -> d.Lint_diagnostic.severity = severity)
+       report.diagnostics)
+
+let error_count = count Lint_diagnostic.Error
+let warning_count = count Lint_diagnostic.Warning
+
+let to_json report =
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.String "sa-lab/lint-report/v1");
+      ("files_scanned", Obs.Json.Int report.files_scanned);
+      ("suppressions", Obs.Json.Int report.suppressions);
+      ("error_count", Obs.Json.Int (error_count report));
+      ("warning_count", Obs.Json.Int (warning_count report));
+      ( "rules",
+        Obs.Json.List
+          (List.map
+             (fun r ->
+               Obs.Json.Obj
+                 [
+                   ("name", Obs.Json.String r.Lint_rule.name);
+                   ( "severity",
+                     Obs.Json.String
+                       (Lint_diagnostic.severity_name r.Lint_rule.severity) );
+                   ("doc", Obs.Json.String r.Lint_rule.doc);
+                 ])
+             report.rules) );
+      ( "diagnostics",
+        Obs.Json.List (List.map Lint_diagnostic.to_json report.diagnostics) );
+    ]
+
+let pp_text ppf report =
+  List.iter
+    (fun d -> Format.fprintf ppf "%a@." Lint_diagnostic.pp d)
+    report.diagnostics;
+  Format.fprintf ppf "sa-lint: %d files scanned, %d errors, %d warnings"
+    report.files_scanned (error_count report) (warning_count report);
+  if report.suppressions > 0 then
+    Format.fprintf ppf " (%d suppressions)" report.suppressions;
+  Format.fprintf ppf "@."

@@ -1,0 +1,40 @@
+(** The lint driver: walk source trees, parse with the compiler's own
+    front end, run the registered rules, honour per-site suppressions,
+    and render text or JSON ([sa-lab/lint-report/v1]) reports.
+
+    Directory walking skips [_build], hidden directories, and any
+    directory containing an [sa-lint.skip] marker file (how the
+    deliberately-broken fixtures under [test/lint_fixtures] are kept
+    out of the repo-wide pass while remaining directly lintable). *)
+
+type report = {
+  files_scanned : int;
+  suppressions : int;  (** sa-lint directives seen across the tree *)
+  rules : Lint_rule.t list;  (** the rule set the report was made with *)
+  diagnostics : Lint_diagnostic.t list;  (** sorted, suppressions removed *)
+}
+
+val skip_marker : string
+(** ["sa-lint.skip"]. *)
+
+val scan_files : root:string -> string list -> string list
+(** [scan_files ~root paths] walks each of [paths] (relative to
+    [root]; files or directories) and returns the [.ml]/[.mli] files
+    found, as sorted root-relative paths.  A path that does not exist
+    is an error.
+
+    @raise Sys_error on unreadable paths. *)
+
+val run : ?rules:Lint_rule.t list -> root:string -> string list -> report
+(** Lint [paths] under [root] with [rules] (default: the current
+    {!Lint_rule.all} registry).  Parse failures surface as diagnostics
+    of a synthetic [parse-error] rule rather than exceptions. *)
+
+val error_count : report -> int
+val warning_count : report -> int
+
+val to_json : report -> Obs.Json.t
+(** The [sa-lab/lint-report/v1] document. *)
+
+val pp_text : Format.formatter -> report -> unit
+(** One line per diagnostic plus a summary line. *)

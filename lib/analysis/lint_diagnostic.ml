@@ -1,0 +1,42 @@
+type severity = Error | Warning
+
+type t = {
+  rule : string;
+  severity : severity;
+  file : string;
+  line : int;
+  col : int;
+  end_line : int;
+  end_col : int;
+  message : string;
+}
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> (
+          match Int.compare a.col b.col with
+          | 0 -> String.compare a.rule b.rule
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let pp ppf d =
+  Format.fprintf ppf "%s:%d:%d: %s [%s] %s" d.file d.line d.col
+    (severity_name d.severity) d.rule d.message
+
+let to_json d =
+  Obs.Json.Obj
+    [
+      ("rule", Obs.Json.String d.rule);
+      ("severity", Obs.Json.String (severity_name d.severity));
+      ("file", Obs.Json.String d.file);
+      ("line", Obs.Json.Int d.line);
+      ("col", Obs.Json.Int d.col);
+      ("end_line", Obs.Json.Int d.end_line);
+      ("end_col", Obs.Json.Int d.end_col);
+      ("message", Obs.Json.String d.message);
+    ]

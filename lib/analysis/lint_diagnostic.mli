@@ -1,0 +1,30 @@
+(** A single lint finding: which rule fired, where, and why.
+
+    Positions follow the compiler's convention — [line] is 1-based,
+    [col] 0-based — so text output is clickable in editors that
+    understand [file:line:col]. *)
+
+type severity = Error | Warning
+
+type t = {
+  rule : string;  (** name of the rule that fired, e.g. ["no-obj-magic"] *)
+  severity : severity;
+  file : string;  (** path relative to the scan root, ['/']-separated *)
+  line : int;
+  col : int;
+  end_line : int;
+  end_col : int;
+  message : string;
+}
+
+val severity_name : severity -> string
+(** ["error"] or ["warning"]. *)
+
+val compare : t -> t -> int
+(** Order by [file], [line], [col], then [rule]: the stable report
+    order used by both reporters and the golden tests. *)
+
+val pp : Format.formatter -> t -> unit
+(** [file:line:col: severity [rule] message] on one line. *)
+
+val to_json : t -> Obs.Json.t

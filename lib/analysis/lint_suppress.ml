@@ -1,0 +1,49 @@
+type t = (int * string list) list
+(* (line, rules) pairs: the directive's effective lines are [line] and
+   [line + 1].  Small per-file lists; linear scans are fine. *)
+
+let empty = []
+
+let is_rule_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> true
+  | _ -> false
+
+let split_words s =
+  let words = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      words := Buffer.contents buf :: !words;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c -> if is_rule_char c then Buffer.add_char buf c else flush ())
+    s;
+  flush ();
+  List.rev !words
+
+let parse_directive text =
+  let text = String.trim text in
+  let prefix = "sa-lint:" in
+  let plen = String.length prefix in
+  if String.length text < plen || String.sub text 0 plen <> prefix then None
+  else
+    match split_words (String.sub text plen (String.length text - plen)) with
+    | "allow" :: rules when rules <> [] -> Some rules
+    | _ -> None
+
+let of_comments comments =
+  List.filter_map
+    (fun (text, loc) ->
+      match parse_directive text with
+      | None -> None
+      | Some rules -> Some (loc.Location.loc_end.Lexing.pos_lnum, rules))
+    comments
+
+let suppressed t ~rule ~line =
+  List.exists
+    (fun (l, rules) -> (line = l || line = l + 1) && List.mem rule rules)
+    t
+
+let count t = List.length t

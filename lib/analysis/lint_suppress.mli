@@ -1,0 +1,36 @@
+(** Per-site suppression: [(* sa-lint: allow <rule> ... *)].
+
+    A suppression comment silences the named rules on the comment's
+    last line and on the line immediately below it, so both styles
+    work:
+
+    {[
+      let x = Obj.magic y (* sa-lint: allow no-obj-magic *)
+
+      (* sa-lint: allow no-obj-magic *)
+      let x = Obj.magic y
+    ]}
+
+    Comments come from the compiler's lexer (via {!Lint.run}), so
+    strings and nested comments are handled exactly as OCaml does. *)
+
+type t
+(** Suppression table for one source file. *)
+
+val empty : t
+
+val of_comments : (string * Location.t) list -> t
+(** Build the table from [Lexer.comments ()] output: comment text
+    (without the [(*]/[*)] markers) and its location. *)
+
+val parse_directive : string -> string list option
+(** [parse_directive text] is [Some rules] when [text] is an
+    [sa-lint: allow] directive, with the listed rule names; [None] for
+    ordinary comments.  Exposed for the unit tests. *)
+
+val suppressed : t -> rule:string -> line:int -> bool
+(** Is [rule] silenced on [line]? *)
+
+val count : t -> int
+(** Number of directives in the table (reported so unused suppressions
+    are at least visible in the summary). *)

@@ -95,6 +95,107 @@ let stats_to_json s =
     this reproduces the returned stats exactly; the rejectionless
     engine emits no [Rejected] events (its [rejected] counter is scan
     overhead, not rejections), so that field reconstructs as 0 there. *)
+exception Contract_violation of string
+
+(* The dynamic half of the move contract (the static half is enforced
+   by sa_lint).  [Contract (P)] presents [P]'s own state and move
+   types, so any engine functor accepts the wrapped module unchanged;
+   every call is intercepted and checked:
+
+   - [revert] must exactly undo the matching [apply]: same state, the
+     same move value, LIFO order, and the cost restored bit-for-bit
+     ([Int64.bits_of_float] equality — a revert that is "close" has
+     already corrupted an incremental cost cache);
+   - [copy] must preserve cost bit-for-bit;
+   - [moves] must be finite and enumerating it must not change the
+     state's cost;
+   - [random_move] must not change the state's cost.
+
+   Accepted moves are never reverted, so their records are garbage; the
+   tracking stack keeps only the most recent [max_tracked] entries
+   (engines pair apply/revert at depth 1, so matching always happens at
+   the top).  The wrapper recomputes costs aggressively — it is a test
+   harness, not a production path. *)
+module Contract (P : S) = struct
+  type state = P.state
+  type move = P.move
+
+  let max_tracked = 64
+  let moves_cap = 1_000_000
+
+  (* (state, move, cost bits before apply), most recent first. *)
+  let tracked : (state * move * int64) list ref = ref []
+  let checks = ref 0
+  let checks_performed () = !checks
+
+  let bits x = Int64.bits_of_float x
+  let violation fmt = Printf.ksprintf (fun m -> raise (Contract_violation m)) fmt
+
+  let check cond fmt =
+    incr checks;
+    if cond then Printf.ksprintf ignore fmt else violation fmt
+
+  let cost = P.cost
+
+  let random_move rng s =
+    let before = bits (P.cost s) in
+    let m = P.random_move rng s in
+    check
+      (Int64.equal (bits (P.cost s)) before)
+      "random_move changed the state's cost (it must only pick a move)";
+    m
+
+  let apply s m =
+    let before = P.cost s in
+    P.apply s m;
+    incr checks;
+    let keep =
+      if List.length !tracked >= max_tracked then
+        List.filteri (fun i _ -> i < max_tracked - 1) !tracked
+      else !tracked
+    in
+    tracked := (s, m, bits before) :: keep
+
+  let revert s m =
+    match !tracked with
+    | (s', m', before) :: rest when s' == s && m' == m ->
+        P.revert s m;
+        let after = bits (P.cost s) in
+        check (Int64.equal after before)
+          "revert did not restore the cost bit-for-bit (%.17g before apply, \
+           %.17g after revert)"
+          (Int64.float_of_bits before) (Int64.float_of_bits after);
+        tracked := rest
+    | _ ->
+        violation
+          "revert without a matching apply on top of the stack (engines must \
+           pair apply/revert LIFO on the same state and move)"
+
+  let copy s =
+    let c = P.copy s in
+    check
+      (Int64.equal (bits (P.cost c)) (bits (P.cost s)))
+      "copy does not preserve the cost bit-for-bit";
+    c
+
+  let moves s =
+    let before = bits (P.cost s) in
+    let rec force n acc seq =
+      if n > moves_cap then
+        violation "moves enumerated more than %d elements (must be finite)"
+          moves_cap
+      else
+        match seq () with
+        | Seq.Nil -> List.rev acc
+        | Seq.Cons (m, rest) -> force (n + 1) (m :: acc) rest
+    in
+    let ms = force 0 [] (P.moves s) in
+    check
+      (Int64.equal (bits (P.cost s)) before)
+      "enumerating moves changed the state's cost (it must be side-effect-free)";
+    List.to_seq ms
+end
+
 let stats_of_events events =
   List.fold_left
     (fun s ev ->

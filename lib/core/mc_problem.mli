@@ -1,0 +1,91 @@
+(** The interface an optimization problem presents to the engines, the
+    statistics every engine returns, and the [Contract] sanitizer that
+    checks the problem/engine contract at runtime.
+
+    States are mutable; a move is applied in place and must be
+    revertible so that a rejected perturbation costs no allocation.
+    [moves] enumerates the whole perturbation neighborhood — Figure 2's
+    descent-to-local-optimum and the rejectionless engine need it;
+    Figure 1 only ever calls [random_move]. *)
+
+module type S = sig
+  type state
+  type move
+
+  val cost : state -> float
+  (** Objective value [h] of the current state (to minimize). *)
+
+  val random_move : Rng.t -> state -> move
+  (** A random perturbation (e.g. pairwise interchange).  Must not
+      change the state. *)
+
+  val apply : state -> move -> unit
+
+  val revert : state -> move -> unit
+  (** [revert] undoes the matching [apply]; engines always pair them
+      LIFO, and the cost must come back bit-for-bit. *)
+
+  val copy : state -> state
+  (** Independent snapshot, used to record the best solution found. *)
+
+  val moves : state -> move Seq.t
+  (** Systematic enumeration of the neighborhood of the current state.
+      The sequence may be lazy but must be finite, and enumerating it
+      must not change the state. *)
+end
+
+(** Outcome counters common to all engines. *)
+type stats = {
+  evaluations : int;  (** perturbations proposed (budget ticks) *)
+  improving : int;  (** strictly downhill moves taken *)
+  lateral_accepted : int;  (** zero-delta moves taken *)
+  uphill_accepted : int;
+  rejected : int;
+  temperatures_visited : int;
+  descents : int;  (** Figure 2 only: local optima reached *)
+}
+
+type 'state run = {
+  best : 'state;  (** snapshot of the best solution encountered *)
+  best_cost : float;
+  final_cost : float;  (** cost of the state the walk ended on *)
+  stats : stats;
+}
+
+val empty_stats : stats
+
+val accepted : stats -> int
+(** Moves taken, of any kind. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+(** One aligned line per counter, plus the derived acceptance ratio. *)
+
+val stats_to_json : stats -> Obs.Json.t
+
+val stats_of_events : Obs.Event.t list -> stats
+(** Reconstruct the counters from an event stream; see the
+    implementation note for the per-engine caveats (the rejectionless
+    engine emits no [Rejected] events, so that field reconstructs
+    as 0). *)
+
+exception Contract_violation of string
+(** Raised by {!Contract} wrappers when the wrapped problem breaks an
+    invariant. *)
+
+(** [Contract (P)] is [P] with every call checked at runtime: [revert]
+    must exactly undo the matching [apply] (same state and move, LIFO
+    order, cost restored bit-for-bit), [copy] must preserve the cost,
+    and [moves]/[random_move] must be finite/side-effect-free.  The
+    wrapped module exposes [P]'s own state and move types, so it drops
+    into any engine functor unchanged — the test suite runs every
+    problem domain through its engines under this wrapper.
+
+    Cost checks recompute [P.cost] aggressively: this is a sanitizer
+    for tests, not a production wrapper. *)
+module Contract (P : S) : sig
+  include S with type state = P.state and type move = P.move
+
+  val checks_performed : unit -> int
+  (** Number of contract checks executed so far (across all states of
+      this instantiation); tests assert it advanced. *)
+end

@@ -126,7 +126,7 @@ module Json = struct
                  pos := !pos + 4;
                  let code =
                    try int_of_string ("0x" ^ hex)
-                   with _ -> fail "invalid \\u escape"
+                   with Failure _ -> fail "invalid \\u escape"
                  in
                  (* Encode the code point as UTF-8 (BMP only; our
                     writer never emits surrogate pairs). *)

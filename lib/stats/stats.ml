@@ -148,7 +148,8 @@ let pearson xs ys =
     sxx := !sxx +. (dx *. dx);
     syy := !syy +. (dy *. dy)
   done;
-  if !sxx = 0. || !syy = 0. then invalid_arg "Stats.pearson: zero variance";
+  if Float.equal !sxx 0. || Float.equal !syy 0. then
+    invalid_arg "Stats.pearson: zero variance";
   !sxy /. sqrt (!sxx *. !syy)
 
 let ranks a =
@@ -179,7 +180,8 @@ let linear_regression pts =
   let xs = Array.map fst pts and ys = Array.map snd pts in
   let mx = mean xs and my = mean ys in
   let sxx = Array.fold_left (fun acc x -> acc +. ((x -. mx) *. (x -. mx))) 0. xs in
-  if sxx = 0. then invalid_arg "Stats.linear_regression: zero x variance";
+  if Float.equal sxx 0. then
+    invalid_arg "Stats.linear_regression: zero x variance";
   let sxy = ref 0. in
   Array.iter (fun (x, y) -> sxy := !sxy +. ((x -. mx) *. (y -. my))) pts;
   let slope = !sxy /. sxx in

@@ -1,7 +1,16 @@
+(* Previous cached lengths, so [two_opt_undo] can restore [len]
+   bit-for-bit instead of re-deriving it with delta arithmetic (which
+   rounds differently and drifts).  A small ring suffices: annealing
+   engines undo at most the latest move, so older entries are dead. *)
+let undo_depth = 64
+
 type t = {
   inst : Tsp_instance.t;
   order : int array;
   mutable len : float;
+  undo : float array;
+  mutable undo_top : int; (* next slot to write *)
+  mutable undo_used : int; (* live entries, at most [undo_depth] *)
 }
 
 let instance t = t.inst
@@ -37,11 +46,31 @@ let of_order inst o =
   if not (is_permutation (Tsp_instance.size inst) o) then
     invalid_arg "Tour.of_order: not a permutation of the cities";
   let order = Array.copy o in
-  { inst; order; len = compute_length inst order }
+  {
+    inst;
+    order;
+    len = compute_length inst order;
+    undo = Array.make undo_depth 0.;
+    undo_top = 0;
+    undo_used = 0;
+  }
 
 let identity inst = of_order inst (Array.init (Tsp_instance.size inst) (fun i -> i))
 let random rng inst = of_order inst (Rng.permutation rng (Tsp_instance.size inst))
-let copy t = { t with order = Array.copy t.order }
+let copy t = { t with order = Array.copy t.order; undo = Array.copy t.undo }
+
+let push_len t =
+  t.undo.(t.undo_top) <- t.len;
+  t.undo_top <- (t.undo_top + 1) mod undo_depth;
+  if t.undo_used < undo_depth then t.undo_used <- t.undo_used + 1
+
+let pop_len t =
+  if t.undo_used = 0 then None
+  else begin
+    t.undo_top <- (t.undo_top + undo_depth - 1) mod undo_depth;
+    t.undo_used <- t.undo_used - 1;
+    Some t.undo.(t.undo_top)
+  end
 
 let check_segment t i j name =
   let n = size t in
@@ -60,8 +89,7 @@ let two_opt_delta t i j =
     and d = t.order.((j + 1) mod n) in
     dist t a c +. dist t b d -. dist t a b -. dist t c d
 
-let two_opt t i j =
-  let delta = two_opt_delta t i j in
+let reverse_segment t i j =
   let lo = ref i and hi = ref j in
   while !lo < !hi do
     let tmp = t.order.(!lo) in
@@ -69,8 +97,23 @@ let two_opt t i j =
     t.order.(!hi) <- tmp;
     incr lo;
     decr hi
-  done;
+  done
+
+let two_opt t i j =
+  let delta = two_opt_delta t i j in
+  push_len t;
+  reverse_segment t i j;
   t.len <- t.len +. delta
+
+let two_opt_undo t i j =
+  check_segment t i j "Tour.two_opt_undo";
+  (* The reversal is its own inverse; the length is restored from the
+     saved value rather than recomputed, because fl(fl(len + d) - d)
+     generally differs from len in the last bits. *)
+  let saved = pop_len t in
+  let delta = two_opt_delta t i j in
+  reverse_segment t i j;
+  t.len <- (match saved with Some len -> len | None -> t.len +. delta)
 
 let check_or_opt t ~seg ~len ~dest name =
   let n = size t in

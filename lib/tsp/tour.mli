@@ -34,7 +34,19 @@ val two_opt_delta : t -> int -> int -> float
     Reversing the whole tour or a single city is a 0-delta no-op. *)
 
 val two_opt : t -> int -> int -> unit
-(** Apply the reversal and update the cached length.
+(** Apply the reversal and update the cached length.  The previous
+    length is remembered (up to a small bounded depth) so that
+    [two_opt_undo] can restore it exactly.
+    @raise Invalid_argument unless [0 <= i < j < size]. *)
+
+val two_opt_undo : t -> int -> int -> unit
+(** Exactly undo the most recent [two_opt t i j]: re-reverse the
+    segment and restore the cached length bit-for-bit.  Incremental
+    delta updates round differently on the way back, so plain
+    [two_opt] is only an approximate inverse of itself; this is the
+    exact one.  Calls must mirror [two_opt] calls LIFO-fashion with no
+    other length-changing operation in between; beyond the bounded
+    undo depth it falls back to delta arithmetic.
     @raise Invalid_argument unless [0 <= i < j < size]. *)
 
 val or_opt_delta : t -> seg:int -> len:int -> dest:int -> float

@@ -14,7 +14,11 @@ let random_move rng tour =
   draw ()
 
 let apply tour (i, j) = Tour.two_opt tour i j
-let revert tour (i, j) = Tour.two_opt tour i j
+
+(* The reversal is its own inverse, but [Tour.two_opt_undo] also
+   restores the cached length bit-for-bit, which plain [two_opt] does
+   not (incremental float updates round differently on the way back). *)
+let revert tour (i, j) = Tour.two_opt_undo tour i j
 let copy = Tour.copy
 
 let moves tour =

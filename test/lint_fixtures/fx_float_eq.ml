@@ -1,0 +1,2 @@
+(* Fixture: must trigger no-physical-float-eq exactly once. *)
+let at_origin x = x = 0.0

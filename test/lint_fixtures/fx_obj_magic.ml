@@ -1,0 +1,2 @@
+(* Fixture: must trigger no-obj-magic exactly once. *)
+let coerce (x : int) : float = Obj.magic x

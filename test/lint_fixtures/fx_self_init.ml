@@ -1,0 +1,6 @@
+(* Fixture: must trigger no-self-init exactly once.  The companion
+   no-stdlib-random finding on the same line is deliberately allowed so
+   each rule fires once across the fixture set. *)
+
+(* sa-lint: allow no-stdlib-random *)
+let seed_from_clock () = Random.self_init ()

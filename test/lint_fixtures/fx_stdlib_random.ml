@@ -1,0 +1,2 @@
+(* Fixture: must trigger no-stdlib-random exactly once. *)
+let roll () = Random.int 6

@@ -1,0 +1,8 @@
+(* Fixture: every violation below carries an allow directive, so this
+   file must contribute zero diagnostics — it exercises both the
+   same-line and line-above suppression placements. *)
+
+let coerced (x : int) : float = Obj.magic x (* sa-lint: allow no-obj-magic *)
+
+(* sa-lint: allow no-catchall-exn *)
+let swallow f = try f () with _ -> ()

@@ -1,0 +1,3 @@
+(* Fixture: must trigger mli-required exactly once — this module has
+   no interface file and sits under a lib/ prefix. *)
+let answer = 42

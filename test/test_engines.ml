@@ -398,6 +398,167 @@ let test_tuner_empty_args () =
         ~shape:(fun b -> Schedule.of_array [| b |])
         ~budget:(Budget.Evaluations 1) ~instances:[])
 
+(* -------------------------- Move contract ------------------------ *)
+
+(* Engine runs under [Mc_problem.Contract], which re-verifies
+   apply/revert pairing, bit-for-bit cost restoration, copy fidelity
+   and side-effect-free enumeration at every call, across four problem
+   domains.  A violation raises, so "the run completes" is the
+   assertion; we also check the wrapper is semantically transparent. *)
+
+module CLine = Mc_problem.Contract (Line)
+module CTsp = Mc_problem.Contract (Tsp_problem)
+module CQap = Mc_problem.Contract (Qap.Problem)
+module CPart = Mc_problem.Contract (Partition_problem)
+module CPlace = Mc_problem.Contract (Placement.Problem)
+module CF1_line = Figure1.Make (CLine)
+module CF1_tsp = Figure1.Make (CTsp)
+module CF2_qap = Figure2.Make (CQap)
+module CRL_part = Rejectionless.Make (CPart)
+module CF1_place = Figure1.Make (CPlace)
+
+let test_contract_transparent () =
+  (* Same seed, bare vs wrapped: the wrapper must not perturb the rng
+     stream or the trajectory. *)
+  let run_f1 run params state = (run (Rng.create ~seed:77) params state).Mc_problem.best_cost in
+  let bare =
+    let s = { Line.x = 12; cost_fn = double_well } in
+    run_f1 F1.run
+      (F1.params ~gfun:Gfun.metropolis ~schedule:(Schedule.of_array [| 2. |])
+         ~budget:(Budget.Evaluations 500) ())
+      s
+  in
+  let wrapped =
+    let s = { Line.x = 12; cost_fn = double_well } in
+    run_f1 CF1_line.run
+      (CF1_line.params ~gfun:Gfun.metropolis ~schedule:(Schedule.of_array [| 2. |])
+         ~budget:(Budget.Evaluations 500) ())
+      s
+  in
+  Alcotest.check (Alcotest.float 0.) "same best cost" bare wrapped;
+  Alcotest.check Alcotest.bool "checks ran" true (CLine.checks_performed () > 0)
+
+let test_contract_tsp () =
+  let rng = Rng.create ~seed:70 in
+  let tour = Tour.random rng (Tsp_instance.random_uniform rng ~n:16) in
+  let initial = CTsp.cost tour in
+  let p =
+    CF1_tsp.params ~gfun:Gfun.metropolis ~schedule:(Schedule.of_array [| 0.5 |])
+      ~budget:(Budget.Evaluations 2000) ()
+  in
+  let r = CF1_tsp.run (Rng.create ~seed:71) p tour in
+  Alcotest.check Alcotest.bool "improved under contract" true
+    (r.Mc_problem.best_cost <= initial);
+  Alcotest.check Alcotest.bool "contract checks ran" true
+    (CTsp.checks_performed () > 2000)
+
+let test_contract_qap () =
+  (* Figure 2 descends through [moves], so this exercises the
+     enumeration checks too. *)
+  let qap = Qap.random_instance (Rng.create ~seed:72) ~n:8 ~max_entry:9 in
+  let initial = CQap.cost qap in
+  let p =
+    CF2_qap.params ~gfun:Gfun.metropolis ~schedule:(Schedule.of_array [| 10. |])
+      ~budget:(Budget.Evaluations 3000) ()
+  in
+  let r = CF2_qap.run (Rng.create ~seed:73) p qap in
+  Alcotest.check Alcotest.bool "improved under contract" true
+    (r.Mc_problem.best_cost <= initial);
+  Alcotest.check Alcotest.bool "at least one descent" true
+    (r.Mc_problem.stats.Mc_problem.descents >= 1);
+  Qap.check qap
+
+(* Two triangles joined by a bridge: optimal balanced cut = 1. *)
+let two_triangles_nl () =
+  Netlist.create ~n_elements:6
+    ~pins:
+      [|
+        [| 0; 1 |]; [| 1; 2 |]; [| 0; 2 |];
+        [| 3; 4 |]; [| 4; 5 |]; [| 3; 5 |];
+        [| 2; 3 |];
+      |]
+
+let test_contract_partition () =
+  let part = Bipartition.create (two_triangles_nl ()) in
+  let initial = CPart.cost part in
+  let p =
+    CRL_part.params ~gfun:Gfun.metropolis ~schedule:(Schedule.of_array [| 1. |])
+      ~budget:(Budget.Evaluations 500)
+  in
+  let r = CRL_part.run (Rng.create ~seed:74) p part in
+  Alcotest.check Alcotest.bool "improved under contract" true
+    (r.Mc_problem.best_cost <= initial)
+
+let test_contract_placement () =
+  let rng = Rng.create ~seed:75 in
+  let nl = Netlist.random_gola rng ~elements:12 ~nets:40 in
+  let place = Placement.random rng ~rows:4 ~cols:4 nl in
+  let initial = CPlace.cost place in
+  let p =
+    CF1_place.params ~gfun:Gfun.metropolis ~schedule:(Schedule.of_array [| 2. |])
+      ~budget:(Budget.Evaluations 2000) ()
+  in
+  let r = CF1_place.run (Rng.create ~seed:76) p place in
+  Alcotest.check Alcotest.bool "improved under contract" true
+    (r.Mc_problem.best_cost <= initial);
+  Placement.check place
+
+(* Deliberately broken problems: the sanitizer must catch each break. *)
+
+module Broken_revert = struct
+  type state = { mutable x : int }
+  type move = int
+
+  let cost s = float_of_int (abs s.x)
+  let random_move rng _ = if Rng.bool rng then 1 else -1
+  let apply s m = s.x <- s.x + m
+  let revert s m = s.x <- s.x - m - 1 (* off by one: does not undo *)
+  let copy s = { x = s.x }
+  let moves _ = List.to_seq [ 1; -1 ]
+end
+
+module CBroken_revert = Mc_problem.Contract (Broken_revert)
+
+module Mutating_moves = struct
+  type state = { mutable x : int }
+  type move = int
+
+  let cost s = float_of_int (abs s.x)
+  let random_move rng _ = if Rng.bool rng then 1 else -1
+  let apply s m = s.x <- s.x + m
+  let revert s m = s.x <- s.x - m
+
+  let copy s = { x = s.x }
+
+  let moves s =
+    s.x <- s.x + 1;
+    (* enumeration must not mutate *)
+    List.to_seq [ 1; -1 ]
+end
+
+module CMutating_moves = Mc_problem.Contract (Mutating_moves)
+
+let expect_violation name f =
+  match f () with
+  | exception Mc_problem.Contract_violation _ -> ()
+  | _ -> Alcotest.fail (name ^ ": expected Contract_violation")
+
+let test_contract_catches_bad_revert () =
+  expect_violation "broken revert" (fun () ->
+      let s = { Broken_revert.x = 2 } in
+      let m = CBroken_revert.random_move (Rng.create ~seed:78) s in
+      CBroken_revert.apply s m;
+      CBroken_revert.revert s m)
+
+let test_contract_catches_unpaired_revert () =
+  expect_violation "revert without apply" (fun () ->
+      CBroken_revert.revert { Broken_revert.x = 0 } 1)
+
+let test_contract_catches_mutating_moves () =
+  expect_violation "mutating moves" (fun () ->
+      let (_ : int Seq.t) = CMutating_moves.moves { Mutating_moves.x = 0 } in
+      ())
+
 (* ----------------------- Arrangement integration ------------------ *)
 
 module AF1 = Figure1.Make (Linarr_problem.Swap)
@@ -515,6 +676,14 @@ let suite =
     case "temperature: suggested schedule shape" test_suggest_schedule_shape;
     case "tuner: scores and determinism" test_tuner_picks_better_candidate;
     case "tuner: empty arguments rejected" test_tuner_empty_args;
+    case "contract: wrapper is transparent" test_contract_transparent;
+    case "contract: TSP under Figure 1" test_contract_tsp;
+    case "contract: QAP under Figure 2" test_contract_qap;
+    case "contract: partition under rejectionless" test_contract_partition;
+    case "contract: placement under Figure 1" test_contract_placement;
+    case "contract: catches a broken revert" test_contract_catches_bad_revert;
+    case "contract: catches an unpaired revert" test_contract_catches_unpaired_revert;
+    case "contract: catches mutating enumeration" test_contract_catches_mutating_moves;
     case "integration: Figure 1 reduces density" test_integration_f1_reduces_density;
     case "integration: best snapshot consistent" test_integration_best_cost_consistent;
     case "integration: Figure 2 reduces density" test_integration_f2_reduces_density;

@@ -1,0 +1,119 @@
+(* The sa_lint engine, exercised against the counterexample fixtures:
+   every shipped rule must fire exactly once across the fixture tree,
+   suppression directives must silence what they name, and the JSON
+   report must match the checked-in golden byte-for-byte. *)
+
+let case name f = Alcotest.test_case name `Quick f
+let fixtures_root = "lint_fixtures"
+
+let report () =
+  Lint.run ~rules:(Lint_rules.builtin ()) ~root:fixtures_root [ "." ]
+
+let count_rule report name =
+  List.length
+    (List.filter
+       (fun d -> d.Lint_diagnostic.rule = name)
+       report.Lint.diagnostics)
+
+let test_each_rule_fires_exactly_once () =
+  let r = report () in
+  List.iter
+    (fun rule ->
+      Alcotest.check Alcotest.int
+        (Printf.sprintf "%s fires exactly once" rule.Lint_rule.name)
+        1
+        (count_rule r rule.Lint_rule.name))
+    (Lint_rules.builtin ());
+  Alcotest.check Alcotest.int "no other diagnostics"
+    (List.length (Lint_rules.builtin ()))
+    (List.length r.Lint.diagnostics)
+
+let test_suppressed_fixture_is_silent () =
+  let r = report () in
+  List.iter
+    (fun d ->
+      Alcotest.check Alcotest.bool
+        "fx_suppressed.ml contributes no diagnostics" false
+        (d.Lint_diagnostic.file = "fx_suppressed.ml"))
+    r.Lint.diagnostics;
+  Alcotest.check Alcotest.bool "directives were counted" true
+    (r.Lint.suppressions >= 3)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let test_json_matches_golden () =
+  let expected = String.trim (read_file (fixtures_root ^ "/expected.json")) in
+  let actual = Obs.Json.to_string (Lint.to_json (report ())) in
+  Alcotest.check Alcotest.string "sa-lab/lint-report/v1 golden" expected actual
+
+let test_json_roundtrips () =
+  let text = Obs.Json.to_string (Lint.to_json (report ())) in
+  match Obs.Json.parse text with
+  | Error msg -> Alcotest.fail ("report JSON does not re-parse: " ^ msg)
+  | Ok json -> (
+      match Obs.Json.member "schema" json with
+      | Some (Obs.Json.String "sa-lab/lint-report/v1") -> ()
+      | _ -> Alcotest.fail "schema field wrong after roundtrip")
+
+let test_skip_marker_respected () =
+  (* Scanning the parent tree must not descend into the marked fixture
+     directory; naming it explicitly must. *)
+  let parent = Lint.scan_files ~root:"." [ "." ] in
+  List.iter
+    (fun p ->
+      Alcotest.check Alcotest.bool "fixtures excluded from parent scan" false
+        (String.length p >= String.length fixtures_root
+        && String.sub p 0 (String.length fixtures_root) = fixtures_root))
+    parent;
+  let direct = Lint.scan_files ~root:fixtures_root [ "." ] in
+  Alcotest.check Alcotest.int "explicit scan sees all fixture sources" 9
+    (List.length direct)
+
+let test_directive_parsing () =
+  let some = Alcotest.option (Alcotest.list Alcotest.string) in
+  Alcotest.check some "basic" (Some [ "no-obj-magic" ])
+    (Lint_suppress.parse_directive " sa-lint: allow no-obj-magic ");
+  Alcotest.check some "several rules"
+    (Some [ "a"; "b-c" ])
+    (Lint_suppress.parse_directive "sa-lint: allow a b-c");
+  Alcotest.check some "not a directive" None
+    (Lint_suppress.parse_directive "ordinary comment");
+  Alcotest.check some "allow with no rules is not a directive" None
+    (Lint_suppress.parse_directive "sa-lint: allow");
+  Alcotest.check some "unknown verb" None
+    (Lint_suppress.parse_directive "sa-lint: deny no-obj-magic")
+
+let test_parse_error_surfaces () =
+  (* An unparseable file must produce a parse-error diagnostic, not an
+     exception or a silent skip. *)
+  let dir = Filename.temp_file "sa_lint_fixture" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let path = Filename.concat dir "broken.ml" in
+  let oc = open_out path in
+  output_string oc "let x = (\n";
+  close_out oc;
+  let r = Lint.run ~rules:(Lint_rules.builtin ()) ~root:dir [ "." ] in
+  Sys.remove path;
+  Sys.rmdir dir;
+  Alcotest.check Alcotest.int "one diagnostic" 1 (List.length r.Lint.diagnostics);
+  match r.Lint.diagnostics with
+  | [ d ] ->
+      Alcotest.check Alcotest.string "parse-error rule" "parse-error"
+        d.Lint_diagnostic.rule
+  | _ -> Alcotest.fail "expected exactly one diagnostic"
+
+let suite =
+  [
+    case "each rule fires exactly once on its fixture" test_each_rule_fires_exactly_once;
+    case "suppression directives silence their sites" test_suppressed_fixture_is_silent;
+    case "JSON report matches the golden" test_json_matches_golden;
+    case "JSON report re-parses" test_json_roundtrips;
+    case "sa-lint.skip marker respected" test_skip_marker_respected;
+    case "directive parsing" test_directive_parsing;
+    case "parse errors become diagnostics" test_parse_error_surfaces;
+  ]

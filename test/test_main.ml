@@ -18,5 +18,6 @@ let () =
       ("qap", Test_qap.suite);
       ("integration", Test_integration.suite);
       ("golden", Test_golden.suite);
+      ("lint", Test_lint.suite);
       ("experiments", Test_experiments.suite);
     ]
