@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test lint bench bench-quick bench-smoke examples doc clean
+.PHONY: all build test lint bench bench-quick bench-smoke chaos examples doc clean
 
 all: build
 
@@ -30,6 +30,16 @@ bench-quick:
 bench-smoke:
 	dune exec bench/main.exe -- --scale 0.05 --skip-micro --json BENCH_results.json > /dev/null
 	dune exec bench/check_json.exe -- BENCH_results.json
+
+# Chaos demo: a supervised campaign where every run's first attempt is
+# sabotaged (a cost fault injected mid-walk), so each run exercises the
+# abort -> retry -> complete path; the report is schema-validated.
+# (dune runtest runs a smaller version via the resilience-smoke alias.)
+chaos:
+	dune exec bin/sa_lab.exe -- generate --seed 5 -e 15 --nets 80 > chaos_inst.net
+	dune exec bin/sa_lab.exe -- supervise chaos_inst.net --runs 4 -n 20000 \
+	  --chaos raise-cost --chaos-attempts 1 --report chaos_report.json
+	dune exec bench/check_json.exe -- chaos_report.json
 
 examples:
 	@for e in quickstart gola_study nola_goto tsp_compare partition_demo \

@@ -3,11 +3,13 @@
    check) when the file is missing, malformed, or structurally wrong.
    The top-level "schema" field selects the rule set:
 
-   - sa-lab/bench-results/v1  (bench/main.exe --json; bench-smoke alias)
-   - sa-lab/lint-report/v1    (sa_lint --json / --json-file; @lint alias)
+   - sa-lab/bench-results/v1     (bench/main.exe --json; bench-smoke alias)
+   - sa-lab/lint-report/v1       (sa_lint --json / --json-file; @lint alias)
+   - sa-lab/checkpoint/v1        (sa_lab run --checkpoint; resilience-smoke)
+   - sa-lab/supervisor-report/v1 (sa_lab supervise --report; resilience-smoke)
 
-   Run by `dune runtest` through both aliases, so a regression that
-   breaks either machine-readable output fails the tier-1 gate. *)
+   Run by `dune runtest` through the aliases, so a regression that
+   breaks any machine-readable output fails the tier-1 gate. *)
 
 let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("check_json: " ^ msg); exit 1) fmt
 
@@ -99,6 +101,95 @@ let check_lint path member =
           path (errors + warnings) !counted
   | _ -> fail "%s: diagnostics is not a list" path
 
+(* The checkpoint rule set leans on the resilience library itself:
+   [Checkpoint.read] re-verifies the CRC, and [snapshot_of_json]
+   re-runs the exact decoder a resume would use, so "check_json says
+   ok" means "a resume would accept this file". *)
+let check_checkpoint path =
+  let payload =
+    match Checkpoint.read ~path with Ok p -> p | Error msg -> fail "%s" msg
+  in
+  let pmember name =
+    match Obs.Json.member name payload with
+    | Some v -> v
+    | None -> fail "%s: payload missing field %S" path name
+  in
+  (match pmember "engine" with
+  | Obs.Json.String "" -> fail "%s: payload.engine is empty" path
+  | Obs.Json.String _ -> ()
+  | _ -> fail "%s: payload.engine is not a string" path);
+  ignore (pmember "fingerprint");
+  ignore (pmember "current");
+  ignore (pmember "best");
+  let snap =
+    match Checkpoint.snapshot_of_json (pmember "snapshot") with
+    | Ok s -> s
+    | Error msg -> fail "%s: payload.snapshot: %s" path msg
+  in
+  if snap.Figure1.ticks < 0 then
+    fail "%s: snapshot.ticks = %d is negative" path snap.Figure1.ticks;
+  if not (Float.is_finite snap.Figure1.current_cost) then
+    fail "%s: snapshot.current_cost is not finite" path;
+  if not (Float.is_finite snap.Figure1.best_cost) then
+    fail "%s: snapshot.best_cost is not finite" path;
+  if snap.Figure1.best_cost > snap.Figure1.current_cost then
+    fail "%s: snapshot.best_cost %g exceeds current_cost %g" path
+      snap.Figure1.best_cost snap.Figure1.current_cost;
+  match Rng.of_state snap.Figure1.rng with
+  | Ok _ -> ()
+  | Error msg -> fail "%s: snapshot.rng: %s" path msg
+
+let check_supervisor_report path member =
+  let non_negative_int name =
+    match Obs.Json.to_int (member name) with
+    | Some v when v >= 0 -> v
+    | _ -> fail "%s: %s is not a non-negative integer" path name
+  in
+  let completed = non_negative_int "completed" in
+  let quarantined = non_negative_int "quarantined" in
+  let _retries = non_negative_int "retries" in
+  match member "outcomes" with
+  | Obs.Json.List outcomes ->
+      let seen_completed = ref 0 and seen_quarantined = ref 0 in
+      List.iteri
+        (fun i o ->
+          let field name =
+            match Obs.Json.member name o with
+            | Some v -> v
+            | None -> fail "%s: outcomes[%d] missing field %S" path i name
+          in
+          (match field "label" with
+          | Obs.Json.String s when s <> "" -> ()
+          | _ -> fail "%s: outcomes[%d].label is not a non-empty string" path i);
+          (match Obs.Json.to_int (field "attempts") with
+          | Some a when a >= 1 -> ()
+          | _ -> fail "%s: outcomes[%d].attempts is not a positive integer" path i);
+          match field "status" with
+          | Obs.Json.String "completed" -> (
+              incr seen_completed;
+              match Obs.Json.to_float (field "seconds") with
+              | Some s when s >= 0. && Float.is_finite s -> ()
+              | _ ->
+                  fail "%s: outcomes[%d].seconds is not a non-negative number"
+                    path i)
+          | Obs.Json.String "quarantined" -> (
+              incr seen_quarantined;
+              match field "reason" with
+              | Obs.Json.String r when r <> "" -> ()
+              | _ ->
+                  fail "%s: outcomes[%d].reason is not a non-empty string" path
+                    i)
+          | _ ->
+              fail "%s: outcomes[%d].status is not completed/quarantined" path i)
+        outcomes;
+      if !seen_completed <> completed then
+        fail "%s: completed = %d but %d completed outcomes listed" path
+          completed !seen_completed;
+      if !seen_quarantined <> quarantined then
+        fail "%s: quarantined = %d but %d quarantined outcomes listed" path
+          quarantined !seen_quarantined
+  | _ -> fail "%s: outcomes is not a list" path
+
 let () =
   let path =
     match Sys.argv with
@@ -133,5 +224,7 @@ let () =
   (match schema with
   | "sa-lab/bench-results/v1" -> check_bench path member
   | "sa-lab/lint-report/v1" -> check_lint path member
+  | "sa-lab/checkpoint/v1" -> check_checkpoint path
+  | "sa-lab/supervisor-report/v1" -> check_supervisor_report path member
   | other -> fail "%s: unknown schema %S" path other);
   Printf.printf "check_json: %s ok (%s)\n" path schema

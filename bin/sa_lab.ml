@@ -3,6 +3,8 @@
    Subcommands:
      tables     regenerate the paper's tables (selectable, scalable, CSV-able)
      solve      minimize the density of a netlist file with any g-class
+     run        figure1 solve with checkpoint/resume (SIGINT/SIGTERM safe)
+     supervise  campaign driver: retries, backoff, quarantine, chaos faults
      trace      solve while streaming engine events to JSONL / metrics
      generate   emit a random GOLA/NOLA instance in the textual format
      goto       run only the Goto heuristic on a netlist file
@@ -642,6 +644,357 @@ let info_cmd =
   Cmd.v (Cmd.info "info" ~doc:"Summarize a netlist file.") Term.(const run $ file)
 
 (* ---------------------------------------------------------------- *)
+(* run (checkpointable figure1) and supervise                        *)
+(* ---------------------------------------------------------------- *)
+
+exception Interrupted
+
+(* A run fingerprint pins a checkpoint to one exact run configuration;
+   load refuses a checkpoint whose fingerprint differs (stale file from
+   another netlist, method, seed, or budget). *)
+let run_fingerprint ~nl ~method_ ~evals ~base ~seed =
+  Obs.Json.Obj
+    [
+      ("engine", Obs.Json.String "figure1");
+      ("method", Obs.Json.String method_);
+      ("evals", Obs.Json.Int evals);
+      ("y", Obs.Json.String (Printf.sprintf "%h" base));
+      ("seed", Obs.Json.Int seed);
+      ("netlist_md5", Obs.Json.String (Digest.to_hex (Digest.string (Netlist.to_string nl))));
+    ]
+
+let run_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"NETLIST"
+           ~doc:"Netlist file in the textual format (see $(b,generate)).")
+  in
+  let method_ =
+    Arg.(value & opt string "Six Temperature Annealing"
+         & info [ "method"; "m" ] ~docv:"NAME"
+             ~doc:"g-function class name as in Table 4.1.")
+  in
+  let evals =
+    Arg.(value & opt int 20_000 & info [ "evals"; "n" ] ~docv:"N"
+           ~doc:"Perturbation budget.")
+  in
+  let base =
+    Arg.(value & opt float 1.0 & info [ "temperature"; "y" ] ~docv:"Y"
+           ~doc:"Base temperature (geometric 0.9 shape for multi-temperature classes).")
+  in
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.") in
+  let checkpoint =
+    Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE"
+           ~doc:"Write a CRC-guarded resume snapshot to $(docv) every
+                 $(b,--checkpoint-every) evaluations, at the end of the run,
+                 and on SIGINT/SIGTERM (at the next safe point).")
+  in
+  let every =
+    Arg.(value & opt int 1000 & info [ "checkpoint-every" ] ~docv:"N"
+           ~doc:"Evaluations between checkpoints (default 1000).")
+  in
+  let resume =
+    Arg.(value & flag & info [ "resume" ]
+           ~doc:"Resume from the $(b,--checkpoint) file; the continued run
+                 reproduces the uninterrupted trajectory bit for bit.")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print the run's engine statistics.")
+  in
+  let run file method_ evals base seed checkpoint every resume stats =
+    match read_netlist file with
+    | Error msg ->
+        prerr_endline msg;
+        1
+    | Ok nl -> (
+        match Gfun.find_by_name ~m:(Netlist.n_nets nl) method_ with
+        | None ->
+            Printf.eprintf "unknown method %S; see Table 4.1 for names\n" method_;
+            1
+        | Some gfun -> (
+            if resume && checkpoint = None then begin
+              prerr_endline "--resume needs --checkpoint FILE";
+              2
+            end
+            else begin
+              let codec = Linarr_problem.codec nl in
+              let fingerprint = run_fingerprint ~nl ~method_ ~evals ~base ~seed in
+              let schedule = schedule_for gfun base in
+              let budget = Budget.Evaluations evals in
+              let params = Engine1.params ~gfun ~schedule ~budget () in
+              (* Signals cannot safely write a file from the handler;
+                 they raise a flag that the next checkpoint-safe point
+                 turns into a final save plus a clean stop. *)
+              let interrupted = ref false in
+              let note_signal (_ : int) = interrupted := true in
+              Sys.set_signal Sys.sigint (Sys.Signal_handle note_signal);
+              Sys.set_signal Sys.sigterm (Sys.Signal_handle note_signal);
+              let on_checkpoint path snap ~current ~best =
+                Checkpoint.save_figure1 ~path ~codec ~fingerprint snap ~current
+                  ~best;
+                if !interrupted then raise Interrupted
+              in
+              let restored =
+                match (resume, checkpoint) with
+                | true, Some path -> (
+                    match Checkpoint.load_figure1 ~path ~codec ~fingerprint with
+                    | Error msg ->
+                        prerr_endline msg;
+                        Error 1
+                    | Ok (snap, current, best_state, rng) ->
+                        let live =
+                          Int64.bits_of_float
+                            (float_of_int (Arrangement.density current))
+                        in
+                        let saved = Int64.bits_of_float snap.Figure1.current_cost in
+                        if not (Int64.equal live saved) then begin
+                          Printf.eprintf
+                            "checkpoint %s: decoded state's cost %h does not \
+                             match the snapshot's %h — refusing to resume\n"
+                            path
+                            (Int64.float_of_bits live)
+                            (Int64.float_of_bits saved);
+                          Error 1
+                        end
+                        else begin
+                          Printf.printf "resuming from %s at evaluation %d\n"
+                            path snap.Figure1.ticks;
+                          Ok (Some (snap, best_state), current, rng)
+                        end)
+                | _, _ ->
+                    let rng = Rng.create ~seed in
+                    Ok (None, Arrangement.random rng nl, rng)
+              in
+              match restored with
+              | Error code -> code
+              | Ok (resume_arg, state, rng) -> (
+                  (* Report the run's original starting point, not the
+                     resume point, so resumed output matches the
+                     uninterrupted run byte-for-byte. *)
+                  let initial =
+                    match resume_arg with
+                    | Some (snap, _) -> int_of_float snap.Figure1.initial_cost
+                    | None -> Arrangement.density state
+                  in
+                  let finish result =
+                    Printf.printf "initial density: %d\n" initial;
+                    Printf.printf "best density:    %.0f\n"
+                      result.Mc_problem.best_cost;
+                    Printf.printf "final density:   %.0f\n"
+                      result.Mc_problem.final_cost;
+                    if stats then
+                      Format.printf "%a@." Mc_problem.pp_stats
+                        result.Mc_problem.stats
+                  in
+                  let run_engine () =
+                    match (checkpoint, resume_arg) with
+                    | None, _ -> Engine1.run rng params state
+                    | Some path, None ->
+                        Engine1.run
+                          ~checkpoint_every:every
+                          ~on_checkpoint:(on_checkpoint path) rng params state
+                    | Some path, Some r ->
+                        Engine1.run
+                          ~checkpoint_every:every
+                          ~on_checkpoint:(on_checkpoint path) ~resume:r rng
+                          params state
+                  in
+                  match run_engine () with
+                  | result ->
+                      finish result;
+                      0
+                  | exception Interrupted ->
+                      (match checkpoint with
+                      | Some path ->
+                          Printf.eprintf
+                            "interrupted; checkpoint saved to %s (resume with \
+                             --resume)\n"
+                            path
+                      | None -> ());
+                      130
+                  | exception Engine1.Aborted { reason; partial } ->
+                      Printf.eprintf "run aborted: %s\n"
+                        (Printexc.to_string reason);
+                      Printf.eprintf
+                        "best density so far: %.0f (after %d evaluations)\n"
+                        partial.Mc_problem.best_cost
+                        partial.Mc_problem.stats.Mc_problem.evaluations;
+                      1)
+            end))
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Minimize density with the Figure 1 engine, with checkpoint/resume.")
+    Term.(const run $ file $ method_ $ evals $ base $ seed $ checkpoint $ every
+          $ resume $ stats)
+
+(* ---------------------------------------------------------------- *)
+(* supervise                                                         *)
+(* ---------------------------------------------------------------- *)
+
+module Chaos_swap = Mc_problem.Chaos (Linarr_problem.Swap)
+module Engine_chaos = Figure1.Make (Chaos_swap)
+
+let chaos_classes =
+  [
+    ("nan", Chaos_swap.Nan_cost);
+    ("inf", Chaos_swap.Inf_cost);
+    ("raise-cost", Chaos_swap.Raise_cost);
+    ("raise-apply", Chaos_swap.Raise_apply);
+    ("raise-revert", Chaos_swap.Raise_revert);
+    ("slow", Chaos_swap.Slow_move 0.05);
+  ]
+
+let supervise_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"NETLIST"
+           ~doc:"Netlist file in the textual format (see $(b,generate)).")
+  in
+  let runs =
+    Arg.(value & opt int 5 & info [ "runs" ] ~docv:"N" ~doc:"Runs in the campaign.")
+  in
+  let method_ =
+    Arg.(value & opt string "Six Temperature Annealing"
+         & info [ "method"; "m" ] ~docv:"NAME"
+             ~doc:"g-function class name as in Table 4.1.")
+  in
+  let evals =
+    Arg.(value & opt int 10_000 & info [ "evals"; "n" ] ~docv:"N"
+           ~doc:"Perturbation budget per run.")
+  in
+  let base =
+    Arg.(value & opt float 1.0 & info [ "temperature"; "y" ] ~docv:"Y"
+           ~doc:"Base temperature.")
+  in
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Master seed.") in
+  let max_attempts =
+    Arg.(value & opt int 3 & info [ "max-attempts" ] ~docv:"K"
+           ~doc:"Attempts per run before quarantine.")
+  in
+  let base_delay =
+    Arg.(value & opt float 0.01 & info [ "base-delay" ] ~docv:"S"
+           ~doc:"Seconds before the first retry.")
+  in
+  let backoff =
+    Arg.(value & opt float 2.0 & info [ "backoff" ] ~docv:"F"
+           ~doc:"Delay multiplier per further retry.")
+  in
+  let deadline =
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"S"
+           ~doc:"Per-run deadline in seconds (enforced post hoc).")
+  in
+  let chaos =
+    Arg.(value & opt (some (enum chaos_classes)) None & info [ "chaos" ] ~docv:"FAULT"
+           ~doc:"Inject a fault into every run's problem: nan, inf, raise-cost,
+                 raise-apply, raise-revert, or slow.")
+  in
+  let chaos_attempts =
+    Arg.(value & opt int max_int & info [ "chaos-attempts" ] ~docv:"K"
+           ~doc:"Inject the fault only into the first $(docv) attempts of each
+                 run, so retries can succeed (default: all attempts).")
+  in
+  let report_file =
+    Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE"
+           ~doc:"Write the sa-lab/supervisor-report/v1 JSON to $(docv).")
+  in
+  let run file runs method_ evals base seed max_attempts base_delay backoff
+      deadline chaos chaos_attempts report_file =
+    match read_netlist file with
+    | Error msg ->
+        prerr_endline msg;
+        1
+    | Ok nl -> (
+        match Gfun.find_by_name ~m:(Netlist.n_nets nl) method_ with
+        | None ->
+            Printf.eprintf "unknown method %S; see Table 4.1 for names\n" method_;
+            1
+        | Some gfun -> (
+            match
+              Supervisor.policy ~max_attempts ~base_delay ~backoff ?deadline ()
+            with
+            | exception Invalid_argument msg ->
+                prerr_endline msg;
+                2
+            | policy ->
+                let schedule = schedule_for gfun base in
+                let params =
+                  Engine_chaos.params ~gfun ~schedule
+                    ~budget:(Budget.Evaluations evals) ()
+                in
+                let work r ~attempt =
+                  (* Retries are not bitwise replays: each attempt
+                     derives its own seed. *)
+                  let rng = Rng.create ~seed:(seed + (1000 * r) + attempt) in
+                  let state = Arrangement.random rng nl in
+                  Chaos_swap.reset ();
+                  (match chaos with
+                  | Some fault when attempt <= chaos_attempts ->
+                      Chaos_swap.plan ~after:100 fault
+                  | Some _ | None -> ());
+                  match Engine_chaos.run rng params state with
+                  | result -> result.Mc_problem.best_cost
+                  | exception Engine_chaos.Aborted { reason; partial } ->
+                      failwith
+                        (Printf.sprintf
+                           "aborted at evaluation %d (best so far %.0f): %s"
+                           partial.Mc_problem.stats.Mc_problem.evaluations
+                           partial.Mc_problem.best_cost
+                           (Printexc.to_string reason))
+                in
+                let jobs =
+                  List.init runs (fun r ->
+                      { Supervisor.label = Printf.sprintf "run-%d" r;
+                        work = work r })
+                in
+                let observer =
+                  Obs.Observer.of_fun (fun ev ->
+                      match ev with
+                      | Obs.Event.Retry { label; attempt; delay; reason } ->
+                          Printf.eprintf
+                            "retry %s: attempt %d failed (%s); backing off \
+                             %.3fs\n%!"
+                            label attempt reason delay
+                      | Obs.Event.Quarantined { label; attempts; reason } ->
+                          Printf.eprintf
+                            "quarantined %s after %d attempts: %s\n%!" label
+                            attempts reason
+                      | _ -> ())
+                in
+                let report = Supervisor.run ~observer policy jobs in
+                List.iter
+                  (fun outcome ->
+                    match outcome with
+                    | Supervisor.Completed { label; attempts; value; seconds } ->
+                        Printf.printf
+                          "%s: completed (attempt %d, %.3fs, best %.0f)\n" label
+                          attempts seconds value
+                    | Supervisor.Quarantined { label; attempts; reason } ->
+                        Printf.printf "%s: quarantined after %d attempts: %s\n"
+                          label attempts reason)
+                  report.Supervisor.outcomes;
+                Printf.printf "retries: %d, quarantined: %d/%d\n"
+                  report.Supervisor.retries report.Supervisor.quarantined runs;
+                (match report_file with
+                | Some path ->
+                    let oc = open_out path in
+                    output_string oc
+                      (Obs.Json.to_string
+                         (Supervisor.report_to_json
+                            ~value:(fun c -> Obs.Json.Float c)
+                            report));
+                    output_char oc '\n';
+                    close_out oc
+                | None -> ());
+                if report.Supervisor.quarantined < runs then 0 else 1))
+  in
+  Cmd.v
+    (Cmd.info "supervise"
+       ~doc:"Drive a campaign of runs with retries, backoff, quarantine, and
+             optional chaos fault injection.")
+    Term.(const run $ file $ runs $ method_ $ evals $ base $ seed $ max_attempts
+          $ base_delay $ backoff $ deadline $ chaos $ chaos_attempts
+          $ report_file)
+
+(* ---------------------------------------------------------------- *)
 (* floorplan                                                         *)
 (* ---------------------------------------------------------------- *)
 
@@ -704,6 +1057,7 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            tables_cmd; solve_cmd; trace_cmd; generate_cmd; goto_cmd; tsp_cmd;
-            partition_cmd; route_cmd; floorplan_cmd; info_cmd;
+            tables_cmd; solve_cmd; run_cmd; supervise_cmd; trace_cmd;
+            generate_cmd; goto_cmd; tsp_cmd; partition_cmd; route_cmd;
+            floorplan_cmd; info_cmd;
           ]))

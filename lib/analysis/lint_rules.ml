@@ -203,6 +203,32 @@ let no_print_in_lib =
   in
   rule
 
+let no_exit_in_lib =
+  let rec rule =
+    {
+      Lint_rule.name = "no-exit-in-lib";
+      severity = Lint_diagnostic.Error;
+      doc =
+        "exit from library code kills the whole process — under the \
+         supervisor that would abort every remaining run of a campaign; \
+         raise a typed exception and let bin/ pick the exit status";
+      check = Lint_rule.Structure (fun file str -> check file str);
+    }
+  and check file str =
+    if not file.Lint_rule.in_lib then []
+    else
+      walk ~rule ~file
+        ~on_expr:(fun add e ->
+          match ident_path e with
+          | Some [ "exit" ] ->
+              add e.pexp_loc
+                "exit terminates the whole process from library code; raise \
+                 and let the caller decide"
+          | _ -> ())
+        str
+  in
+  rule
+
 (* Syntactic "this operand is a float": literals, float arithmetic,
    float-returning stdlib names, and Float.* members. *)
 let floatish e =
@@ -299,6 +325,7 @@ let builtin () =
     no_obj_magic;
     no_catchall_exn;
     no_print_in_lib;
+    no_exit_in_lib;
     no_physical_float_eq;
     mli_required;
   ]

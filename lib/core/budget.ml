@@ -3,19 +3,33 @@ type t = Evaluations of int | Seconds of float
 type clock = {
   budget : t;
   mutable ticks : int;
+  now : unit -> float; (* the CPU clock; injectable for tests *)
   started : float; (* CPU seconds at start; only read in Seconds mode *)
+  mutable max_elapsed : float; (* monotonic guard against clock regressions *)
   mutable cached_exhausted : bool;
 }
 
-let start budget =
+let start_at ?(now = Sys.time) ~ticks budget =
   (match budget with
   | Evaluations n when n < 0 -> invalid_arg "Budget.start: negative evaluations"
   | Seconds s when s < 0. -> invalid_arg "Budget.start: negative seconds"
   | Evaluations _ | Seconds _ -> ());
-  { budget; ticks = 0; started = Sys.time (); cached_exhausted = false }
+  if ticks < 0 then invalid_arg "Budget.start_at: negative ticks";
+  { budget; ticks; now; started = now (); max_elapsed = 0.; cached_exhausted = false }
+
+let start ?now budget = start_at ?now ~ticks:0 budget
 
 let ticks c = c.ticks
 let tick c = c.ticks <- c.ticks + 1
+
+(* Sys.time is not guaranteed monotonic (process migration, NTP on some
+   libc clocks); a raw [now - started] can go negative or shrink.  The
+   high-water mark makes elapsed time — and with it [exhausted] and
+   [used_fraction] — non-decreasing. *)
+let elapsed c =
+  let e = c.now () -. c.started in
+  if e > c.max_elapsed then c.max_elapsed <- e;
+  c.max_elapsed
 
 let exhausted c =
   c.cached_exhausted
@@ -26,7 +40,7 @@ let exhausted c =
     | Seconds s ->
         (* Poll the CPU clock sparsely; a tick is far cheaper than a
            clock read. *)
-        c.ticks land 63 = 0 && Sys.time () -. c.started >= s
+        c.ticks land 63 = 0 && elapsed c >= s
   in
   if now_exhausted then c.cached_exhausted <- true;
   now_exhausted
@@ -36,7 +50,7 @@ let used_fraction c =
   | Evaluations 0 -> 1.
   | Evaluations n -> Float.min 1. (float_of_int c.ticks /. float_of_int n)
   | Seconds 0. -> 1.
-  | Seconds s -> Float.min 1. ((Sys.time () -. c.started) /. s)
+  | Seconds s -> Float.min 1. (elapsed c /. s)
 
 let scale factor = function
   | Evaluations n ->

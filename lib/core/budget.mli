@@ -15,8 +15,21 @@ type t =
 type clock
 (** A running budget: tick count plus start time. *)
 
-val start : t -> clock
-(** @raise Invalid_argument on a negative budget. *)
+val start : ?now:(unit -> float) -> t -> clock
+(** [now] (default [Sys.time]) is the CPU clock read in [Seconds]
+    mode; tests inject a fake clock through it.  Elapsed time is
+    clamped to its high-water mark, so a non-monotonic clock (NTP
+    step, process migration) can never make [exhausted] or
+    [used_fraction] regress.
+
+    @raise Invalid_argument on a negative budget. *)
+
+val start_at : ?now:(unit -> float) -> ticks:int -> t -> clock
+(** [start_at ~ticks budget] is {!start} with the tick counter already
+    at [ticks] — how a resumed run re-enters the budget exactly where
+    its checkpoint left off.
+
+    @raise Invalid_argument on a negative budget or negative [ticks]. *)
 
 val tick : clock -> unit
 (** Record one perturbation evaluation. *)

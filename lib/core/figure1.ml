@@ -12,6 +12,27 @@
    counter resets to 1 (§3).  Lateral (zero-delta) proposals are
    accepted outright, as they are under any g >= 1. *)
 
+(* Everything a resumed run needs besides the two states and the RNG:
+   loop counters, temperature position, and the bit-exact costs.  The
+   record lives outside [Make] because it mentions no problem types —
+   snapshots from different [Make] applications are interchangeable,
+   and the resilience layer serializes it without functor gymnastics. *)
+type snapshot = {
+  ticks : int;  (** budget ticks consumed *)
+  temp : int;  (** current temperature index (1-based) *)
+  counter : int;  (** consecutive rejections at this temperature *)
+  accepted_at_temp : int;
+  defer_run : int;  (** deferred-uphill run length *)
+  initial_cost : float;  (** cost of the very first state of the run *)
+  current_cost : float;
+  best_cost : float;
+  improving : int;
+  lateral_accepted : int;
+  uphill_accepted : int;
+  rejected : int;
+  rng : string;  (** [Rng.to_state] of the generator at this point *)
+}
+
 module Make (P : Mc_problem.S) = struct
   type params = {
     gfun : Gfun.t;
@@ -21,6 +42,8 @@ module Make (P : Mc_problem.S) = struct
     acceptance_limit : int;
     defer_threshold : int;
   }
+
+  exception Aborted of { reason : exn; partial : P.state Mc_problem.run }
 
   let params ?(counter_limit = max_int) ?(acceptance_limit = max_int)
       ?(defer_threshold = 18) ~gfun ~schedule ~budget () =
@@ -33,23 +56,119 @@ module Make (P : Mc_problem.S) = struct
            (Schedule.length schedule) (Gfun.name gfun) (Gfun.k gfun));
     { gfun; schedule; budget; counter_limit; acceptance_limit; defer_threshold }
 
-  let run ?(observer = Obs.Observer.null) rng p state =
+  let run ?(observer = Obs.Observer.null) ?checkpoint_every ?on_checkpoint
+      ?resume rng p state =
     let observing = Obs.Observer.enabled observer in
     let emit ev = Obs.Observer.emit observer ev in
     let k = Gfun.k p.gfun in
-    let clock = Budget.start p.budget in
-    let hi = ref (P.cost state) in
-    let best = ref (P.copy state) in
-    let best_cost = ref !hi in
-    let improving = ref 0
-    and lateral = ref 0
-    and uphill = ref 0
-    and rejected = ref 0 in
-    let counter = ref 0 in
-    let accepted_at_temp = ref 0 in
-    let defer_run = ref 0 in
-    let temp = ref 1 in
+    (match checkpoint_every with
+    | Some n when n <= 0 -> invalid_arg "Figure1.run: checkpoint_every <= 0"
+    | Some _ | None -> ());
+    (match resume with
+    | Some (s, _) ->
+        if s.ticks < 0 then invalid_arg "Figure1.run: resume with negative ticks";
+        if s.temp < 1 || s.temp > k then
+          invalid_arg "Figure1.run: resume temperature out of schedule range"
+    | None -> ());
+    let clock =
+      match resume with
+      | Some (s, _) -> Budget.start_at ~ticks:s.ticks p.budget
+      | None -> Budget.start p.budget
+    in
+    let s0 =
+      match resume with
+      | Some (s, _) -> s
+      | None ->
+          let c = P.cost state in
+          if not (Float.is_finite c) then
+            raise
+              (Mc_problem.Invalid_cost
+                 (Printf.sprintf "non-finite initial cost %h" c));
+          {
+            ticks = 0;
+            temp = 1;
+            counter = 0;
+            accepted_at_temp = 0;
+            defer_run = 0;
+            initial_cost = c;
+            current_cost = c;
+            best_cost = c;
+            improving = 0;
+            lateral_accepted = 0;
+            uphill_accepted = 0;
+            rejected = 0;
+            rng = "";
+          }
+    in
+    let hi = ref s0.current_cost in
+    let best =
+      ref (match resume with Some (_, b) -> P.copy b | None -> P.copy state)
+    in
+    let best_cost = ref s0.best_cost in
+    let improving = ref s0.improving
+    and lateral = ref s0.lateral_accepted
+    and uphill = ref s0.uphill_accepted
+    and rejected = ref s0.rejected in
+    let counter = ref s0.counter in
+    let accepted_at_temp = ref s0.accepted_at_temp in
+    let defer_run = ref s0.defer_run in
+    let temp = ref s0.temp in
     let stop = ref false in
+    (* Abnormal exits carry the best-so-far out: a crashing cost
+       function must not discard hours of progress. *)
+    let partial () =
+      {
+        Mc_problem.best = !best;
+        best_cost = !best_cost;
+        final_cost = !hi;
+        stats =
+          {
+            Mc_problem.evaluations = Budget.ticks clock;
+            improving = !improving;
+            lateral_accepted = !lateral;
+            uphill_accepted = !uphill;
+            rejected = !rejected;
+            temperatures_visited = !temp;
+            descents = 0;
+          };
+      }
+    in
+    let abort reason = raise (Aborted { reason; partial = partial () }) in
+    let last_ckpt = ref s0.ticks in
+    let fire_checkpoint () =
+      match on_checkpoint with
+      | None -> ()
+      | Some f ->
+          last_ckpt := Budget.ticks clock;
+          f
+            {
+              ticks = Budget.ticks clock;
+              temp = !temp;
+              counter = !counter;
+              accepted_at_temp = !accepted_at_temp;
+              defer_run = !defer_run;
+              initial_cost = s0.initial_cost;
+              current_cost = !hi;
+              best_cost = !best_cost;
+              improving = !improving;
+              lateral_accepted = !lateral;
+              uphill_accepted = !uphill;
+              rejected = !rejected;
+              rng = Rng.to_state rng;
+            }
+            ~current:state ~best:!best
+    in
+    (* Loop-top is the one point where no move is half-applied and the
+       counters are mutually consistent; the [last_ckpt] guard keeps a
+       tick that revisits the loop top (early temperature advance) or a
+       just-resumed run from double-firing. *)
+    let maybe_checkpoint () =
+      match checkpoint_every with
+      | Some every ->
+          let t = Budget.ticks clock in
+          if t > 0 && t mod every = 0 && t <> !last_ckpt then fire_checkpoint ()
+      | None -> ()
+    in
     let run_t0 = if observing then Obs.now () else 0. in
     let epoch_t0 = ref run_t0 in
     let close_epoch t =
@@ -66,7 +185,7 @@ module Make (P : Mc_problem.S) = struct
         emit (Obs.Event.Temp_advance { temp = t; y = Schedule.get p.schedule t })
     in
     if observing then emit (Obs.Event.Run_start { cost = !hi });
-    enter_temp 1;
+    enter_temp !temp;
     let advance_temp () =
       close_epoch !temp;
       incr temp;
@@ -107,11 +226,12 @@ module Make (P : Mc_problem.S) = struct
     in
     let reject m hj =
       if observing then emit (Obs.Event.Rejected { delta = hj -. !hi });
-      P.revert state m;
+      (try P.revert state m with e -> abort e);
       incr rejected;
       incr counter
     in
     while (not !stop) && not (Budget.exhausted clock) do
+      maybe_checkpoint ();
       (* Catch the temperature up with the spent budget fraction. *)
       while
         !temp < k
@@ -123,10 +243,23 @@ module Make (P : Mc_problem.S) = struct
         if !temp >= k then stop := true
         else advance_temp ()
       else begin
-        let m = P.random_move rng state in
+        let m = try P.random_move rng state with e -> abort e in
         Budget.tick clock;
-        P.apply state m;
-        let hj = P.cost state in
+        (try P.apply state m with e -> abort e);
+        let hj =
+          match P.cost state with
+          | c -> c
+          | exception e ->
+              (try P.revert state m with e' -> abort e');
+              abort e
+        in
+        if not (Float.is_finite hj) then begin
+          (try P.revert state m with e' -> abort e');
+          abort
+            (Mc_problem.Invalid_cost
+               (Printf.sprintf "non-finite cost %h at evaluation %d" hj
+                  (Budget.ticks clock)))
+        end;
         if observing then
           emit (Obs.Event.Proposed { evaluation = Budget.ticks clock; cost = hj });
         if hj < !hi then begin
@@ -151,6 +284,9 @@ module Make (P : Mc_problem.S) = struct
         end
       end
     done;
+    (* A final fire guarantees the checkpoint file exists (and is
+       marked complete) even for runs shorter than the interval. *)
+    if Budget.ticks clock <> !last_ckpt then fire_checkpoint ();
     close_epoch !temp;
     if observing then
       emit

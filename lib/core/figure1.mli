@@ -14,6 +14,27 @@
     deferred-uphill rule with threshold [defer_threshold] (default
     18). *)
 
+type snapshot = {
+  ticks : int;  (** budget ticks consumed *)
+  temp : int;  (** current temperature index (1-based) *)
+  counter : int;  (** consecutive rejections at this temperature *)
+  accepted_at_temp : int;
+  defer_run : int;  (** deferred-uphill run length *)
+  initial_cost : float;  (** cost of the very first state of the run *)
+  current_cost : float;
+  best_cost : float;
+  improving : int;
+  lateral_accepted : int;
+  uphill_accepted : int;
+  rejected : int;
+  rng : string;  (** [Rng.to_state] of the generator at this point *)
+}
+(** Resume point captured at a loop top: everything a continuation
+    needs besides the two problem states (current and best) and the
+    reconstructed RNG.  Deliberately outside {!Make} — it mentions no
+    problem types, so the resilience layer can serialize it once for
+    all problem domains. *)
+
 module Make (P : Mc_problem.S) : sig
   type params = private {
     gfun : Gfun.t;
@@ -36,8 +57,24 @@ module Make (P : Mc_problem.S) : sig
   (** @raise Invalid_argument if the schedule length differs from the
       g-function's [k], or a threshold is non-positive. *)
 
+  exception Aborted of { reason : exn; partial : P.state Mc_problem.run }
+  (** Raised when the problem misbehaves mid-walk — its cost function
+      returns a non-finite value ([reason] is
+      {!Mc_problem.Invalid_cost}) or one of its operations raises
+      ([reason] is that exception).  The walk's state is restored (a
+      half-evaluated move is reverted before the raise) and [partial]
+      carries the best-so-far snapshot and the counters at the point of
+      failure, so no progress is lost. *)
+
   val run :
-    ?observer:Obs.Observer.t -> Rng.t -> params -> P.state -> P.state Mc_problem.run
+    ?observer:Obs.Observer.t ->
+    ?checkpoint_every:int ->
+    ?on_checkpoint:(snapshot -> current:P.state -> best:P.state -> unit) ->
+    ?resume:snapshot * P.state ->
+    Rng.t ->
+    params ->
+    P.state ->
+    P.state Mc_problem.run
   (** [run rng params state] perturbs [state] in place until the budget
       is exhausted and returns the best snapshot found.  [state] is
       left at the walk's final configuration.
@@ -47,5 +84,24 @@ module Make (P : Mc_problem.S) : sig
       included), one [Proposed] per budget tick, [Accepted]/[Rejected]
       wherever the returned statistics count one, [New_best] at every
       strict improvement of the incumbent, a [Span "temp:<i>"] per
-      temperature epoch, and [Run_end]. *)
+      temperature epoch, and [Run_end].
+
+      [on_checkpoint] is called at safe points (loop tops, where no
+      move is half-applied): every [checkpoint_every] budget ticks, and
+      once more when the walk ends.  The callback may raise to stop the
+      run (e.g. after persisting a shutdown checkpoint).
+
+      [resume] restarts a walk from a {!snapshot} plus the decoded best
+      state; [state] must be the decoded {e current} state and [rng]
+      the generator rebuilt with [Rng.of_state snapshot.rng].  A
+      resumed run replays the exact trajectory of its uninterrupted
+      counterpart — same proposals, same acceptances, bit-identical
+      costs — and its returned statistics are cumulative.
+
+      @raise Mc_problem.Invalid_cost if the {e initial} state's cost is
+      non-finite (there is no progress to preserve yet).
+      @raise Aborted on mid-walk problem failure; see {!Aborted}.
+      @raise Invalid_argument on a non-positive [checkpoint_every] or a
+      [resume] snapshot with negative ticks or an out-of-range
+      temperature. *)
 end

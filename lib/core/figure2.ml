@@ -20,6 +20,8 @@ module Make (P : Mc_problem.S) = struct
     restart_schedule : bool;
   }
 
+  exception Aborted of { reason : exn; partial : P.state Mc_problem.run }
+
   let params ?(counter_limit = 100) ?(restart_schedule = true) ~gfun ~schedule ~budget () =
     if counter_limit <= 0 then invalid_arg "Figure2.params: counter_limit <= 0";
     if Schedule.length schedule <> Gfun.k gfun then
@@ -33,7 +35,11 @@ module Make (P : Mc_problem.S) = struct
     let emit ev = Obs.Observer.emit observer ev in
     let k = Gfun.k p.gfun in
     let clock = Budget.start p.budget in
-    let hi = ref (P.cost state) in
+    let h0 = P.cost state in
+    if not (Float.is_finite h0) then
+      raise
+        (Mc_problem.Invalid_cost (Printf.sprintf "non-finite initial cost %h" h0));
+    let hi = ref h0 in
     let best = ref (P.copy state) in
     let best_cost = ref !hi in
     let improving = ref 0
@@ -42,6 +48,50 @@ module Make (P : Mc_problem.S) = struct
     and rejected = ref 0
     and descents = ref 0
     and max_temp = ref 1 in
+    (* Abnormal exits carry the best-so-far out; the walk state is
+       restored (half-evaluated move reverted) before the raise. *)
+    let abort reason =
+      raise
+        (Aborted
+           {
+             reason;
+             partial =
+               {
+                 Mc_problem.best = !best;
+                 best_cost = !best_cost;
+                 final_cost = !hi;
+                 stats =
+                   {
+                     Mc_problem.evaluations = Budget.ticks clock;
+                     improving = !improving;
+                     lateral_accepted = !lateral;
+                     uphill_accepted = !uphill;
+                     rejected = !rejected;
+                     temperatures_visited = !max_temp;
+                     descents = !descents;
+                   };
+               };
+           })
+    in
+    (* Evaluate a just-applied move's cost; on any failure restore the
+       state and abort with the precise reason. *)
+    let cost_of_applied m =
+      let hj =
+        match P.cost state with
+        | c -> c
+        | exception e ->
+            (try P.revert state m with e' -> abort e');
+            abort e
+      in
+      if not (Float.is_finite hj) then begin
+        (try P.revert state m with e' -> abort e');
+        abort
+          (Mc_problem.Invalid_cost
+             (Printf.sprintf "non-finite cost %h at evaluation %d" hj
+                (Budget.ticks clock)))
+      end;
+      hj
+    in
     let run_t0 = if observing then Obs.now () else 0. in
     let enter_temp t =
       if observing then
@@ -72,8 +122,8 @@ module Make (P : Mc_problem.S) = struct
             | Seq.Nil -> ()
             | Seq.Cons (m, rest) ->
                 Budget.tick clock;
-                P.apply state m;
-                let hj = P.cost state in
+                (try P.apply state m with e -> abort e);
+                let hj = cost_of_applied m in
                 if observing then
                   emit
                     (Obs.Event.Proposed
@@ -95,11 +145,11 @@ module Make (P : Mc_problem.S) = struct
                 else begin
                   (* A tested, non-improving descent move is not a
                      rejection in the statistics — no event either. *)
-                  P.revert state m;
+                  (try P.revert state m with e -> abort e);
                   scan rest
                 end
         in
-        scan (P.moves state)
+        scan (try P.moves state with e -> abort e)
       done;
       incr descents;
       Obs.Span.exit observer span;
@@ -130,10 +180,10 @@ module Make (P : Mc_problem.S) = struct
         end
       else begin
         incr counter;
-        let m = P.random_move rng state in
+        let m = try P.random_move rng state with e -> abort e in
         Budget.tick clock;
-        P.apply state m;
-        let hj = P.cost state in
+        (try P.apply state m with e -> abort e);
+        let hj = cost_of_applied m in
         if observing then
           emit (Obs.Event.Proposed { evaluation = Budget.ticks clock; cost = hj });
         let y = Schedule.get p.schedule !temp in
@@ -164,7 +214,7 @@ module Make (P : Mc_problem.S) = struct
         end
         else begin
           if observing then emit (Obs.Event.Rejected { delta = hj -. !hi });
-          P.revert state m;
+          (try P.revert state m with e -> abort e);
           incr rejected
         end
       end

@@ -28,10 +28,20 @@ module Make (P : Mc_problem.S) : sig
       @raise Invalid_argument if the schedule length differs from the
       g-function's [k] or [counter_limit <= 0]. *)
 
+  exception Aborted of { reason : exn; partial : P.state Mc_problem.run }
+  (** Raised when the problem misbehaves mid-walk (non-finite cost →
+      {!Mc_problem.Invalid_cost}, or a raising operation); the walk
+      state is restored before the raise and [partial] preserves the
+      best-so-far and counters. *)
+
   val run :
     ?observer:Obs.Observer.t -> Rng.t -> params -> P.state -> P.state Mc_problem.run
   (** Mutates [state]; returns the best snapshot.  Each tested move of
       the descent and each random perturbation costs one budget tick.
+
+      @raise Mc_problem.Invalid_cost if the initial state's cost is
+      non-finite.
+      @raise Aborted on mid-walk problem failure; see {!Aborted}.
 
       [observer] (default {!Obs.null}) receives one [Proposed] per
       budget tick, [Accepted {kind = Improving}] for every descent

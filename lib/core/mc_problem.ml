@@ -28,6 +28,16 @@ module type S = sig
       The sequence may be lazy but must be finite. *)
 end
 
+exception Invalid_cost of string
+
+(* Serialization pair for checkpointing a problem state.  A first-class
+   record rather than an extension of [S]: only domains that support
+   resume need one, and existing adapters stay untouched. *)
+type 'state codec = {
+  encode : 'state -> Obs.Json.t;
+  decode : Obs.Json.t -> ('state, string) result;
+}
+
 (** Outcome counters common to all engines. *)
 type stats = {
   evaluations : int;  (** perturbations proposed (budget ticks) *)
@@ -196,6 +206,117 @@ module Contract (P : S) = struct
     List.to_seq ms
 end
 
+(* Fault-injection counterpart of [Contract]: instead of checking that
+   [P] behaves, [Chaos (P)] makes it misbehave on schedule, so the
+   engine-hardening paths (non-finite cost rejection, exception-safe
+   accept/revert, best-so-far preservation) can be exercised from
+   tests.  Faults are planned per primitive-operation class; a plan
+   [plan ~after ~times fault] stays dormant for the first [after] calls
+   of the targeted operation, then fires on the next [times] calls.
+   Like [Contract], the counters are per-instantiation globals — use a
+   fresh application (or [reset]) per test. *)
+module Chaos (P : S) = struct
+  type state = P.state
+  type move = P.move
+
+  type fault =
+    | Nan_cost  (** [cost] returns [nan] *)
+    | Inf_cost  (** [cost] returns [infinity] *)
+    | Raise_cost  (** [cost] raises {!Fault} *)
+    | Raise_apply  (** [apply] raises {!Fault} before mutating *)
+    | Raise_revert  (** [revert] raises {!Fault} before restoring *)
+    | Slow_move of float  (** [random_move] busy-waits this many CPU s *)
+
+  exception Fault of string
+
+  type planned = { fault : fault; after : int; mutable times : int }
+
+  let plans : planned list ref = ref []
+  let injected_count = ref 0
+  let cost_calls = ref 0
+  let apply_calls = ref 0
+  let revert_calls = ref 0
+  let move_calls = ref 0
+
+  let plan ?(after = 0) ?(times = 1) fault =
+    if after < 0 then invalid_arg "Chaos.plan: negative after";
+    if times < 1 then invalid_arg "Chaos.plan: times < 1";
+    plans := !plans @ [ { fault; after; times } ]
+
+  let reset () =
+    plans := [];
+    injected_count := 0;
+    cost_calls := 0;
+    apply_calls := 0;
+    revert_calls := 0;
+    move_calls := 0
+
+  let injected () = !injected_count
+
+  (* First still-armed plan of a matching fault class whose dormancy has
+     elapsed for this operation's call counter ([calls] is 1-based and
+     includes the current call). *)
+  let firing select calls =
+    let rec find = function
+      | [] -> None
+      | p :: rest ->
+          if p.times > 0 && select p.fault && calls > p.after then Some p
+          else find rest
+    in
+    match find !plans with
+    | Some p ->
+        p.times <- p.times - 1;
+        incr injected_count;
+        Some p.fault
+    | None -> None
+
+  let fault_msg op calls = Printf.sprintf "chaos: injected %s fault at call %d" op calls
+
+  let cost s =
+    incr cost_calls;
+    match
+      firing
+        (function Nan_cost | Inf_cost | Raise_cost -> true | _ -> false)
+        !cost_calls
+    with
+    | Some Nan_cost -> Float.nan
+    | Some Inf_cost -> Float.infinity
+    | Some Raise_cost -> raise (Fault (fault_msg "cost" !cost_calls))
+    | Some _ | None -> P.cost s
+
+  let random_move rng s =
+    incr move_calls;
+    (match
+       firing (function Slow_move _ -> true | _ -> false) !move_calls
+     with
+    | Some (Slow_move d) ->
+        let t0 = Sys.time () in
+        while Sys.time () -. t0 < d do
+          ()
+        done
+    | Some _ | None -> ());
+    P.random_move rng s
+
+  let apply s m =
+    incr apply_calls;
+    (match firing (function Raise_apply -> true | _ -> false) !apply_calls with
+    | Some _ -> raise (Fault (fault_msg "apply" !apply_calls))
+    | None -> ());
+    P.apply s m
+
+  let revert s m =
+    incr revert_calls;
+    (match
+       firing (function Raise_revert -> true | _ -> false) !revert_calls
+     with
+    | Some _ -> raise (Fault (fault_msg "revert" !revert_calls))
+    | None -> ());
+    P.revert s m
+
+  let copy = P.copy
+  let moves = P.moves
+end
+
 let stats_of_events events =
   List.fold_left
     (fun s ev ->
@@ -212,6 +333,7 @@ let stats_of_events events =
           { s with temperatures_visited = max s.temperatures_visited temp }
       | Obs.Event.Descent_done _ -> { s with descents = s.descents + 1 }
       | Obs.Event.Run_start _ | Obs.Event.New_best _ | Obs.Event.Span _
-      | Obs.Event.Run_end _ ->
+      | Obs.Event.Run_end _ | Obs.Event.Checkpoint_written _
+      | Obs.Event.Retry _ | Obs.Event.Quarantined _ ->
           s)
     empty_stats events

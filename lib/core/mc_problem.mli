@@ -34,6 +34,21 @@ module type S = sig
       must not change the state. *)
 end
 
+exception Invalid_cost of string
+(** Raised by hardened engines when a problem's cost function returns a
+    non-finite value (NaN or an infinity); the message pins down the
+    value and the budget tick.  A NaN cost would silently poison every
+    later Metropolis comparison, so the walk stops instead. *)
+
+type 'state codec = {
+  encode : 'state -> Obs.Json.t;
+  decode : Obs.Json.t -> ('state, string) result;
+}
+(** Serialization pair for checkpointing a problem state.  A
+    first-class record rather than part of {!S}: only domains that
+    support resume need one, and [decode] must reject structurally
+    invalid input with a message rather than produce a broken state. *)
+
 (** Outcome counters common to all engines. *)
 type stats = {
   evaluations : int;  (** perturbations proposed (budget ticks) *)
@@ -88,4 +103,40 @@ module Contract (P : S) : sig
   val checks_performed : unit -> int
   (** Number of contract checks executed so far (across all states of
       this instantiation); tests assert it advanced. *)
+end
+
+(** [Chaos (P)] is the fault-injection counterpart of {!Contract}: it
+    presents [P]'s own state and move types so it drops into any engine
+    functor, but makes planned calls misbehave — returning NaN/infinite
+    costs, raising from [cost]/[apply]/[revert], or stalling
+    [random_move].  Used by the chaos test suite to prove the engines
+    degrade gracefully (precise error, state restored, best-so-far
+    preserved).  Counters and plans are per-instantiation globals; call
+    [reset] between tests. *)
+module Chaos (P : S) : sig
+  include S with type state = P.state and type move = P.move
+
+  type fault =
+    | Nan_cost  (** [cost] returns [nan] *)
+    | Inf_cost  (** [cost] returns [infinity] *)
+    | Raise_cost  (** [cost] raises {!Fault} *)
+    | Raise_apply  (** [apply] raises {!Fault} before mutating *)
+    | Raise_revert  (** [revert] raises {!Fault} before restoring *)
+    | Slow_move of float
+        (** [random_move] busy-waits this many CPU seconds first *)
+
+  exception Fault of string
+
+  val plan : ?after:int -> ?times:int -> fault -> unit
+  (** Arm a fault: dormant for the first [after] (default 0) calls of
+      the targeted operation, then fires on the next [times] (default
+      1) calls.
+
+      @raise Invalid_argument on negative [after] or [times < 1]. *)
+
+  val reset : unit -> unit
+  (** Clear all plans and counters. *)
+
+  val injected : unit -> int
+  (** Faults actually fired so far. *)
 end

@@ -5,6 +5,7 @@ module Make (P : Mc_problem.S) = struct
     best : P.state Mc_problem.run;
     chain_costs : float array;
     total_evaluations : int;
+    failures : (int * string) list;
   }
 
   let run ?(domains = 1) ?(observer = Obs.Observer.null) rng ~chains ~params
@@ -19,10 +20,19 @@ module Make (P : Mc_problem.S) = struct
           (i, chain_rng))
     in
     let results = Array.make chains None in
-    let run_job (i, chain_rng) =
+    (* A chain whose problem misbehaves mid-walk is contained: its
+       [Aborted] partial (best-so-far plus counters at failure) joins
+       the selection like any finished chain, and the failure is
+       reported in [failures].  Only an unstartable chain (non-finite
+       initial cost) propagates. *)
+    let run_one i chain_rng =
       let state = make_state i in
-      results.(i) <- Some (Engine.run ~observer chain_rng params state)
+      match Engine.run ~observer chain_rng params state with
+      | r -> (r, None)
+      | exception Engine.Aborted { reason; partial } ->
+          (partial, Some (Printexc.to_string reason))
     in
+    let run_job (i, chain_rng) = results.(i) <- Some (run_one i chain_rng) in
     let workers = min domains chains in
     if workers = 1 then Array.iter run_job jobs
     else begin
@@ -35,8 +45,7 @@ module Make (P : Mc_problem.S) = struct
                   (fun ((i, _) as job) ->
                     if i mod workers = w then begin
                       let (i, chain_rng) = job in
-                      let state = make_state i in
-                      local := (i, Engine.run ~observer chain_rng params state) :: !local
+                      local := (i, run_one i chain_rng) :: !local
                     end)
                   jobs;
                 !local))
@@ -46,8 +55,15 @@ module Make (P : Mc_problem.S) = struct
           List.iter (fun (i, r) -> results.(i) <- Some r) (Domain.join handle))
         handles
     end;
+    let failures = ref [] in
+    Array.iteri
+      (fun i r ->
+        match r with
+        | Some (_, Some msg) -> failures := (i, msg) :: !failures
+        | Some (_, None) | None -> ())
+      results;
     let results =
-      Array.map (function Some r -> r | None -> assert false) results
+      Array.map (function Some (r, _) -> r | None -> assert false) results
     in
     let chain_costs = Array.map (fun r -> r.Mc_problem.best_cost) results in
     let best_idx = ref 0 in
@@ -59,5 +75,10 @@ module Make (P : Mc_problem.S) = struct
         (fun acc r -> acc + r.Mc_problem.stats.Mc_problem.evaluations)
         0 results
     in
-    { best = results.(!best_idx); chain_costs; total_evaluations }
+    {
+      best = results.(!best_idx);
+      chain_costs;
+      total_evaluations;
+      failures = List.rev !failures;
+    }
 end

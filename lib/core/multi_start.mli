@@ -15,6 +15,12 @@ module Make (P : Mc_problem.S) : sig
     best : P.state Mc_problem.run;  (** the winning chain's result *)
     chain_costs : float array;  (** best cost of every chain *)
     total_evaluations : int;
+    failures : (int * string) list;
+        (** chains whose engine run aborted mid-walk, as
+            [(chain index, reason)].  An aborted chain's best-so-far
+            partial still competes in [best]/[chain_costs]; only a
+            chain that cannot start (non-finite initial cost) escapes
+            as an exception. *)
   }
 
   val run :

@@ -15,6 +15,8 @@
 module Make (P : Mc_problem.S) = struct
   type params = { gfun : Gfun.t; schedule : Schedule.t; budget : Budget.t }
 
+  exception Aborted of { reason : exn; partial : P.state Mc_problem.run }
+
   let params ~gfun ~schedule ~budget =
     if Schedule.length schedule <> Gfun.k gfun then
       invalid_arg "Rejectionless.params: schedule length mismatch";
@@ -25,7 +27,11 @@ module Make (P : Mc_problem.S) = struct
     let emit ev = Obs.Observer.emit observer ev in
     let k = Gfun.k p.gfun in
     let clock = Budget.start p.budget in
-    let hi = ref (P.cost state) in
+    let h0 = P.cost state in
+    if not (Float.is_finite h0) then
+      raise
+        (Mc_problem.Invalid_cost (Printf.sprintf "non-finite initial cost %h" h0));
+    let hi = ref h0 in
     let best = ref (P.copy state) in
     let best_cost = ref !hi in
     let improving = ref 0
@@ -33,6 +39,31 @@ module Make (P : Mc_problem.S) = struct
     and uphill = ref 0
     and steps = ref 0 in
     let temp = ref 1 in
+    (* Abnormal exits carry the best-so-far out; the walk state is
+       restored (half-evaluated move reverted) before the raise. *)
+    let abort reason =
+      raise
+        (Aborted
+           {
+             reason;
+             partial =
+               {
+                 Mc_problem.best = !best;
+                 best_cost = !best_cost;
+                 final_cost = !hi;
+                 stats =
+                   {
+                     Mc_problem.evaluations = Budget.ticks clock;
+                     improving = !improving;
+                     lateral_accepted = !lateral;
+                     uphill_accepted = !uphill;
+                     rejected = Budget.ticks clock - !steps;
+                     temperatures_visited = !temp;
+                     descents = !steps;
+                   };
+               };
+           })
+    in
     let stop = ref false in
     let run_t0 = if observing then Obs.now () else 0. in
     let enter_temp t =
@@ -52,14 +83,25 @@ module Make (P : Mc_problem.S) = struct
       let y = Schedule.get p.schedule !temp in
       (* Weigh every move by its acceptance probability. *)
       let weighted =
-        P.moves state
+        (try P.moves state with e -> abort e)
         |> Seq.filter_map (fun m ->
                if Budget.exhausted clock then None
                else begin
                  Budget.tick clock;
-                 P.apply state m;
-                 let hj = P.cost state in
-                 P.revert state m;
+                 (try P.apply state m with e -> abort e);
+                 let hj =
+                   match P.cost state with
+                   | c -> c
+                   | exception e ->
+                       (try P.revert state m with e' -> abort e');
+                       abort e
+                 in
+                 (try P.revert state m with e -> abort e);
+                 if not (Float.is_finite hj) then
+                   abort
+                     (Mc_problem.Invalid_cost
+                        (Printf.sprintf "non-finite cost %h at evaluation %d" hj
+                           (Budget.ticks clock)));
                  if observing then
                    emit
                      (Obs.Event.Proposed
@@ -86,7 +128,7 @@ module Make (P : Mc_problem.S) = struct
       else begin
         let weights = Array.map (fun (_, _, w) -> w) weighted in
         let m, hj, _ = weighted.(Rng.categorical rng weights) in
-        P.apply state m;
+        (try P.apply state m with e -> abort e);
         (* Compare rather than bind a delta: a float let bound here and
            stored in the event record would be boxed on every committed
            step, observer or not. *)

@@ -15,9 +15,19 @@ module Make (P : Mc_problem.S) : sig
   val params : gfun:Gfun.t -> schedule:Schedule.t -> budget:Budget.t -> params
   (** @raise Invalid_argument on schedule/g-function length mismatch. *)
 
+  exception Aborted of { reason : exn; partial : P.state Mc_problem.run }
+  (** Raised when the problem misbehaves mid-scan (non-finite cost →
+      {!Mc_problem.Invalid_cost}, or a raising operation); the walk
+      state is restored before the raise and [partial] preserves the
+      best-so-far and counters. *)
+
   val run :
     ?observer:Obs.Observer.t -> Rng.t -> params -> P.state -> P.state Mc_problem.run
-  (** [observer] (default {!Obs.null}) receives one [Proposed] per
+  (** @raise Mc_problem.Invalid_cost if the initial state's cost is
+      non-finite.
+      @raise Aborted on mid-scan problem failure; see {!Aborted}.
+
+      [observer] (default {!Obs.null}) receives one [Proposed] per
       neighborhood evaluation, an [Accepted] plus a [Descent_done] per
       committed step, a [Temp_advance] per temperature entered,
       [New_best], and [Run_start]/[Run_end].  No [Rejected] events are

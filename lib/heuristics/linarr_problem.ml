@@ -55,3 +55,43 @@ module Swap_sum_cuts = struct
 
   let cost state = float_of_int (Arrangement.sum_of_cuts state)
 end
+
+(* An arrangement serializes as its order array; decoding rebuilds the
+   incremental cut state from the netlist, so a checkpoint holds no
+   derived data that could go stale. *)
+let codec netlist =
+  let encode state =
+    Obs.Json.List
+      (Array.to_list (Array.map (fun e -> Obs.Json.Int e) (Arrangement.order state)))
+  in
+  let decode json =
+    match json with
+    | Obs.Json.List items ->
+        let n = List.length items in
+        let order = Array.make (max n 1) (-1) in
+        let ok =
+          List.for_all2
+            (fun i item ->
+              match Obs.Json.to_int item with
+              | Some e ->
+                  order.(i) <- e;
+                  true
+              | None -> false)
+            (List.init n Fun.id) items
+        in
+        if not ok then Error "Linarr_problem.codec: non-integer element in order"
+        else if n <> Netlist.n_elements netlist then
+          Error
+            (Printf.sprintf
+               "Linarr_problem.codec: order has %d elements but netlist has %d" n
+               (Netlist.n_elements netlist))
+        else (
+          match Arrangement.create ~order netlist with
+          | state -> Ok state
+          | exception Invalid_argument msg ->
+              Error (Printf.sprintf "Linarr_problem.codec: %s" msg))
+    | Obs.Json.Null | Obs.Json.Bool _ | Obs.Json.Int _ | Obs.Json.Float _
+    | Obs.Json.String _ | Obs.Json.Obj _ ->
+        Error "Linarr_problem.codec: expected a JSON array of element ids"
+  in
+  { Mc_problem.encode; decode }

@@ -19,3 +19,9 @@ end
 module Swap_sum_cuts : sig
   include Mc_problem.S with type state = Arrangement.t and type move = int * int
 end
+
+val codec : Netlist.t -> Arrangement.t Mc_problem.codec
+(** Checkpoint codec: an arrangement serializes as the JSON array of
+    its order; decoding rebuilds the incremental cut state from the
+    netlist and rejects anything that is not a permutation of its
+    elements. *)

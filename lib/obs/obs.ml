@@ -275,6 +275,9 @@ module Event = struct
         best_cost : float;
         seconds : float;
       }
+    | Checkpoint_written of { path : string; evaluation : int }
+    | Retry of { label : string; attempt : int; delay : float; reason : string }
+    | Quarantined of { label : string; attempts : int; reason : string }
 
   let kind_name = function
     | Improving -> "improving"
@@ -318,6 +321,25 @@ module Event = struct
             ("final_cost", Float final_cost);
             ("best_cost", Float best_cost);
             ("seconds", Float seconds);
+          ]
+    | Checkpoint_written { path; evaluation } ->
+        Obj [ ("ev", String "checkpoint"); ("path", String path); ("n", Int evaluation) ]
+    | Retry { label; attempt; delay; reason } ->
+        Obj
+          [
+            ("ev", String "retry");
+            ("label", String label);
+            ("attempt", Int attempt);
+            ("delay", Float delay);
+            ("reason", String reason);
+          ]
+    | Quarantined { label; attempts; reason } ->
+        Obj
+          [
+            ("ev", String "quarantined");
+            ("label", String label);
+            ("attempts", Int attempts);
+            ("reason", String reason);
           ]
 
   exception Bad of string
@@ -367,6 +389,19 @@ module Event = struct
               best_cost = fnum "best_cost";
               seconds = fnum "seconds";
             }
+      | "checkpoint" ->
+          Checkpoint_written { path = str "path"; evaluation = inum "n" }
+      | "retry" ->
+          Retry
+            {
+              label = str "label";
+              attempt = inum "attempt";
+              delay = fnum "delay";
+              reason = str "reason";
+            }
+      | "quarantined" ->
+          Quarantined
+            { label = str "label"; attempts = inum "attempts"; reason = str "reason" }
       | other -> raise (Bad ("unknown event " ^ other))
     with
     | ev -> Ok ev
@@ -718,7 +753,10 @@ module Metrics = struct
             set_gauge t "best_cost" best_cost;
             set_gauge t "run_seconds" seconds;
             if seconds > 0. then
-              set_gauge t "evals_per_sec" (float_of_int evaluations /. seconds))
+              set_gauge t "evals_per_sec" (float_of_int evaluations /. seconds)
+        | Event.Checkpoint_written _ -> incr t "checkpoints"
+        | Event.Retry _ -> incr t "retries"
+        | Event.Quarantined _ -> incr t "quarantined")
 
   (* Recover (temp, accepted, proposed) rows from the per-temperature
      counter names. *)
@@ -794,11 +832,16 @@ module Span = struct
     if Observer.enabled obs then { name; t0 = now (); live = true }
     else { name; t0 = 0.; live = false }
 
-  let exit obs t =
+  (* Named [close] internally so the bare call below cannot be mistaken
+     for Stdlib.exit (which sa-lint bans in library code); the public
+     name stays [exit] to pair with [enter]. *)
+  let close obs t =
     if t.live then
       Observer.emit obs (Event.Span { name = t.name; seconds = now () -. t.t0 })
 
+  let exit = close
+
   let time obs name f =
     let span = enter obs name in
-    Fun.protect ~finally:(fun () -> exit obs span) f
+    Fun.protect ~finally:(fun () -> close obs span) f
 end

@@ -84,6 +84,15 @@ module Event : sig
         best_cost : float;
         seconds : float;
       }
+    | Checkpoint_written of { path : string; evaluation : int }
+        (** a resume snapshot reached stable storage at budget tick
+            [evaluation] *)
+    | Retry of { label : string; attempt : int; delay : float; reason : string }
+        (** the supervisor is about to re-run job [label] after failed
+            [attempt], sleeping [delay] seconds first *)
+    | Quarantined of { label : string; attempts : int; reason : string }
+        (** job [label] exhausted its [attempts] and was pulled from the
+            campaign *)
 
   val kind_name : accept_kind -> string
   (** ["improving"], ["lateral"] or ["uphill"]. *)

@@ -1,0 +1,64 @@
+(** Versioned, CRC-guarded resume snapshots.
+
+    A checkpoint file is one JSON object
+    [{"schema":"sa-lab/checkpoint/v1","crc":"…","payload":…}]: the
+    CRC-32 (IEEE) of the payload's compact rendering detects
+    truncation and corruption before anything is decoded, and writes
+    are atomic (temp file + rename), so the file at [path] is always
+    either absent, the previous snapshot, or the new one — never a
+    prefix.
+
+    Costs inside the payload are stored as IEEE-754 bit patterns
+    (["0x%016Lx"]) because decimal JSON float text does not round-trip
+    and resume must be bit-exact. *)
+
+val schema : string
+(** ["sa-lab/checkpoint/v1"]. *)
+
+val write : path:string -> Obs.Json.t -> unit
+(** [write ~path payload] atomically replaces [path] with a
+    checkpoint document wrapping [payload].
+    @raise Sys_error on IO failure. *)
+
+val read : path:string -> (Obs.Json.t, string) result
+(** Parse and verify a checkpoint file, returning its payload.  The
+    error message pins down what is wrong: unreadable file, invalid
+    JSON, wrong schema tag, missing fields, or a CRC mismatch
+    (corruption). *)
+
+val hex_of_float : float -> string
+(** ["0x%016Lx"] bit pattern of a float; round-trips exactly. *)
+
+val float_of_hex : string -> (float, string) result
+(** Inverse of {!hex_of_float}; rejects anything that is not [0x]
+    plus 16 lowercase hex digits. *)
+
+val snapshot_to_json : Figure1.snapshot -> Obs.Json.t
+val snapshot_of_json : Obs.Json.t -> (Figure1.snapshot, string) result
+
+val save_figure1 :
+  ?observer:Obs.Observer.t ->
+  path:string ->
+  codec:'state Mc_problem.codec ->
+  fingerprint:Obs.Json.t ->
+  Figure1.snapshot ->
+  current:'state ->
+  best:'state ->
+  unit
+(** Persist a Figure 1 resume point: the loop snapshot plus the
+    codec-encoded current and best states, tagged with [fingerprint]
+    (an arbitrary JSON value identifying the run configuration —
+    netlist, method, seed, budget).  Emits
+    [Checkpoint_written {path; evaluation}] through [observer]. *)
+
+val load_figure1 :
+  path:string ->
+  codec:'state Mc_problem.codec ->
+  fingerprint:Obs.Json.t ->
+  (Figure1.snapshot * 'state * 'state * Rng.t, string) result
+(** Load a resume point written by {!save_figure1}: returns the
+    snapshot, the decoded current and best states, and the RNG rebuilt
+    from the saved stream position.  Fails with a precise message on
+    corruption (via {!read}), a different engine, a fingerprint that
+    does not match [fingerprint] (stale checkpoint from another run
+    configuration), or an undecodable state. *)

@@ -1,0 +1,130 @@
+(* Run-by-run campaign driver: each job gets a bounded number of
+   attempts with exponential backoff between them; a job that keeps
+   failing (or keeps blowing its per-run deadline) is quarantined so
+   one pathological instance cannot sink a whole suite.
+
+   The clock and the sleep are injectable so the retry/backoff logic is
+   testable deterministically; defaults are wall-clock
+   ([Unix.gettimeofday]/[Unix.sleepf]).  Genuinely fatal conditions —
+   [Out_of_memory], [Stack_overflow] — are re-raised immediately:
+   retrying them only thrashes. *)
+
+type policy = {
+  max_attempts : int;
+  base_delay : float;
+  backoff : float;
+  deadline : float option;
+}
+
+let policy ?(max_attempts = 3) ?(base_delay = 0.1) ?(backoff = 2.0) ?deadline ()
+    =
+  if max_attempts < 1 then invalid_arg "Supervisor.policy: max_attempts < 1";
+  if base_delay < 0. then invalid_arg "Supervisor.policy: negative base_delay";
+  if backoff < 1. then invalid_arg "Supervisor.policy: backoff < 1";
+  (match deadline with
+  | Some d when d <= 0. -> invalid_arg "Supervisor.policy: deadline <= 0"
+  | Some _ | None -> ());
+  { max_attempts; base_delay; backoff; deadline }
+
+type 'a job = { label : string; work : attempt:int -> 'a }
+
+type 'a outcome =
+  | Completed of { label : string; attempts : int; value : 'a; seconds : float }
+  | Quarantined of { label : string; attempts : int; reason : string }
+
+type 'a report = {
+  outcomes : 'a outcome list;
+  retries : int;
+  quarantined : int;
+}
+
+let run ?(observer = Obs.Observer.null) ?(sleep = Unix.sleepf)
+    ?(now = Unix.gettimeofday) policy jobs =
+  let emit ev =
+    if Obs.Observer.enabled observer then Obs.Observer.emit observer ev
+  in
+  let retries = ref 0 in
+  let run_job job =
+    let rec attempt_from n =
+      let t0 = now () in
+      let result =
+        match job.work ~attempt:n with
+        | v -> (
+            let seconds = now () -. t0 in
+            match policy.deadline with
+            | Some d when seconds > d ->
+                (* The work itself cannot be preempted portably; the
+                   deadline is enforced post hoc, which still stops a
+                   slow instance from being retried forever. *)
+                Error
+                  (Printf.sprintf "deadline exceeded (%.3fs > %.3fs)" seconds d)
+            | Some _ | None -> Ok (v, seconds))
+        | exception (Out_of_memory as e) -> raise e
+        | exception (Stack_overflow as e) -> raise e
+        | exception e -> Error (Printexc.to_string e)
+      in
+      match result with
+      | Ok (value, seconds) ->
+          Completed { label = job.label; attempts = n; value; seconds }
+      | Error reason ->
+          if n < policy.max_attempts then begin
+            let delay =
+              policy.base_delay *. (policy.backoff ** float_of_int (n - 1))
+            in
+            incr retries;
+            emit (Obs.Event.Retry { label = job.label; attempt = n; delay; reason });
+            sleep delay;
+            attempt_from (n + 1)
+          end
+          else begin
+            emit
+              (Obs.Event.Quarantined { label = job.label; attempts = n; reason });
+            Quarantined { label = job.label; attempts = n; reason }
+          end
+    in
+    attempt_from 1
+  in
+  let outcomes = List.map run_job jobs in
+  let quarantined =
+    List.length
+      (List.filter
+         (function Quarantined _ -> true | Completed _ -> false)
+         outcomes)
+  in
+  { outcomes; retries = !retries; quarantined }
+
+let report_schema = "sa-lab/supervisor-report/v1"
+
+let report_to_json ?value report =
+  let with_value v fields =
+    match value with
+    | Some enc -> fields @ [ ("value", enc v) ]
+    | None -> fields
+  in
+  let outcome_json = function
+    | Completed { label; attempts; value = v; seconds } ->
+        Obs.Json.Obj
+          (with_value v
+             [
+               ("label", Obs.Json.String label);
+               ("status", Obs.Json.String "completed");
+               ("attempts", Obs.Json.Int attempts);
+               ("seconds", Obs.Json.Float seconds);
+             ])
+    | Quarantined { label; attempts; reason } ->
+        Obs.Json.Obj
+          [
+            ("label", Obs.Json.String label);
+            ("status", Obs.Json.String "quarantined");
+            ("attempts", Obs.Json.Int attempts);
+            ("reason", Obs.Json.String reason);
+          ]
+  in
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.String report_schema);
+      ("completed", Obs.Json.Int (List.length report.outcomes - report.quarantined));
+      ("quarantined", Obs.Json.Int report.quarantined);
+      ("retries", Obs.Json.Int report.retries);
+      ("outcomes", Obs.Json.List (List.map outcome_json report.outcomes));
+    ]

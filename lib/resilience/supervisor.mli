@@ -1,0 +1,66 @@
+(** Run-by-run campaign driver with per-run deadlines, bounded
+    retry-with-backoff, and a quarantine list.
+
+    Jobs run sequentially in list order.  A job that raises (or
+    overruns the per-run deadline) is retried after
+    [base_delay * backoff^(attempt-1)] seconds, up to [max_attempts]
+    total attempts; after the last failure it is quarantined and the
+    campaign moves on, so one pathological instance cannot sink a
+    whole suite.  [Out_of_memory] and [Stack_overflow] are re-raised
+    immediately — retrying those only thrashes.
+
+    Progress is reported through [Obs]: a [Retry] event before every
+    backoff sleep and a [Quarantined] event when a job is given up
+    on. *)
+
+type policy = private {
+  max_attempts : int;  (** total attempts per job, including the first *)
+  base_delay : float;  (** seconds before the first retry *)
+  backoff : float;  (** delay multiplier per further retry *)
+  deadline : float option;  (** per-attempt budget in seconds *)
+}
+
+val policy :
+  ?max_attempts:int ->
+  ?base_delay:float ->
+  ?backoff:float ->
+  ?deadline:float ->
+  unit ->
+  policy
+(** Defaults: 3 attempts, 0.1 s base delay, 2× backoff, no deadline.
+    @raise Invalid_argument if [max_attempts < 1], [base_delay < 0],
+    [backoff < 1], or [deadline <= 0]. *)
+
+type 'a job = { label : string; work : attempt:int -> 'a }
+(** [work] receives the 1-based attempt number (a run can derive a
+    fresh seed from it so retries are not bitwise replays). *)
+
+type 'a outcome =
+  | Completed of { label : string; attempts : int; value : 'a; seconds : float }
+  | Quarantined of { label : string; attempts : int; reason : string }
+
+type 'a report = {
+  outcomes : 'a outcome list;  (** one per job, in job order *)
+  retries : int;  (** total retry sleeps across the campaign *)
+  quarantined : int;
+}
+
+val run :
+  ?observer:Obs.Observer.t ->
+  ?sleep:(float -> unit) ->
+  ?now:(unit -> float) ->
+  policy ->
+  'a job list ->
+  'a report
+(** Drive the campaign.  [sleep] (default [Unix.sleepf]) and [now]
+    (default [Unix.gettimeofday]) are injectable so tests exercise the
+    retry/backoff/deadline logic deterministically.  The deadline is
+    enforced post hoc — the attempt runs to completion, then counts as
+    failed if it took longer than [deadline]. *)
+
+val report_schema : string
+(** ["sa-lab/supervisor-report/v1"]. *)
+
+val report_to_json : ?value:('a -> Obs.Json.t) -> 'a report -> Obs.Json.t
+(** Render a report under {!report_schema}; [value] (optional)
+    serializes each completed job's result into its outcome record. *)

@@ -66,6 +66,35 @@ let split t =
 
 let copy t = { state = t.state; inc = t.inc }
 
+(* Serialized form: "pcg32:<state>:<inc>", each word as exactly 16
+   lowercase hex digits.  The format is deliberately rigid so a
+   truncated or hand-mangled checkpoint is rejected instead of seeding
+   a garbage stream. *)
+
+let to_state t = Printf.sprintf "pcg32:%016Lx:%016Lx" t.state t.inc
+
+let of_state s =
+  let fail msg = Error (Printf.sprintf "Rng.of_state: %s in %S" msg s) in
+  let word w =
+    if String.length w <> 16 then None
+    else if
+      String.for_all
+        (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+        w
+    then
+      (* Hex literals wrap into the full unsigned 64-bit range. *)
+      Some (Int64.of_string ("0x" ^ w))
+    else None
+  in
+  match String.split_on_char ':' s with
+  | [ "pcg32"; sw; iw ] -> (
+      match (word sw, word iw) with
+      | Some state, Some inc ->
+          if Int64.logand inc 1L = 1L then Ok { state; inc }
+          else fail "stream increment is even"
+      | _ -> fail "expected two 16-digit lowercase hex words")
+  | _ -> fail "expected \"pcg32:<state>:<inc>\""
+
 (* Treat the signed int32 as an unsigned 32-bit value in an OCaml int. *)
 let bits_as_int t = Int32.to_int (bits32 t) land 0xFFFFFFFF
 

@@ -26,6 +26,19 @@ val copy : t -> t
 (** [copy t] duplicates the current state; the copy and the original
     then produce the same future sequence. *)
 
+val to_state : t -> string
+(** Exact serialized form of the generator's current state
+    (["pcg32:<state>:<inc>"], two 16-digit lowercase hex words).
+    Written into checkpoints so an interrupted run can resume on the
+    bit-identical stream. *)
+
+val of_state : string -> (t, string) result
+(** Inverse of {!to_state}: [of_state (to_state t)] produces a
+    generator emitting exactly the sequence [t] would.  Truncated,
+    padded, or otherwise malformed input — including an even stream
+    increment, which PCG32 forbids — is rejected with a descriptive
+    [Error]; no garbage stream is ever constructed. *)
+
 val bits32 : t -> int32
 (** Next raw 32 bits of the stream. *)
 

@@ -1,0 +1,3 @@
+(* Fixture: must trigger no-exit-in-lib exactly once (lives under a
+   lib/ prefix inside the fixture tree so the rule applies). *)
+let give_up code = exit code

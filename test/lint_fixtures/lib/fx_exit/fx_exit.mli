@@ -1,0 +1,2 @@
+(* Interface present so this fixture does not also trip mli-required. *)
+val give_up : int -> 'a

@@ -60,6 +60,48 @@ let test_budget_seconds_mode () =
      fraction still reports correctly *)
   checkf "fraction 1 for zero budget" 1. (Budget.used_fraction c)
 
+let test_budget_seconds_clock_regression () =
+  (* A fake CPU clock that steps backwards: elapsed time, and with it
+     used_fraction and exhausted, must never regress. *)
+  let t = ref 0. in
+  let now () = !t in
+  let c = Budget.start ~now (Budget.Seconds 8.) in
+  t := 4.;
+  checkf "4/8" 0.5 (Budget.used_fraction c);
+  t := 2.;
+  checkf "fraction holds at high-water mark" 0.5 (Budget.used_fraction c);
+  t := -3.;
+  (* clock now reads before the start: still clamped *)
+  checkf "fraction survives negative elapsed" 0.5 (Budget.used_fraction c);
+  Alcotest.check Alcotest.bool "not exhausted yet" false (Budget.exhausted c);
+  t := 9.;
+  Alcotest.check Alcotest.bool "exhausted at 9/8" true (Budget.exhausted c);
+  t := 0.;
+  Alcotest.check Alcotest.bool "exhausted is sticky" true (Budget.exhausted c);
+  checkf "fraction clamped to 1" 1. (Budget.used_fraction c)
+
+let test_budget_seconds_negative_from_start () =
+  (* Clock regresses before the first read: fraction is 0, never
+     negative. *)
+  let t = ref 100. in
+  let now () = !t in
+  let c = Budget.start ~now (Budget.Seconds 5.) in
+  t := 90.;
+  checkf "no negative fraction" 0. (Budget.used_fraction c);
+  Alcotest.check Alcotest.bool "not exhausted" false (Budget.exhausted c)
+
+let test_budget_start_at () =
+  let c = Budget.start_at ~ticks:7 (Budget.Evaluations 10) in
+  Alcotest.check Alcotest.int "resumed ticks" 7 (Budget.ticks c);
+  checkf "resumed fraction" 0.7 (Budget.used_fraction c);
+  Budget.tick c;
+  Budget.tick c;
+  Budget.tick c;
+  Alcotest.check Alcotest.bool "exhausts from the resumed count" true (Budget.exhausted c);
+  Alcotest.check_raises "negative ticks"
+    (Invalid_argument "Budget.start_at: negative ticks") (fun () ->
+      ignore (Budget.start_at ~ticks:(-1) (Budget.Evaluations 5)))
+
 (* --------------------------- Schedule --------------------------- *)
 
 let test_schedule_constant () =
@@ -287,6 +329,9 @@ let suite =
     case "budget: scaling" test_budget_scale;
     case "budget: evaluations_or" test_budget_evaluations_or;
     case "budget: seconds mode zero" test_budget_seconds_mode;
+    case "budget: seconds survives a non-monotonic clock" test_budget_seconds_clock_regression;
+    case "budget: seconds never negative" test_budget_seconds_negative_from_start;
+    case "budget: start_at resumes the tick count" test_budget_start_at;
     case "schedule: constant" test_schedule_constant;
     case "schedule: geometric" test_schedule_geometric;
     case "schedule: kirkpatrick literal" test_schedule_kirkpatrick;

@@ -16,6 +16,7 @@ let () =
       ("wiring", Test_wiring.suite);
       ("floorplan", Test_floorplan.suite);
       ("qap", Test_qap.suite);
+      ("resilience", Test_resilience.suite);
       ("integration", Test_integration.suite);
       ("golden", Test_golden.suite);
       ("lint", Test_lint.suite);

@@ -95,6 +95,9 @@ let all_events =
       Descent_done { cost = 110.; evaluations = 999 };
       Span { name = "temp:3"; seconds = 0.125 };
       Run_end { evaluations = 20000; final_cost = 110.; best_cost = 107.; seconds = 0.5 };
+      Checkpoint_written { path = "ckpt.json"; evaluation = 1000 };
+      Retry { label = "run-3"; attempt = 2; delay = 0.25; reason = "Fault injected" };
+      Quarantined { label = "run-3"; attempts = 4; reason = "deadline exceeded" };
     ]
 
 let test_event_roundtrip () =

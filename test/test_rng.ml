@@ -242,6 +242,61 @@ let test_categorical_invalid () =
   Alcotest.check_raises "negative" (Invalid_argument "Rng.categorical: negative weight")
     (fun () -> ignore (Rng.categorical rng [| 1.; -1. |]))
 
+let test_state_roundtrip_exact () =
+  let a = Rng.create ~seed:31 in
+  for _ = 1 to 17 do
+    ignore (Rng.bits32 a)
+  done;
+  let s = Rng.to_state a in
+  match Rng.of_state s with
+  | Error msg -> Alcotest.fail msg
+  | Ok b ->
+      for _ = 1 to 100 do
+        check Alcotest.int32 "restored stream identical" (Rng.bits32 a) (Rng.bits32 b)
+      done
+
+let test_state_rejects_corrupt () =
+  let good = Rng.to_state (Rng.create ~seed:1) in
+  let cases =
+    [
+      "";
+      "pcg32";
+      "pcg32:deadbeef";
+      String.sub good 0 (String.length good - 1) (* truncated *);
+      good ^ "0" (* padded *);
+      "pcg64" ^ String.sub good 5 (String.length good - 5) (* wrong tag *);
+      "pcg32:" ^ String.make 16 'g' ^ ":" ^ String.make 16 '0' (* non-hex *);
+      "pcg32:" ^ String.make 16 'A' ^ ":" ^ String.make 15 'a' ^ "1" (* uppercase *);
+      "pcg32:" ^ String.make 16 '0' ^ ":" ^ String.make 16 '2' (* even inc *);
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Rng.of_state s with
+      | Error msg ->
+          check Alcotest.bool "error names the function" true
+            (String.length msg > 0
+            && String.sub msg 0 12 = "Rng.of_state")
+      | Ok _ -> Alcotest.failf "%S should not decode" s)
+    cases
+
+let prop_state_roundtrip =
+  QCheck.Test.make ~name:"qcheck: to_state/of_state round-trips for any seed and position"
+    QCheck.(pair int (int_range 0 200))
+    (fun (seed, advance) ->
+      let a = Rng.create ~seed in
+      for _ = 1 to advance do
+        ignore (Rng.bits32 a)
+      done;
+      match Rng.of_state (Rng.to_state a) with
+      | Error _ -> false
+      | Ok b ->
+          let same = ref true in
+          for _ = 1 to 32 do
+            if Rng.bits32 a <> Rng.bits32 b then same := false
+          done;
+          !same)
+
 let prop_int_in_bounds =
   QCheck.Test.make ~name:"qcheck: Rng.int within bounds for any seed/bound"
     QCheck.(pair int (int_range 1 1000))
@@ -289,6 +344,9 @@ let suite =
     case "categorical rates" test_categorical_rates;
     case "categorical skips zero weights" test_categorical_zero_weight_skipped;
     case "categorical invalid weights" test_categorical_invalid;
+    case "to_state/of_state exact round-trip" test_state_roundtrip_exact;
+    case "of_state rejects corrupt input" test_state_rejects_corrupt;
+    QCheck_alcotest.to_alcotest prop_state_roundtrip;
     QCheck_alcotest.to_alcotest prop_int_in_bounds;
     QCheck_alcotest.to_alcotest prop_permutation_sorted;
   ]
