@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test lint bench bench-quick bench-smoke chaos examples doc clean
+.PHONY: all build test lint bench bench-quick bench-smoke perf chaos examples doc clean
 
 all: build
 
@@ -29,6 +29,14 @@ bench-quick:
 # the bench-smoke alias.)
 bench-smoke:
 	dune exec bench/main.exe -- --scale 0.05 --skip-micro --json BENCH_results.json > /dev/null
+	dune exec bench/check_json.exe -- BENCH_results.json
+
+# Perf check: skip the reproduction tables, run the delta-vs-recompute
+# comparison (fixed budgets, independent of --scale) plus the engine
+# throughput probe, and schema-validate the JSON — including the
+# per-domain "delta" entries and their speedup fields.
+perf:
+	dune exec bench/main.exe -- --skip-tables --skip-micro --json BENCH_results.json
 	dune exec bench/check_json.exe -- BENCH_results.json
 
 # Chaos demo: a supervised campaign where every run's first attempt is

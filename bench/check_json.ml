@@ -21,8 +21,16 @@ let check_bench path member =
   (match Obs.Json.to_float (member "scale") with
   | Some _ -> ()
   | None -> fail "%s: scale is not a number" path);
+  let tables_skipped =
+    match member "tables_skipped" with
+    | Obs.Json.Bool b -> b
+    | _ -> fail "%s: tables_skipped is not a boolean" path
+  in
   (match member "tables" with
-  | Obs.Json.List [] -> fail "%s: tables is empty" path
+  | Obs.Json.List [] when not tables_skipped ->
+      fail "%s: tables is empty but tables_skipped is false" path
+  | Obs.Json.List (_ :: _) when tables_skipped ->
+      fail "%s: tables is non-empty but tables_skipped is true" path
   | Obs.Json.List tables ->
       List.iteri
         (fun i t ->
@@ -42,9 +50,38 @@ let check_bench path member =
           | _ -> fail "%s: tables[%d].rows is not a positive integer" path i)
         tables
   | _ -> fail "%s: tables is not a list" path);
-  match member "micro" with
+  (match member "micro" with
   | Obs.Json.List _ -> ()
-  | _ -> fail "%s: micro is not a list" path
+  | _ -> fail "%s: micro is not a list" path);
+  match member "delta" with
+  | Obs.Json.List [] -> fail "%s: delta is empty" path
+  | Obs.Json.List entries ->
+      List.iteri
+        (fun i d ->
+          let dmember name =
+            match Obs.Json.member name d with
+            | Some v -> v
+            | None -> fail "%s: delta[%d] missing field %S" path i name
+          in
+          (match dmember "domain" with
+          | Obs.Json.String s when s <> "" -> ()
+          | _ -> fail "%s: delta[%d].domain is not a non-empty string" path i);
+          (match Obs.Json.to_int (dmember "evals") with
+          | Some e when e > 0 -> ()
+          | _ -> fail "%s: delta[%d].evals is not a positive integer" path i);
+          let positive_rate name =
+            match Obs.Json.to_float (dmember name) with
+            | Some v when v > 0. && Float.is_finite v -> ()
+            | _ -> fail "%s: delta[%d].%s is not a positive finite number" path i name
+          in
+          positive_rate "recompute_evals_per_sec";
+          positive_rate "delta_evals_per_sec";
+          positive_rate "speedup";
+          match dmember "costs_agree" with
+          | Obs.Json.Bool _ -> ()
+          | _ -> fail "%s: delta[%d].costs_agree is not a boolean" path i)
+        entries
+  | _ -> fail "%s: delta is not a list" path
 
 let check_lint path member =
   let non_negative_int name =

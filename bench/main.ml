@@ -56,6 +56,7 @@ let section title =
 
 let table_summaries = ref ([] : Obs.Json.t list)
 let micro_results = ref ([] : Obs.Json.t list)
+let delta_results = ref ([] : Obs.Json.t list)
 let engine_evals_per_sec = ref 0.
 
 (* Per-table roll-up: wall time plus the spread of the numeric cells
@@ -101,8 +102,10 @@ let write_json () =
         ("scale", Obs.Json.Float !scale);
         ("seed", Obs.Json.Int !seed);
         ("engine_evals_per_sec", Obs.Json.Float !engine_evals_per_sec);
+        ("tables_skipped", Obs.Json.Bool !skip_tables);
         ("tables", Obs.Json.List (List.rev !table_summaries));
         ("micro", Obs.Json.List (List.rev !micro_results));
+        ("delta", Obs.Json.List (List.rev !delta_results));
       ]
   in
   let oc = open_out !json_path in
@@ -390,6 +393,145 @@ let run_micro () =
         names)
     groups
 
+(* ------------------------------------------------------------------ *)
+(* Delta fast path vs full recompute                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Each comparison times the same walk twice — once on the classical
+   apply/cost/revert path, once on the [delta_ops] fast path — from
+   identical start states and identical RNG streams, then records both
+   step rates and whether the two final costs agree bit-for-bit (they
+   must: the adapters' deltas are exact for the integer domains and
+   match the cached-length arithmetic for TSP).  Fixed evaluation
+   budgets, independent of --scale, so the ratios are comparable run
+   to run. *)
+
+let record_delta ~domain ~evals ~recompute_seconds ~delta_seconds ~costs_agree =
+  let rate s = float_of_int evals /. s in
+  let speedup = recompute_seconds /. delta_seconds in
+  Printf.printf
+    "%-28s %7d evals   recompute %11.0f evals/s   delta %11.0f evals/s   speedup %6.2fx   costs agree: %b\n"
+    domain evals (rate recompute_seconds) (rate delta_seconds) speedup
+    costs_agree;
+  delta_results :=
+    Obs.Json.Obj
+      [
+        ("domain", Obs.Json.String domain);
+        ("evals", Obs.Json.Int evals);
+        ("recompute_evals_per_sec", Obs.Json.Float (rate recompute_seconds));
+        ("delta_evals_per_sec", Obs.Json.Float (rate delta_seconds));
+        ("speedup", Obs.Json.Float speedup);
+        ("costs_agree", Obs.Json.Bool costs_agree);
+      ]
+    :: !delta_results
+
+module Delta_cmp (P : Mc_problem.S) = struct
+  module E1 = Figure1.Make (P)
+  module E2 = Figure2.Make (P)
+  module ER = Rejectionless.Make (P)
+
+  let agree a b = Int64.bits_of_float a = Int64.bits_of_float b
+
+  let timed f =
+    let t0 = Obs.now () in
+    let r = f () in
+    (Obs.now () -. t0, r.Mc_problem.final_cost)
+
+  let figure1 ~domain ~evals ~gfun ~schedule ~seed ~delta_ops ~make_state =
+    let p = E1.params ~gfun ~schedule ~budget:(Budget.Evaluations evals) () in
+    let go d = timed (fun () -> E1.run ?delta_ops:d (Rng.create ~seed) p (make_state ())) in
+    ignore (go None);
+    (* warm caches *)
+    let slow_t, slow_c = go None in
+    let fast_t, fast_c = go (Some delta_ops) in
+    record_delta ~domain ~evals ~recompute_seconds:slow_t ~delta_seconds:fast_t
+      ~costs_agree:(agree slow_c fast_c)
+
+  let figure2 ~domain ~evals ~gfun ~schedule ~seed ~delta_ops ~make_state =
+    let p = E2.params ~gfun ~schedule ~budget:(Budget.Evaluations evals) () in
+    let go d = timed (fun () -> E2.run ?delta_ops:d (Rng.create ~seed) p (make_state ())) in
+    let slow_t, slow_c = go None in
+    let fast_t, fast_c = go (Some delta_ops) in
+    record_delta ~domain ~evals ~recompute_seconds:slow_t ~delta_seconds:fast_t
+      ~costs_agree:(agree slow_c fast_c)
+
+  let rejectionless ~domain ~evals ~gfun ~schedule ~seed ~delta_ops ~make_state =
+    let p = ER.params ~gfun ~schedule ~budget:(Budget.Evaluations evals) in
+    let go d = timed (fun () -> ER.run ?delta_ops:d (Rng.create ~seed) p (make_state ())) in
+    let slow_t, slow_c = go None in
+    let fast_t, fast_c = go (Some delta_ops) in
+    record_delta ~domain ~evals ~recompute_seconds:slow_t ~delta_seconds:fast_t
+      ~costs_agree:(agree slow_c fast_c)
+end
+
+module Tsp_cmp = Delta_cmp (Tsp_problem)
+module Oropt_cmp = Delta_cmp (Tsp_problem.Or_opt)
+module Qap_cmp = Delta_cmp (Qap.Problem)
+module Part_cmp = Delta_cmp (Partition_problem)
+module Place_cmp = Delta_cmp (Placement.Problem)
+
+let run_delta_comparison () =
+  section "Delta fast path vs full recompute";
+  (* A local optimum at low temperature is the fast path's home turf:
+     nearly every proposal is rejected, and a rejection costs a
+     delta-formula evaluation instead of apply + cost + revert. *)
+  let tsp600 = Tsp_instance.random_uniform (Rng.create ~seed:30) ~n:600 in
+  let tsp_start = Tsp_heuristics.nearest_neighbor tsp600 ~start:0 in
+  let tsp3000 = Tsp_instance.random_uniform (Rng.create ~seed:44) ~n:3000 in
+  (* Nearest-neighbor start, then a cheap greedy burn-in over the same
+     proposal distribution the walks use: the measured region then sees
+     mostly rejections, which is where the two paths differ. *)
+  let tsp3000_start =
+    let t = Tsp_heuristics.nearest_neighbor tsp3000 ~start:0 in
+    let rng = Rng.create ~seed:45 in
+    for _ = 1 to 500_000 do
+      let i, j = Tsp_problem.random_move rng t in
+      if Tour.two_opt_delta t i j < 0. then Tour.two_opt t i j
+    done;
+    t
+  in
+  let cold = Schedule.of_array [| 0.01 |] in
+  Tsp_cmp.figure1 ~domain:"tsp-2opt-n3000-figure1" ~evals:30_000
+    ~gfun:Gfun.metropolis ~schedule:cold ~seed:32
+    ~delta_ops:Tsp_problem.delta_ops
+    ~make_state:(fun () -> Tour.copy tsp3000_start);
+  Oropt_cmp.figure1 ~domain:"tsp-oropt-n600-figure1" ~evals:30_000
+    ~gfun:Gfun.metropolis ~schedule:cold ~seed:33
+    ~delta_ops:Tsp_problem.Or_opt.delta_ops
+    ~make_state:(fun () -> Tour.copy tsp_start);
+  Tsp_cmp.figure2 ~domain:"tsp-2opt-n600-figure2" ~evals:30_000
+    ~gfun:Gfun.metropolis ~schedule:cold ~seed:34
+    ~delta_ops:Tsp_problem.delta_ops
+    ~make_state:(fun () -> Tour.copy tsp_start);
+  Tsp_cmp.rejectionless ~domain:"tsp-2opt-n600-rejectionless" ~evals:30_000
+    ~gfun:Gfun.metropolis ~schedule:cold ~seed:35
+    ~delta_ops:Tsp_problem.delta_ops
+    ~make_state:(fun () -> Tour.copy tsp_start);
+  let qap = Qap.random_instance (Rng.create ~seed:36) ~n:64 ~max_entry:10 in
+  Qap_cmp.figure1 ~domain:"qap-n64-figure1" ~evals:20_000 ~gfun:Gfun.metropolis
+    ~schedule:(Schedule.of_array [| 20. |])
+    ~seed:37 ~delta_ops:Qap.Problem.delta_ops
+    ~make_state:(fun () -> Qap.copy qap);
+  let part_nl = Netlist.random_gola (Rng.create ~seed:38) ~elements:200 ~nets:600 in
+  let part_start = Bipartition.random_balanced (Rng.create ~seed:39) part_nl in
+  Part_cmp.figure1 ~domain:"partition-200x600-figure1" ~evals:20_000
+    ~gfun:Gfun.metropolis
+    ~schedule:(Schedule.of_array [| 0.5 |])
+    ~seed:40 ~delta_ops:Partition_problem.delta_ops
+    ~make_state:(fun () -> Bipartition.copy part_start);
+  let place_nl =
+    Netlist.random_nola (Rng.create ~seed:41) ~elements:200 ~nets:500 ~min_pins:2
+      ~max_pins:4
+  in
+  let place_start =
+    Placement.random (Rng.create ~seed:42) ~rows:16 ~cols:16 place_nl
+  in
+  Place_cmp.figure1 ~domain:"placement-200-figure1" ~evals:20_000
+    ~gfun:Gfun.metropolis
+    ~schedule:(Schedule.of_array [| 0.5 |])
+    ~seed:43 ~delta_ops:Placement.Problem.delta_ops
+    ~make_state:(fun () -> Placement.copy place_start)
+
 (* One timed null-observer engine run, long enough for a stable
    evaluations/sec figure; this is the headline throughput number of
    the JSON summary. *)
@@ -414,6 +556,7 @@ let measure_throughput () =
 let () =
   if not !skip_tables then print_tables ();
   measure_throughput ();
+  run_delta_comparison ();
   if not !skip_micro then run_micro ();
   write_json ();
   print_newline ()

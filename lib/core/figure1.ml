@@ -57,7 +57,7 @@ module Make (P : Mc_problem.S) = struct
     { gfun; schedule; budget; counter_limit; acceptance_limit; defer_threshold }
 
   let run ?(observer = Obs.Observer.null) ?checkpoint_every ?on_checkpoint
-      ?resume rng p state =
+      ?resume ?delta_ops rng p state =
     let observing = Obs.Observer.enabled observer in
     let emit ev = Obs.Observer.emit observer ev in
     let k = Gfun.k p.gfun in
@@ -230,7 +230,62 @@ module Make (P : Mc_problem.S) = struct
       incr rejected;
       incr counter
     in
+    (* Shared accept/reject decision (true = take the move).  Mutates
+       [defer_run] and may consume one RNG draw, exactly as the
+       pre-delta engine did in place, so the fallback path's behaviour
+       and RNG stream are unchanged — and the fast path, which proposes
+       from the same stream, visits the same decisions. *)
+    let decide hj =
+      if hj < !hi then begin
+        defer_run := 0;
+        true
+      end
+      else if Gfun.defer_uphill p.gfun then
+        if hj = !hi then true
+        else begin
+          incr defer_run;
+          if !defer_run >= p.defer_threshold then begin
+            defer_run := 1;
+            true
+          end
+          else false
+        end
+      else begin
+        let y = Schedule.get p.schedule !temp in
+        let g = Gfun.eval p.gfun ~temp:!temp ~y ~hi:!hi ~hj in
+        Rng.unit_float rng < g
+      end
+    in
+    (* Delta fast path only: the accumulated [hi] is replaced by a full
+       recost on a deterministic tick cadence, so compensated float
+       drift is bounded and a resumed run resyncs at the same ticks as
+       its uninterrupted twin. *)
+    let last_resync = ref s0.ticks in
+    let maybe_resync () =
+      match delta_ops with
+      | None -> ()
+      | Some d ->
+          let t = Budget.ticks clock in
+          if t > 0 && t mod d.Mc_problem.recost_every = 0 && t <> !last_resync
+          then begin
+            last_resync := t;
+            let c = match P.cost state with c -> c | exception e -> abort e in
+            if not (Float.is_finite c) then
+              abort
+                (Mc_problem.Invalid_cost
+                   (Printf.sprintf "non-finite cost %h at resync (evaluation %d)"
+                      c t));
+            hi := c;
+            if c < !best_cost then begin
+              best := P.copy state;
+              best_cost := c;
+              if observing then
+                emit (Obs.Event.New_best { evaluation = t; cost = c })
+            end
+          end
+    in
     while (not !stop) && not (Budget.exhausted clock) do
+      maybe_resync ();
       maybe_checkpoint ();
       (* Catch the temperature up with the spent budget fraction. *)
       while
@@ -243,45 +298,60 @@ module Make (P : Mc_problem.S) = struct
         if !temp >= k then stop := true
         else advance_temp ()
       else begin
-        let m = try P.random_move rng state with e -> abort e in
-        Budget.tick clock;
-        (try P.apply state m with e -> abort e);
-        let hj =
-          match P.cost state with
-          | c -> c
-          | exception e ->
+        match delta_ops with
+        | None ->
+            let m = try P.random_move rng state with e -> abort e in
+            Budget.tick clock;
+            (try P.apply state m with e -> abort e);
+            let hj =
+              match P.cost state with
+              | c -> c
+              | exception e ->
+                  (try P.revert state m with e' -> abort e');
+                  abort e
+            in
+            if not (Float.is_finite hj) then begin
               (try P.revert state m with e' -> abort e');
-              abort e
-        in
-        if not (Float.is_finite hj) then begin
-          (try P.revert state m with e' -> abort e');
-          abort
-            (Mc_problem.Invalid_cost
-               (Printf.sprintf "non-finite cost %h at evaluation %d" hj
-                  (Budget.ticks clock)))
-        end;
-        if observing then
-          emit (Obs.Event.Proposed { evaluation = Budget.ticks clock; cost = hj });
-        if hj < !hi then begin
-          accept hj;
-          defer_run := 0
-        end
-        else if Gfun.defer_uphill p.gfun then begin
-          if hj = !hi then accept hj
-          else begin
-            incr defer_run;
-            if !defer_run >= p.defer_threshold then begin
-              accept hj;
-              defer_run := 1
+              abort
+                (Mc_problem.Invalid_cost
+                   (Printf.sprintf "non-finite cost %h at evaluation %d" hj
+                      (Budget.ticks clock)))
+            end;
+            if observing then
+              emit
+                (Obs.Event.Proposed
+                   { evaluation = Budget.ticks clock; cost = hj });
+            if decide hj then accept hj else reject m hj
+        | Some d ->
+            (* Fast path: price the move without touching the state, so
+               a rejection costs no apply/revert pair at all. *)
+            let m = try d.Mc_problem.propose rng state with e -> abort e in
+            Budget.tick clock;
+            let dv =
+              match d.Mc_problem.delta state m with
+              | v -> v
+              | exception e -> abort e
+            in
+            if not (Float.is_finite dv) then
+              abort
+                (Mc_problem.Invalid_cost
+                   (Printf.sprintf "non-finite delta %h at evaluation %d" dv
+                      (Budget.ticks clock)));
+            let hj = !hi +. dv in
+            if observing then
+              emit
+                (Obs.Event.Proposed
+                   { evaluation = Budget.ticks clock; cost = hj });
+            if decide hj then begin
+              (try d.Mc_problem.commit state m with e -> abort e);
+              accept hj
             end
-            else reject m hj
-          end
-        end
-        else begin
-          let y = Schedule.get p.schedule !temp in
-          let g = Gfun.eval p.gfun ~temp:!temp ~y ~hi:!hi ~hj in
-          if Rng.unit_float rng < g then accept hj else reject m hj
-        end
+            else begin
+              if observing then emit (Obs.Event.Rejected { delta = hj -. !hi });
+              (try d.Mc_problem.abandon state m with e -> abort e);
+              incr rejected;
+              incr counter
+            end
       end
     done;
     (* A final fire guarantees the checkpoint file exists (and is

@@ -30,7 +30,7 @@ module Make (P : Mc_problem.S) = struct
            (Schedule.length schedule) (Gfun.name gfun) (Gfun.k gfun));
     { gfun; schedule; budget; counter_limit; restart_schedule }
 
-  let run ?(observer = Obs.Observer.null) rng p state =
+  let run ?(observer = Obs.Observer.null) ?delta_ops rng p state =
     let observing = Obs.Observer.enabled observer in
     let emit ev = Obs.Observer.emit observer ev in
     let k = Gfun.k p.gfun in
@@ -108,14 +108,51 @@ module Make (P : Mc_problem.S) = struct
             (Obs.Event.New_best { evaluation = Budget.ticks clock; cost = !hi })
       end
     in
+    (* Delta fast path only: replace the accumulated [hi] with a full
+       recost once [recost_every] ticks have passed since the last one,
+       bounding compensated float drift.  Called only at step
+       boundaries (no move half-applied). *)
+    let last_resync = ref 0 in
+    let maybe_resync () =
+      match delta_ops with
+      | Some d
+        when Budget.ticks clock - !last_resync >= d.Mc_problem.recost_every ->
+          last_resync := Budget.ticks clock;
+          let c = match P.cost state with c -> c | exception e -> abort e in
+          if not (Float.is_finite c) then
+            abort
+              (Mc_problem.Invalid_cost
+                 (Printf.sprintf "non-finite cost %h at resync (evaluation %d)"
+                    c (Budget.ticks clock)));
+          hi := c;
+          note_best ()
+      | Some _ | None -> ()
+    in
+    (* Non-finite deltas stop the walk the way non-finite costs do. *)
+    let checked_delta d m =
+      let dv =
+        match d.Mc_problem.delta state m with
+        | v -> v
+        | exception e -> abort e
+      in
+      if not (Float.is_finite dv) then
+        abort
+          (Mc_problem.Invalid_cost
+             (Printf.sprintf "non-finite delta %h at evaluation %d" dv
+                (Budget.ticks clock)));
+      dv
+    in
     (* First-improvement descent: rescan the neighborhood after every
        accepted move until a full pass finds nothing better.  Every
-       tested move costs one budget tick. *)
+       tested move costs one budget tick.  On the fast path a tested,
+       non-improving move is priced by [delta] alone — no apply/revert
+       pair. *)
     let descend () =
       let span = Obs.Span.enter observer "descent" in
       let improved_this_pass = ref true in
       while !improved_this_pass && not (Budget.exhausted clock) do
         improved_this_pass := false;
+        maybe_resync ();
         let rec scan seq =
           if not (Budget.exhausted clock) then
             match seq () with
@@ -149,7 +186,40 @@ module Make (P : Mc_problem.S) = struct
                   scan rest
                 end
         in
-        scan (try P.moves state with e -> abort e)
+        let rec scan_fast d seq =
+          if not (Budget.exhausted clock) then
+            match seq () with
+            | Seq.Nil -> ()
+            | Seq.Cons (m, rest) ->
+                Budget.tick clock;
+                let dv = checked_delta d m in
+                let hj = !hi +. dv in
+                if observing then
+                  emit
+                    (Obs.Event.Proposed
+                       { evaluation = Budget.ticks clock; cost = hj });
+                if hj < !hi then begin
+                  (try d.Mc_problem.commit state m with e -> abort e);
+                  if observing then
+                    emit
+                      (Obs.Event.Accepted
+                         {
+                           kind = Obs.Event.Improving;
+                           cost = hj;
+                           delta = hj -. !hi;
+                         });
+                  hi := hj;
+                  incr improving;
+                  improved_this_pass := true
+                end
+                else begin
+                  (try d.Mc_problem.abandon state m with e -> abort e);
+                  scan_fast d rest
+                end
+        in
+        match delta_ops with
+        | None -> scan (try P.moves state with e -> abort e)
+        | Some d -> scan_fast d (try P.moves state with e -> abort e)
       done;
       incr descents;
       Obs.Span.exit observer span;
@@ -180,18 +250,11 @@ module Make (P : Mc_problem.S) = struct
         end
       else begin
         incr counter;
-        let m = try P.random_move rng state with e -> abort e in
-        Budget.tick clock;
-        (try P.apply state m with e -> abort e);
-        let hj = cost_of_applied m in
-        if observing then
-          emit (Obs.Event.Proposed { evaluation = Budget.ticks clock; cost = hj });
-        let y = Schedule.get p.schedule !temp in
-        let g = Gfun.eval p.gfun ~temp:!temp ~y ~hi:!hi ~hj in
-        if Rng.unit_float rng < g then begin
-          (* Compare rather than bind a delta: a float let bound here
-             and stored in the event record would be boxed on every
-             acceptance, observer or not. *)
+        maybe_resync ();
+        (* Compare rather than bind a delta: a float let bound here and
+           stored in the event record would be boxed on every
+           acceptance, observer or not. *)
+        let take hj =
           let kind =
             if hj < !hi then begin
               incr improving;
@@ -211,12 +274,45 @@ module Make (P : Mc_problem.S) = struct
           hi := hj;
           note_best ();
           descend ()
-        end
-        else begin
-          if observing then emit (Obs.Event.Rejected { delta = hj -. !hi });
-          (try P.revert state m with e -> abort e);
-          incr rejected
-        end
+        in
+        match delta_ops with
+        | None ->
+            let m = try P.random_move rng state with e -> abort e in
+            Budget.tick clock;
+            (try P.apply state m with e -> abort e);
+            let hj = cost_of_applied m in
+            if observing then
+              emit
+                (Obs.Event.Proposed
+                   { evaluation = Budget.ticks clock; cost = hj });
+            let y = Schedule.get p.schedule !temp in
+            let g = Gfun.eval p.gfun ~temp:!temp ~y ~hi:!hi ~hj in
+            if Rng.unit_float rng < g then take hj
+            else begin
+              if observing then emit (Obs.Event.Rejected { delta = hj -. !hi });
+              (try P.revert state m with e -> abort e);
+              incr rejected
+            end
+        | Some d ->
+            let m = try d.Mc_problem.propose rng state with e -> abort e in
+            Budget.tick clock;
+            let dv = checked_delta d m in
+            let hj = !hi +. dv in
+            if observing then
+              emit
+                (Obs.Event.Proposed
+                   { evaluation = Budget.ticks clock; cost = hj });
+            let y = Schedule.get p.schedule !temp in
+            let g = Gfun.eval p.gfun ~temp:!temp ~y ~hi:!hi ~hj in
+            if Rng.unit_float rng < g then begin
+              (try d.Mc_problem.commit state m with e -> abort e);
+              take hj
+            end
+            else begin
+              if observing then emit (Obs.Event.Rejected { delta = hj -. !hi });
+              (try d.Mc_problem.abandon state m with e -> abort e);
+              incr rejected
+            end
       end
     done;
     if observing then

@@ -35,9 +35,24 @@ module Make (P : Mc_problem.S) : sig
       best-so-far and counters. *)
 
   val run :
-    ?observer:Obs.Observer.t -> Rng.t -> params -> P.state -> P.state Mc_problem.run
+    ?observer:Obs.Observer.t ->
+    ?delta_ops:(P.state, P.move) Mc_problem.delta_ops ->
+    Rng.t ->
+    params ->
+    P.state ->
+    P.state Mc_problem.run
   (** Mutates [state]; returns the best snapshot.  Each tested move of
       the descent and each random perturbation costs one budget tick.
+
+      [delta_ops] switches both the descent scans and the uphill probes
+      onto the incremental fast path: every tested move is priced by
+      [delta_ops.delta] alone, so a non-improving descent move or a
+      rejected probe costs no apply/revert at all.  The accumulated
+      current cost is resynchronized against a full [P.cost] recompute
+      once at least [delta_ops.recost_every] ticks have passed since
+      the previous resync (checked at descent-pass tops and before each
+      probe).  When [delta_ops] is absent the walk is byte-identical to
+      previous releases.
 
       @raise Mc_problem.Invalid_cost if the initial state's cost is
       non-finite.

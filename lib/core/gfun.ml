@@ -20,10 +20,13 @@ let custom ~name ~k eval = make ~name ~k eval
 
 (* The paper never evaluates g on a strict improvement (Figure 1 Step 3
    / Figure 2 Step 2 take those unconditionally), so [hj >= hi] holds at
-   every call.  Lateral moves ([hj = hi]) make the "difference" classes
-   divide by zero; IEEE gives +infinity, which the engines treat as
-   certain acceptance — a plateau walk, the same behaviour Metropolis
-   exhibits (e^0 = 1). *)
+   every call.  Lateral moves ([hj = hi]) need explicit handling in the
+   "difference" classes: naive division yields y/0, which is +infinity
+   for y > 0 but NaN for y = 0 — and a NaN poisons every later
+   Metropolis comparison (r < NaN is always false, silently freezing
+   the walk).  The classes therefore return +infinity on a plateau
+   move regardless of y: certain acceptance, the same behaviour
+   Metropolis exhibits there (e^0 = 1). *)
 
 let annealing_eval ~temp:_ ~y ~hi ~hj = exp (-.(hj -. hi) /. y)
 
@@ -72,7 +75,8 @@ let exponential = make ~name:"Exponential" ~k:1 (fun ~temp:_ ~y ~hi ~hj:_ -> exp
 let six_exponential =
   make ~name:"6 Exponential" ~k:6 (fun ~temp:_ ~y ~hi ~hj:_ -> exp_scaled (hi /. y))
 
-let diff_eval degree ~temp:_ ~y ~hi ~hj = y /. pow_int (hj -. hi) degree
+let diff_eval degree ~temp:_ ~y ~hi ~hj =
+  if hj = hi then infinity else y /. pow_int (hj -. hi) degree
 
 let poly_diff ~degree =
   check_degree degree;
@@ -84,11 +88,11 @@ let six_poly_diff ~degree =
 
 let exponential_diff =
   make ~name:"Exponential Diff" ~k:1 (fun ~temp:_ ~y ~hi ~hj ->
-      exp_scaled (y /. (hj -. hi)))
+      if hj = hi then infinity else exp_scaled (y /. (hj -. hi)))
 
 let six_exponential_diff =
   make ~name:"6 Exponential Diff" ~k:6 (fun ~temp:_ ~y ~hi ~hj ->
-      exp_scaled (y /. (hj -. hi)))
+      if hj = hi then infinity else exp_scaled (y /. (hj -. hi)))
 
 let cohoon_sahni ~m =
   if m < 0 then invalid_arg "Gfun.cohoon_sahni: negative net count";
@@ -137,5 +141,27 @@ let short_catalog ~m =
     six_exponential_diff;
   ]
 
+(* CLI parsing hits this once per flag, but the tuner's sweep loops
+   call it per row — rebuilding the 21-closure catalog each time.
+   Index it by normalized name instead, one table per distinct [m]
+   (the [COHO83a] row is the only [m]-dependent entry). *)
+let index_lock = Mutex.create ()
+let index_by_m : (int, (string, t) Hashtbl.t) Hashtbl.t = Hashtbl.create 4
+
 let find_by_name ~m needle =
-  List.find_opt (fun g -> String.lowercase_ascii g.name = String.lowercase_ascii needle) (catalog ~m)
+  Mutex.lock index_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock index_lock)
+    (fun () ->
+      let index =
+        match Hashtbl.find_opt index_by_m m with
+        | Some idx -> idx
+        | None ->
+            let idx = Hashtbl.create 32 in
+            List.iter
+              (fun g -> Hashtbl.replace idx (String.lowercase_ascii g.name) g)
+              (catalog ~m);
+            Hashtbl.add index_by_m m idx;
+            idx
+      in
+      Hashtbl.find_opt index (String.lowercase_ascii needle))

@@ -61,16 +61,20 @@ val six_exponential : t
 (** 12. *)
 
 val poly_diff : degree:int -> t
-(** 13–15: [Y_1 / (h(j) - h(i))^degree]. *)
+(** 13–15: [Y_1 / (h(j) - h(i))^degree].  On a lateral move
+    ([hj = hi]) the quotient is defined as [+infinity] — certain
+    acceptance, matching Metropolis on a plateau — rather than the
+    NaN that [y = 0] would otherwise produce. *)
 
 val exponential_diff : t
-(** 16: [(e^{Y_1/(h(j)-h(i))} - 1)/(e - 1)]. *)
+(** 16: [(e^{Y_1/(h(j)-h(i))} - 1)/(e - 1)]; [+infinity] on a lateral
+    move, as for {!poly_diff}. *)
 
 val six_poly_diff : degree:int -> t
-(** 17–19. *)
+(** 17–19; lateral moves as for {!poly_diff}. *)
 
 val six_exponential_diff : t
-(** 20. *)
+(** 20; lateral moves as for {!poly_diff}. *)
 
 val cohoon_sahni : m:int -> t
 (** The [COHO83a] function [min(h(i)/(m+5), 0.9)] where [m] is the
@@ -88,4 +92,6 @@ val short_catalog : m:int -> t list
     classes 5–12 for their poor GOLA showing). *)
 
 val find_by_name : m:int -> string -> t option
-(** Case-insensitive lookup in [catalog] (CLI support). *)
+(** Case-insensitive lookup in [catalog] (CLI support).  The catalog is
+    indexed once per distinct [m] and the index cached (thread-safe),
+    so repeated lookups cost one hash probe, not a catalog rebuild. *)

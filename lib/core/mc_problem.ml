@@ -38,6 +38,27 @@ type 'state codec = {
   decode : Obs.Json.t -> ('state, string) result;
 }
 
+(* Incremental-evaluation capability, same first-class-record pattern
+   as [codec]: only domains with a cheap delta formula provide one, and
+   every adapter (and every engine fallback path) works without it.
+   [delta] prices a move *without* applying it, so a rejected proposal
+   costs no state mutation at all — for a 2-opt move that turns an
+   O(segment) apply/revert pair into an O(1) lookup.  The engines track
+   the current cost by accumulated deltas and resynchronize it against
+   a full [cost] recompute every [recost_every] budget ticks, bounding
+   compensated float drift. *)
+type ('state, 'move) delta_ops = {
+  propose : Rng.t -> 'state -> 'move;
+  delta : 'state -> 'move -> float;
+  commit : 'state -> 'move -> unit;
+  abandon : 'state -> 'move -> unit;
+  recost_every : int;
+}
+
+let delta_ops ?(recost_every = 10_000) ~propose ~delta ~commit ~abandon () =
+  if recost_every <= 0 then invalid_arg "Mc_problem.delta_ops: recost_every <= 0";
+  { propose; delta; commit; abandon; recost_every }
+
 (** Outcome counters common to all engines. *)
 type stats = {
   evaluations : int;  (** perturbations proposed (budget ticks) *)
@@ -204,6 +225,81 @@ module Contract (P : S) = struct
       (Int64.equal (bits (P.cost s)) before)
       "enumerating moves changed the state's cost (it must be side-effect-free)";
     List.to_seq ms
+
+  (* Sanitize a [delta_ops] record against [P] itself: every [delta] is
+     probed with an actual apply/cost/revert round trip (restored
+     bit-for-bit, like [revert] above) and must agree with
+     cost(after) - cost(before) within [tol] relative tolerance;
+     [propose] and [abandon] must leave the cost untouched; [commit]'s
+     observed cost change is re-checked against the most recent [delta]
+     for the same state and move.  As with the rest of [Contract], this
+     recomputes costs aggressively — a test harness, not a production
+     wrapper. *)
+  let default_delta_tol = 1e-9
+
+  (* Most recent delta probe: (state, move, reported delta). *)
+  let pending_delta : (state * move * float) option ref = ref None
+
+  let wrap_delta ?(tol = default_delta_tol) (d : (state, move) delta_ops) =
+    if tol < 0. || Float.is_nan tol then
+      invalid_arg "Contract.wrap_delta: negative tolerance";
+    let propose rng s =
+      let before = bits (P.cost s) in
+      let m = d.propose rng s in
+      check
+        (Int64.equal (bits (P.cost s)) before)
+        "delta_ops.propose changed the state's cost (it must only pick a move)";
+      m
+    in
+    let delta s m =
+      let before = P.cost s in
+      let v = d.delta s m in
+      P.apply s m;
+      let after = P.cost s in
+      P.revert s m;
+      check
+        (Int64.equal (bits (P.cost s)) (bits before))
+        "delta probe: apply/revert did not restore the cost bit-for-bit";
+      let err = Float.abs (v -. (after -. before)) in
+      let scale = Float.max 1. (Float.max (Float.abs before) (Float.abs after)) in
+      check
+        (err <= tol *. scale)
+        "delta_ops.delta = %.17g but cost(after) - cost(before) = %.17g (error \
+         %.3g exceeds tolerance %.3g)"
+        v (after -. before) err (tol *. scale);
+      pending_delta := Some (s, m, v);
+      v
+    in
+    let commit s m =
+      let before = P.cost s in
+      d.commit s m;
+      let after = P.cost s in
+      check
+        (Float.is_finite after || not (Float.is_finite before))
+        "delta_ops.commit produced a non-finite cost";
+      (match !pending_delta with
+      | Some (s', m', v) when s' == s && m' == m ->
+          let err = Float.abs (v -. (after -. before)) in
+          let scale =
+            Float.max 1. (Float.max (Float.abs before) (Float.abs after))
+          in
+          check
+            (err <= tol *. scale)
+            "delta_ops.commit changed the cost by %.17g but delta reported \
+             %.17g (error %.3g exceeds tolerance %.3g)"
+            (after -. before) v err (tol *. scale)
+      | Some _ | None -> ());
+      pending_delta := None
+    in
+    let abandon s m =
+      let before = bits (P.cost s) in
+      d.abandon s m;
+      check
+        (Int64.equal (bits (P.cost s)) before)
+        "delta_ops.abandon changed the state's cost (it must leave the state \
+         untouched)"
+    in
+    { d with propose; delta; commit; abandon }
 end
 
 (* Fault-injection counterpart of [Contract]: instead of checking that

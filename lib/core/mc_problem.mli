@@ -49,6 +49,48 @@ type 'state codec = {
     support resume need one, and [decode] must reject structurally
     invalid input with a message rather than produce a broken state. *)
 
+type ('state, 'move) delta_ops = {
+  propose : Rng.t -> 'state -> 'move;
+      (** Pick a random perturbation without changing the state — the
+          fast-path counterpart of {!S.random_move}, usually the same
+          function.  An adapter whose fast path and fallback path
+          propose from identical RNG draws makes the two paths visit
+          identical accept/reject decisions. *)
+  delta : 'state -> 'move -> float;
+      (** Cost change the move would cause, {e without} applying it
+          ([cost(after) - cost(before)], within float rounding).  This
+          is the whole point of the record: a rejected proposal costs
+          no state mutation at all. *)
+  commit : 'state -> 'move -> unit;
+      (** Apply an accepted move (same effect as {!S.apply}). *)
+  abandon : 'state -> 'move -> unit;
+      (** Discard a rejected move.  Must leave the state untouched;
+          exists so adapters that attach scratch data to proposals can
+          release it. *)
+  recost_every : int;
+      (** Engines resynchronize their accumulated current cost against
+          a full {!S.cost} recompute every [recost_every] budget ticks,
+          bounding compensated float drift.  Always positive. *)
+}
+(** Optional incremental-evaluation capability — the same
+    first-class-record pattern as {!codec}.  Domains with a cheap delta
+    formula ([Tour.two_opt_delta], [Qap.swap_delta], ...) provide one
+    and the engines track the current cost by accumulated deltas; when
+    absent, the engines keep their original full-recompute path,
+    byte-identical to previous releases (same events, same checkpoints,
+    same statistics). *)
+
+val delta_ops :
+  ?recost_every:int ->
+  propose:(Rng.t -> 'state -> 'move) ->
+  delta:('state -> 'move -> float) ->
+  commit:('state -> 'move -> unit) ->
+  abandon:('state -> 'move -> unit) ->
+  unit ->
+  ('state, 'move) delta_ops
+(** Smart constructor; [recost_every] defaults to [10_000].
+    @raise Invalid_argument if [recost_every <= 0]. *)
+
 (** Outcome counters common to all engines. *)
 type stats = {
   evaluations : int;  (** perturbations proposed (budget ticks) *)
@@ -103,6 +145,22 @@ module Contract (P : S) : sig
   val checks_performed : unit -> int
   (** Number of contract checks executed so far (across all states of
       this instantiation); tests assert it advanced. *)
+
+  val default_delta_tol : float
+  (** Relative tolerance {!wrap_delta} uses when none is given
+      ([1e-9]). *)
+
+  val wrap_delta :
+    ?tol:float -> (state, move) delta_ops -> (state, move) delta_ops
+  (** Sanitize a {!delta_ops} record against [P] itself: every [delta]
+      call is probed with an actual apply/cost/revert round trip (which
+      must restore the cost bit-for-bit) and must agree with
+      [cost(after) - cost(before)] within relative tolerance [tol]
+      (default {!default_delta_tol}); [propose] and [abandon] must
+      leave the cost untouched bit-for-bit; [commit]'s observed cost
+      change is re-checked against the most recent [delta] for the same
+      state and move.  Violations raise {!Contract_violation}.
+      @raise Invalid_argument on a negative [tol]. *)
 end
 
 (** [Chaos (P)] is the fault-injection counterpart of {!Contract}: it

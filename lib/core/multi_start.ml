@@ -20,6 +20,24 @@ module Make (P : Mc_problem.S) = struct
           (i, chain_rng))
     in
     let results = Array.make chains None in
+    let workers = min domains chains in
+    (* With several workers the chains' event streams all flow through
+       the one observer from different domains at once, and the bundled
+       sinks are single-domain.  Serialize the emits behind a mutex so
+       a caller's sink sees one event at a time — the interleaving
+       across chains is still scheduling-dependent, but each event
+       arrives whole. *)
+    let observer =
+      if workers > 1 && Obs.Observer.enabled observer then begin
+        let lock = Mutex.create () in
+        Obs.Observer.of_fun (fun ev ->
+            Mutex.lock lock;
+            Fun.protect
+              ~finally:(fun () -> Mutex.unlock lock)
+              (fun () -> Obs.Observer.emit observer ev))
+      end
+      else observer
+    in
     (* A chain whose problem misbehaves mid-walk is contained: its
        [Aborted] partial (best-so-far plus counters at failure) joins
        the selection like any finished chain, and the failure is
@@ -33,7 +51,6 @@ module Make (P : Mc_problem.S) = struct
           (partial, Some (Printexc.to_string reason))
     in
     let run_job (i, chain_rng) = results.(i) <- Some (run_one i chain_rng) in
-    let workers = min domains chains in
     if workers = 1 then Array.iter run_job jobs
     else begin
       (* Static round-robin assignment of chains to domains. *)

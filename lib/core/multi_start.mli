@@ -43,9 +43,12 @@ module Make (P : Mc_problem.S) : sig
 
       [observer] (default {!Obs.null}) is handed to every chain's
       engine run, so the event streams of all chains interleave
-      through it.  The bundled sinks are single-domain; combine an
-      observer with [domains:1] (or supply your own domain-safe
-      observer) when tracing.
+      through it.  When more than one worker domain is in play, the
+      driver wraps the observer so that emits are serialized behind a
+      mutex: a single-domain sink (all the bundled ones) receives one
+      whole event at a time, with no torn writes.  The interleaving of
+      events {e across} chains still depends on scheduling; use
+      [domains:1] when a deterministic stream order matters.
 
       @raise Invalid_argument if [chains <= 0] or [domains <= 0]. *)
 end

@@ -22,7 +22,7 @@ module Make (P : Mc_problem.S) = struct
       invalid_arg "Rejectionless.params: schedule length mismatch";
     { gfun; schedule; budget }
 
-  let run ?(observer = Obs.Observer.null) rng p state =
+  let run ?(observer = Obs.Observer.null) ?delta_ops rng p state =
     let observing = Obs.Observer.enabled observer in
     let emit ev = Obs.Observer.emit observer ev in
     let k = Gfun.k p.gfun in
@@ -64,6 +64,47 @@ module Make (P : Mc_problem.S) = struct
                };
            })
     in
+    (* Delta fast path only: replace the accumulated [hi] with a full
+       recost once [recost_every] ticks have passed since the last one,
+       bounding compensated float drift.  Called only at the outer loop
+       top (no move half-applied). *)
+    let last_resync = ref 0 in
+    let maybe_resync () =
+      match delta_ops with
+      | Some d
+        when Budget.ticks clock - !last_resync >= d.Mc_problem.recost_every ->
+          last_resync := Budget.ticks clock;
+          let c = match P.cost state with c -> c | exception e -> abort e in
+          if not (Float.is_finite c) then
+            abort
+              (Mc_problem.Invalid_cost
+                 (Printf.sprintf "non-finite cost %h at resync (evaluation %d)"
+                    c (Budget.ticks clock)));
+          hi := c;
+          if c < !best_cost then begin
+            best := P.copy state;
+            best_cost := c;
+            if observing then
+              emit
+                (Obs.Event.New_best
+                   { evaluation = Budget.ticks clock; cost = c })
+          end
+      | Some _ | None -> ()
+    in
+    (* Non-finite deltas stop the walk the way non-finite costs do. *)
+    let checked_delta d m =
+      let dv =
+        match d.Mc_problem.delta state m with
+        | v -> v
+        | exception e -> abort e
+      in
+      if not (Float.is_finite dv) then
+        abort
+          (Mc_problem.Invalid_cost
+             (Printf.sprintf "non-finite delta %h at evaluation %d" dv
+                (Budget.ticks clock)));
+      dv
+    in
     let stop = ref false in
     let run_t0 = if observing then Obs.now () else 0. in
     let enter_temp t =
@@ -73,6 +114,7 @@ module Make (P : Mc_problem.S) = struct
     if observing then emit (Obs.Event.Run_start { cost = !hi });
     enter_temp 1;
     while (not !stop) && not (Budget.exhausted clock) do
+      maybe_resync ();
       while
         !temp < k
         && Budget.used_fraction clock >= float_of_int !temp /. float_of_int k
@@ -81,41 +123,65 @@ module Make (P : Mc_problem.S) = struct
         enter_temp !temp
       done;
       let y = Schedule.get p.schedule !temp in
-      (* Weigh every move by its acceptance probability. *)
+      let weight hj =
+        if hj < !hi then 1.
+        else
+          Float.max 0.
+            (Float.min 1. (Gfun.eval p.gfun ~temp:!temp ~y ~hi:!hi ~hj))
+      in
+      (* Weigh every move by its acceptance probability.  The fast path
+         prices each move by [delta] alone — the whole sweep touches the
+         state only once, when the sampled move is committed. *)
       let weighted =
-        (try P.moves state with e -> abort e)
-        |> Seq.filter_map (fun m ->
-               if Budget.exhausted clock then None
-               else begin
-                 Budget.tick clock;
-                 (try P.apply state m with e -> abort e);
-                 let hj =
-                   match P.cost state with
-                   | c -> c
-                   | exception e ->
-                       (try P.revert state m with e' -> abort e');
-                       abort e
-                 in
-                 (try P.revert state m with e -> abort e);
-                 if not (Float.is_finite hj) then
-                   abort
-                     (Mc_problem.Invalid_cost
-                        (Printf.sprintf "non-finite cost %h at evaluation %d" hj
-                           (Budget.ticks clock)));
-                 if observing then
-                   emit
-                     (Obs.Event.Proposed
-                        { evaluation = Budget.ticks clock; cost = hj });
-                 let w =
-                   if hj < !hi then 1.
-                   else
-                     Float.max 0.
-                       (Float.min 1.
-                          (Gfun.eval p.gfun ~temp:!temp ~y ~hi:!hi ~hj))
-                 in
-                 if w > 0. then Some (m, hj, w) else None
-               end)
-        |> Array.of_seq
+        match delta_ops with
+        | None ->
+            (try P.moves state with e -> abort e)
+            |> Seq.filter_map (fun m ->
+                   if Budget.exhausted clock then None
+                   else begin
+                     Budget.tick clock;
+                     (try P.apply state m with e -> abort e);
+                     let hj =
+                       match P.cost state with
+                       | c -> c
+                       | exception e ->
+                           (try P.revert state m with e' -> abort e');
+                           abort e
+                     in
+                     (try P.revert state m with e -> abort e);
+                     if not (Float.is_finite hj) then
+                       abort
+                         (Mc_problem.Invalid_cost
+                            (Printf.sprintf "non-finite cost %h at evaluation %d"
+                               hj (Budget.ticks clock)));
+                     if observing then
+                       emit
+                         (Obs.Event.Proposed
+                            { evaluation = Budget.ticks clock; cost = hj });
+                     let w = weight hj in
+                     if w > 0. then Some (m, hj, w) else None
+                   end)
+            |> Array.of_seq
+        | Some d ->
+            (try P.moves state with e -> abort e)
+            |> Seq.filter_map (fun m ->
+                   if Budget.exhausted clock then None
+                   else begin
+                     Budget.tick clock;
+                     let dv = checked_delta d m in
+                     let hj = !hi +. dv in
+                     if observing then
+                       emit
+                         (Obs.Event.Proposed
+                            { evaluation = Budget.ticks clock; cost = hj });
+                     let w = weight hj in
+                     if w > 0. then Some (m, hj, w)
+                     else begin
+                       (try d.Mc_problem.abandon state m with e -> abort e);
+                       None
+                     end
+                   end)
+            |> Array.of_seq
       in
       if Array.length weighted = 0 then begin
         (* Frozen at this temperature: advance or finish. *)
@@ -127,8 +193,17 @@ module Make (P : Mc_problem.S) = struct
       end
       else begin
         let weights = Array.map (fun (_, _, w) -> w) weighted in
-        let m, hj, _ = weighted.(Rng.categorical rng weights) in
-        (try P.apply state m with e -> abort e);
+        let idx = Rng.categorical rng weights in
+        let m, hj, _ = weighted.(idx) in
+        (match delta_ops with
+        | None -> ( try P.apply state m with e -> abort e)
+        | Some d ->
+            Array.iteri
+              (fun i (m', _, _) ->
+                if i <> idx then
+                  try d.Mc_problem.abandon state m' with e -> abort e)
+              weighted;
+            (try d.Mc_problem.commit state m with e -> abort e));
         (* Compare rather than bind a delta: a float let bound here and
            stored in the event record would be boxed on every committed
            step, observer or not. *)

@@ -22,10 +22,27 @@ module Make (P : Mc_problem.S) : sig
       best-so-far and counters. *)
 
   val run :
-    ?observer:Obs.Observer.t -> Rng.t -> params -> P.state -> P.state Mc_problem.run
+    ?observer:Obs.Observer.t ->
+    ?delta_ops:(P.state, P.move) Mc_problem.delta_ops ->
+    Rng.t ->
+    params ->
+    P.state ->
+    P.state Mc_problem.run
   (** @raise Mc_problem.Invalid_cost if the initial state's cost is
       non-finite.
       @raise Aborted on mid-scan problem failure; see {!Aborted}.
+
+      [delta_ops] switches the neighborhood sweep onto the incremental
+      fast path: every move is priced by [delta_ops.delta] alone
+      (the sweep touches the state only when the sampled move is
+      committed), unweighted and unsampled moves are released through
+      [delta_ops.abandon], and the accumulated current cost is
+      resynchronized against a full [P.cost] recompute once at least
+      [delta_ops.recost_every] ticks have passed since the previous
+      resync (checked at step boundaries).  [delta_ops.propose] is
+      unused here — this engine enumerates [P.moves] systematically.
+      When [delta_ops] is absent the sweep is byte-identical to
+      previous releases.
 
       [observer] (default {!Obs.null}) receives one [Proposed] per
       neighborhood evaluation, an [Accepted] plus a [Descent_done] per

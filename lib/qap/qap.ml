@@ -175,4 +175,14 @@ module Problem = struct
       find 0 idx
     in
     Seq.init total pair_of
+
+  (* Costs are exact ints represented in float, so the fast path's
+     accumulated [hi +. delta] is exact — bit-identical to the slow
+     path's recomputed cost. *)
+  let delta_ops =
+    Mc_problem.delta_ops ~propose:random_move
+      ~delta:(fun state (a, b) -> float_of_int (swap_delta state a b))
+      ~commit:(fun state (a, b) -> swap state a b)
+      ~abandon:(fun _ _ -> ())
+      ()
 end

@@ -50,4 +50,10 @@ val descent : t -> int
 (** [Mc_problem.S] adapter; a move is a facility pair (self-inverse). *)
 module Problem : sig
   include Mc_problem.S with type state = t and type move = int * int
+
+  val delta_ops : (state, move) Mc_problem.delta_ops
+  (** Incremental-evaluation capability over {!swap_delta}: a rejected
+      swap is priced in O(n) with no state mutation.  Costs are exact
+      integers in float, so the fast and full-recompute paths agree
+      bit-for-bit. *)
 end

@@ -115,6 +115,12 @@ let two_opt_undo t i j =
   reverse_segment t i j;
   t.len <- (match saved with Some len -> len | None -> t.len +. delta)
 
+let restore t ~order ~len =
+  if Array.length order <> size t then
+    invalid_arg "Tour.restore: order length mismatch";
+  Array.blit order 0 t.order 0 (size t);
+  t.len <- len
+
 let check_or_opt t ~seg ~len ~dest name =
   let n = size t in
   if len < 1 || len > 3 then invalid_arg (name ^ ": segment length must be 1..3");

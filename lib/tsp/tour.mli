@@ -49,6 +49,15 @@ val two_opt_undo : t -> int -> int -> unit
     undo depth it falls back to delta arithmetic.
     @raise Invalid_argument unless [0 <= i < j < size]. *)
 
+val restore : t -> order:int array -> len:float -> unit
+(** Overwrite the visiting order and the cached length with a snapshot
+    previously taken from this tour via [order]/[length] — the exact
+    revert for moves that are not self-inverse (the or-opt adapters use
+    it).  The array is copied in; the caller keeps ownership.  No
+    permutation check is performed: the snapshot must come from the
+    tour itself.
+    @raise Invalid_argument if the array length does not match. *)
+
 val or_opt_delta : t -> seg:int -> len:int -> dest:int -> float
 (** Length change of moving the [len]-city segment starting at
     position [seg] ([len] in 1..3) to sit after position [dest].

@@ -7,6 +7,7 @@ let () =
       ("arrangement", Test_arrangement.suite);
       ("core-primitives", Test_core_prims.suite);
       ("engines", Test_engines.suite);
+      ("delta", Test_delta.suite);
       ("obs", Test_obs.suite);
       ("heuristics", Test_heuristics.suite);
       ("tsp", Test_tsp.suite);
