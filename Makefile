@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test lint bench bench-quick bench-smoke perf chaos examples doc clean
+.PHONY: all build test test-stress lint bench bench-quick bench-smoke perf chaos examples doc clean
 
 all: build
 
@@ -9,6 +9,22 @@ build:
 
 test:
 	dune runtest
+
+# Seed sweep: the property harness under 20 pinned qcheck seeds, plus
+# 20 repeats of the cross-domain equivalence suites (portfolio racing
+# and the engines' determinism checks), which stress real domain
+# scheduling each repeat.  See test/README.md for the seed convention.
+test-stress: build
+	@for s in $$(seq 1 20); do \
+	  printf 'prop harness, QCHECK_SEED=%s: ' $$s; \
+	  QCHECK_SEED=$$s dune exec test/prop/prop_main.exe >/dev/null 2>&1 \
+	    && echo ok || { echo FAILED; exit 1; }; \
+	done
+	@for s in $$(seq 1 20); do \
+	  printf 'equivalence suites, repeat %s: ' $$s; \
+	  dune exec test/test_main.exe -- test portfolio >/dev/null 2>&1 \
+	    && echo ok || { echo FAILED; exit 1; }; \
+	done
 
 # Static analysis gate: sa_lint over lib/ bin/ bench/ test/ plus
 # schema validation of its JSON report.  Also runs as part of

@@ -7,6 +7,7 @@
    - sa-lab/lint-report/v1       (sa_lint --json / --json-file; @lint alias)
    - sa-lab/checkpoint/v1        (sa_lab run --checkpoint; resilience-smoke)
    - sa-lab/supervisor-report/v1 (sa_lab supervise --report; resilience-smoke)
+   - sa-lab/portfolio-report/v1  (sa_lab portfolio --report; portfolio-smoke)
 
    Run by `dune runtest` through the aliases, so a regression that
    breaks any machine-readable output fails the tier-1 gate. *)
@@ -53,7 +54,7 @@ let check_bench path member =
   (match member "micro" with
   | Obs.Json.List _ -> ()
   | _ -> fail "%s: micro is not a list" path);
-  match member "delta" with
+  (match member "delta" with
   | Obs.Json.List [] -> fail "%s: delta is empty" path
   | Obs.Json.List entries ->
       List.iteri
@@ -81,7 +82,42 @@ let check_bench path member =
           | Obs.Json.Bool _ -> ()
           | _ -> fail "%s: delta[%d].costs_agree is not a boolean" path i)
         entries
-  | _ -> fail "%s: delta is not a list" path
+  | _ -> fail "%s: delta is not a list" path);
+  match member "scaling" with
+  | Obs.Json.List entries ->
+      List.iteri
+        (fun i s ->
+          let smember name =
+            match Obs.Json.member name s with
+            | Some v -> v
+            | None -> fail "%s: scaling[%d] missing field %S" path i name
+          in
+          (match smember "case" with
+          | Obs.Json.String c when c <> "" -> ()
+          | _ -> fail "%s: scaling[%d].case is not a non-empty string" path i);
+          (match Obs.Json.to_int (smember "domains") with
+          | Some d when d >= 1 -> ()
+          | _ -> fail "%s: scaling[%d].domains is not a positive integer" path i);
+          (match Obs.Json.to_float (smember "wall_seconds") with
+          | Some w when w >= 0. && Float.is_finite w -> ()
+          | _ ->
+              fail "%s: scaling[%d].wall_seconds is not a non-negative number"
+                path i);
+          (* The speedup is a measurement, not a target: any positive
+             finite value is structurally valid (a 1-CPU machine will
+             legitimately report < 1x at several domains). *)
+          (match Obs.Json.to_float (smember "speedup") with
+          | Some v when v > 0. && Float.is_finite v -> ()
+          | _ -> fail "%s: scaling[%d].speedup is not a positive finite number" path i);
+          match smember "report_identical" with
+          | Obs.Json.Bool true -> ()
+          | Obs.Json.Bool false ->
+              fail "%s: scaling[%d].report_identical is false — the portfolio \
+                    determinism contract is broken"
+                path i
+          | _ -> fail "%s: scaling[%d].report_identical is not a boolean" path i)
+        entries
+  | _ -> fail "%s: scaling is not a list" path
 
 let check_lint path member =
   let non_negative_int name =
@@ -227,6 +263,103 @@ let check_supervisor_report path member =
           quarantined !seen_quarantined
   | _ -> fail "%s: outcomes is not a list" path
 
+let check_portfolio_report path member =
+  let check_standing ctx s =
+    let field name =
+      match Obs.Json.member name s with
+      | Some v -> v
+      | None -> fail "%s: %s missing field %S" path ctx name
+    in
+    let label =
+      match field "label" with
+      | Obs.Json.String l when l <> "" -> l
+      | _ -> fail "%s: %s.label is not a non-empty string" path ctx
+    in
+    (* Costs are numbers, or null: a job that could not start scores
+       [infinity], which the JSON writer renders as null. *)
+    List.iter
+      (fun name ->
+        match field name with
+        | Obs.Json.Int _ | Obs.Json.Float _ | Obs.Json.Null -> ()
+        | _ -> fail "%s: %s.%s is not a number or null" path ctx name)
+      [ "best_cost"; "final_cost" ];
+    (match Obs.Json.to_int (field "evaluations") with
+    | Some e when e >= 0 -> ()
+    | _ -> fail "%s: %s.evaluations is not a non-negative integer" path ctx);
+    (match field "failed" with
+    | Obs.Json.Null | Obs.Json.String _ -> ()
+    | _ -> fail "%s: %s.failed is not null or a string" path ctx);
+    label
+  in
+  (match member "mode" with
+  | Obs.Json.String ("race" | "sweep") -> ()
+  | _ -> fail "%s: mode is not \"race\" or \"sweep\"" path);
+  let jobs =
+    match Obs.Json.to_int (member "jobs") with
+    | Some j when j >= 1 -> j
+    | _ -> fail "%s: jobs is not a positive integer" path
+  in
+  (match member "stopped_early" with
+  | Obs.Json.Bool _ -> ()
+  | _ -> fail "%s: stopped_early is not a boolean" path);
+  (match Obs.Json.to_int (member "total_evaluations") with
+  | Some t when t >= 0 -> ()
+  | _ -> fail "%s: total_evaluations is not a non-negative integer" path);
+  let winner_label = check_standing "winner" (member "winner") in
+  match member "rounds" with
+  | Obs.Json.List [] -> fail "%s: rounds is empty" path
+  | Obs.Json.List rounds ->
+      let last_labels = ref [] in
+      List.iteri
+        (fun i r ->
+          let field name =
+            match Obs.Json.member name r with
+            | Some v -> v
+            | None -> fail "%s: rounds[%d] missing field %S" path i name
+          in
+          (match Obs.Json.to_int (field "round") with
+          | Some n when n = i + 1 -> ()
+          | _ -> fail "%s: rounds[%d].round is not %d" path i (i + 1));
+          (match Obs.Json.to_int (field "budget_evaluations") with
+          | Some b when b >= 0 -> ()
+          | _ ->
+              fail "%s: rounds[%d].budget_evaluations is not a non-negative \
+                    integer"
+                path i);
+          (match field "results" with
+          | Obs.Json.List [] -> fail "%s: rounds[%d].results is empty" path i
+          | Obs.Json.List results ->
+              let labels =
+                List.mapi
+                  (fun j s ->
+                    check_standing
+                      (Printf.sprintf "rounds[%d].results[%d]" i j)
+                      s)
+                  results
+              in
+              if i = 0 && List.length labels <> jobs then
+                fail "%s: rounds[0] ran %d jobs but jobs = %d" path
+                  (List.length labels) jobs;
+              last_labels := labels
+          | _ -> fail "%s: rounds[%d].results is not a list" path i);
+          match field "culled" with
+          | Obs.Json.List culled ->
+              List.iteri
+                (fun j c ->
+                  match c with
+                  | Obs.Json.String l when List.mem l !last_labels -> ()
+                  | Obs.Json.String l ->
+                      fail "%s: rounds[%d].culled[%d] %S did not run this round"
+                        path i j l
+                  | _ -> fail "%s: rounds[%d].culled[%d] is not a string" path i j)
+                culled
+          | _ -> fail "%s: rounds[%d].culled is not a list" path i)
+        rounds;
+      if not (List.mem winner_label !last_labels) then
+        fail "%s: winner %S is not in the last round's results" path
+          winner_label
+  | _ -> fail "%s: rounds is not a list" path
+
 let () =
   let path =
     match Sys.argv with
@@ -263,5 +396,6 @@ let () =
   | "sa-lab/lint-report/v1" -> check_lint path member
   | "sa-lab/checkpoint/v1" -> check_checkpoint path
   | "sa-lab/supervisor-report/v1" -> check_supervisor_report path member
+  | "sa-lab/portfolio-report/v1" -> check_portfolio_report path member
   | other -> fail "%s: unknown schema %S" path other);
   Printf.printf "check_json: %s ok (%s)\n" path schema

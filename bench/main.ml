@@ -57,6 +57,7 @@ let section title =
 let table_summaries = ref ([] : Obs.Json.t list)
 let micro_results = ref ([] : Obs.Json.t list)
 let delta_results = ref ([] : Obs.Json.t list)
+let scaling_results = ref ([] : Obs.Json.t list)
 let engine_evals_per_sec = ref 0.
 
 (* Per-table roll-up: wall time plus the spread of the numeric cells
@@ -106,6 +107,7 @@ let write_json () =
         ("tables", Obs.Json.List (List.rev !table_summaries));
         ("micro", Obs.Json.List (List.rev !micro_results));
         ("delta", Obs.Json.List (List.rev !delta_results));
+        ("scaling", Obs.Json.List (List.rev !scaling_results));
       ]
   in
   let oc = open_out !json_path in
@@ -532,6 +534,72 @@ let run_delta_comparison () =
     ~seed:43 ~delta_ops:Placement.Problem.delta_ops
     ~make_state:(fun () -> Placement.copy place_start)
 
+(* ------------------------------------------------------------------ *)
+(* Portfolio domain scaling                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The same 21-class racing portfolio timed at 1, 2, 4, and 8 worker
+   domains.  Two things are recorded per domain count: the measured
+   wall-clock speedup over the 1-domain run, and whether the report
+   JSON is byte-identical to the 1-domain report — the determinism
+   contract the portfolio scheduler makes.  Fixed budgets, independent
+   of --scale, so the numbers are comparable run to run.  The speedups
+   are whatever the hardware gives: on a single-CPU container every
+   domain count measures ~1x (or less, from domain overhead); the
+   byte-identity column must hold everywhere. *)
+
+let run_portfolio_scaling () =
+  section "Portfolio domain scaling (21-class race, TSP n=1000)";
+  let inst = Tsp_instance.random_uniform (Rng.create ~seed:50) ~n:1000 in
+  let schedule_for gfun =
+    if Gfun.uses_temperature gfun then
+      match Gfun.k gfun with
+      | 1 -> Schedule.of_array [| 1.0 |]
+      | k -> Schedule.geometric ~y1:1.0 ~ratio:0.9 ~k
+    else Schedule.constant ~k:(Gfun.k gfun) 1.
+  in
+  let jobs =
+    List.map
+      (fun gfun ->
+        Portfolio.Job.figure1
+          (module Tsp_problem)
+          ~delta_ops:Tsp_problem.delta_ops ~label:(Gfun.name gfun) ~gfun
+          ~schedule:(schedule_for gfun)
+          ~make_state:(fun rng -> Tour.random rng inst)
+          ())
+      (Gfun.catalog ~m:1000)
+  in
+  let race domains =
+    let t0 = Obs.now () in
+    let report =
+      Portfolio.race ~domains (Rng.create ~seed:51)
+        ~initial_budget:(Budget.Evaluations 2_000) jobs
+    in
+    (Obs.now () -. t0, Obs.Json.to_string (Portfolio.report_to_json report))
+  in
+  ignore (race 1);
+  (* warm caches *)
+  let base_wall, base_json = race 1 in
+  List.iter
+    (fun domains ->
+      let wall, json = if domains = 1 then (base_wall, base_json) else race domains in
+      let speedup = base_wall /. wall in
+      let identical = String.equal json base_json in
+      Printf.printf
+        "domains %d: %.3f s wall   speedup %5.2fx   report identical: %b\n"
+        domains wall speedup identical;
+      scaling_results :=
+        Obs.Json.Obj
+          [
+            ("case", Obs.Json.String "portfolio-race-tsp1000");
+            ("domains", Obs.Json.Int domains);
+            ("wall_seconds", Obs.Json.Float wall);
+            ("speedup", Obs.Json.Float speedup);
+            ("report_identical", Obs.Json.Bool identical);
+          ]
+        :: !scaling_results)
+    [ 1; 2; 4; 8 ]
+
 (* One timed null-observer engine run, long enough for a stable
    evaluations/sec figure; this is the headline throughput number of
    the JSON summary. *)
@@ -557,6 +625,7 @@ let () =
   if not !skip_tables then print_tables ();
   measure_throughput ();
   run_delta_comparison ();
+  run_portfolio_scaling ();
   if not !skip_micro then run_micro ();
   write_json ();
   print_newline ()

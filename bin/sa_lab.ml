@@ -995,6 +995,151 @@ let supervise_cmd =
           $ report_file)
 
 (* ---------------------------------------------------------------- *)
+(* portfolio                                                         *)
+(* ---------------------------------------------------------------- *)
+
+let portfolio_cmd =
+  let file =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"NETLIST"
+           ~doc:"Netlist file to race the catalog on; omit to race on a
+                 random TSP instance (see $(b,--tsp-cities)).")
+  in
+  let cities =
+    Arg.(value & opt int 120 & info [ "tsp-cities" ] ~docv:"N"
+           ~doc:"Size of the random TSP instance used when no netlist is
+                 given (2-opt moves, incremental evaluation).")
+  in
+  let mode =
+    Arg.(value & opt (enum [ ("race", `Race); ("sweep", `Sweep) ]) `Race
+         & info [ "mode" ] ~docv:"MODE"
+             ~doc:"race (successive halving) or sweep (every class at the
+                   full budget, the paper's protocol).")
+  in
+  let initial_evals =
+    Arg.(value & opt int 2_000 & info [ "initial-evals"; "n" ] ~docv:"N"
+           ~doc:"Per-job evaluation budget of the first racing rung
+                 (doubles every rung); the whole budget in sweep mode.")
+  in
+  let domains =
+    Arg.(value & opt int 1 & info [ "domains"; "j" ] ~docv:"D"
+           ~doc:"Worker domains.  The standings and the report are
+                 identical whatever $(docv) is.")
+  in
+  let base =
+    Arg.(value & opt float 1.0 & info [ "temperature"; "y" ] ~docv:"Y"
+           ~doc:"Base temperature (geometric 0.9 shape for
+                 multi-temperature classes).")
+  in
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.") in
+  let deadline =
+    Arg.(value & opt (some int) None & info [ "deadline-evals" ] ~docv:"N"
+           ~doc:"Whole-race evaluation allowance, checked between rungs;
+                 when it runs out the current leader wins.")
+  in
+  let report_file =
+    Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE"
+           ~doc:"Write the sa-lab/portfolio-report/v1 JSON to $(docv).")
+  in
+  let run file cities mode initial_evals domains base seed deadline
+      report_file =
+    let jobs_or_error =
+      match file with
+      | Some path -> (
+          match read_netlist path with
+          | Error msg -> Error msg
+          | Ok nl ->
+              Ok
+                (List.map
+                   (fun gfun ->
+                     Portfolio.Job.figure1
+                       (module Linarr_problem.Swap)
+                       ~label:(Gfun.name gfun) ~gfun
+                       ~schedule:(schedule_for gfun base)
+                       ~make_state:(fun rng -> Arrangement.random rng nl)
+                       ())
+                   (Gfun.catalog ~m:(Netlist.n_nets nl))))
+      | None ->
+          if cities < 3 then Error "need at least 3 cities"
+          else begin
+            let inst =
+              Tsp_instance.random_uniform (Rng.create ~seed) ~n:cities
+            in
+            Ok
+              (List.map
+                 (fun gfun ->
+                   Portfolio.Job.figure1
+                     (module Tsp_problem)
+                     ~delta_ops:Tsp_problem.delta_ops ~label:(Gfun.name gfun)
+                     ~gfun
+                     ~schedule:(schedule_for gfun base)
+                     ~make_state:(fun rng -> Tour.random rng inst)
+                     ())
+                 (Gfun.catalog ~m:cities))
+          end
+    in
+    match jobs_or_error with
+    | Error msg ->
+        prerr_endline msg;
+        1
+    | Ok jobs -> (
+        let rng = Rng.create ~seed:(seed + 1) in
+        let budget = Budget.Evaluations initial_evals in
+        match
+          match mode with
+          | `Race ->
+              Portfolio.race ~domains
+                ?deadline:(Option.map (fun n -> Budget.Evaluations n) deadline)
+                rng ~initial_budget:budget jobs
+          | `Sweep -> Portfolio.sweep ~domains rng ~budget jobs
+        with
+        | exception Invalid_argument msg ->
+            prerr_endline msg;
+            2
+        | report ->
+            List.iter
+              (fun round ->
+                Printf.printf "round %d (budget %d/job): %d jobs\n"
+                  round.Portfolio.index round.Portfolio.budget_evaluations
+                  (List.length round.Portfolio.results);
+                List.iter
+                  (fun s ->
+                    Printf.printf "  %-32s best %10.2f  evals %7d%s\n"
+                      s.Portfolio.label s.Portfolio.cost
+                      s.Portfolio.evaluations
+                      (match s.Portfolio.failure with
+                      | None -> ""
+                      | Some msg -> "  [failed: " ^ msg ^ "]"))
+                  round.Portfolio.results;
+                match round.Portfolio.culled with
+                | [] -> ()
+                | culled ->
+                    Printf.printf "  culled: %s\n" (String.concat ", " culled))
+              report.Portfolio.rounds;
+            if report.Portfolio.stopped_early then
+              print_endline "deadline reached; stopping early";
+            Printf.printf "winner: %s (best %.2f, %d total evaluations)\n"
+              report.Portfolio.winner.Portfolio.label
+              report.Portfolio.winner.Portfolio.cost
+              report.Portfolio.total_evaluations;
+            (match report_file with
+            | Some path ->
+                let oc = open_out path in
+                output_string oc
+                  (Obs.Json.to_string (Portfolio.report_to_json report));
+                output_char oc '\n';
+                close_out oc
+            | None -> ());
+            0)
+  in
+  Cmd.v
+    (Cmd.info "portfolio"
+       ~doc:"Race the paper's 21 acceptance-function classes against each
+             other (successive halving or a full sweep), optionally on
+             several domains.")
+    Term.(const run $ file $ cities $ mode $ initial_evals $ domains $ base
+          $ seed $ deadline $ report_file)
+
+(* ---------------------------------------------------------------- *)
 (* floorplan                                                         *)
 (* ---------------------------------------------------------------- *)
 
@@ -1058,6 +1203,6 @@ let () =
        (Cmd.group info
           [
             tables_cmd; solve_cmd; run_cmd; supervise_cmd; trace_cmd;
-            generate_cmd; goto_cmd; tsp_cmd; partition_cmd; route_cmd;
-            floorplan_cmd; info_cmd;
+            portfolio_cmd; generate_cmd; goto_cmd; tsp_cmd; partition_cmd;
+            route_cmd; floorplan_cmd; info_cmd;
           ]))

@@ -22,6 +22,10 @@ let start ?now budget = start_at ?now ~ticks:0 budget
 let ticks c = c.ticks
 let tick c = c.ticks <- c.ticks + 1
 
+let add_ticks c n =
+  if n < 0 then invalid_arg "Budget.add_ticks: negative count";
+  c.ticks <- c.ticks + n
+
 (* Sys.time is not guaranteed monotonic (process migration, NTP on some
    libc clocks); a raw [now - started] can go negative or shrink.  The
    high-water mark makes elapsed time — and with it [exhausted] and

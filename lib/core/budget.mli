@@ -34,6 +34,12 @@ val start_at : ?now:(unit -> float) -> ticks:int -> t -> clock
 val tick : clock -> unit
 (** Record one perturbation evaluation. *)
 
+val add_ticks : clock -> int -> unit
+(** Record a batch of evaluations at once — how the portfolio
+    scheduler charges a whole racing round against its deadline
+    without a million [tick] calls.
+    @raise Invalid_argument on a negative count. *)
+
 val ticks : clock -> int
 (** Perturbations recorded so far. *)
 

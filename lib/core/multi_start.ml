@@ -12,76 +12,41 @@ module Make (P : Mc_problem.S) = struct
       ~make_state =
     if chains <= 0 then invalid_arg "Multi_start.run: chains <= 0";
     if domains <= 0 then invalid_arg "Multi_start.run: domains <= 0";
-    (* Fix every chain's inputs up front so the outcome does not depend
-       on scheduling. *)
-    let jobs =
-      Array.init chains (fun i ->
-          let chain_rng = Rng.split rng in
-          (i, chain_rng))
-    in
-    let results = Array.make chains None in
+    (* Fix every chain's RNG stream up front so the outcome does not
+       depend on scheduling; execution is the work-stealing pool's
+       problem, not ours. *)
+    let chain_rngs = Array.init chains (fun _ -> Rng.split rng) in
     let workers = min domains chains in
     (* With several workers the chains' event streams all flow through
        the one observer from different domains at once, and the bundled
-       sinks are single-domain.  Serialize the emits behind a mutex so
-       a caller's sink sees one event at a time — the interleaving
-       across chains is still scheduling-dependent, but each event
-       arrives whole. *)
+       sinks are single-domain; serialize the emits so each event
+       arrives whole.  The interleaving across chains is still
+       scheduling-dependent. *)
     let observer =
-      if workers > 1 && Obs.Observer.enabled observer then begin
-        let lock = Mutex.create () in
-        Obs.Observer.of_fun (fun ev ->
-            Mutex.lock lock;
-            Fun.protect
-              ~finally:(fun () -> Mutex.unlock lock)
-              (fun () -> Obs.Observer.emit observer ev))
-      end
-      else observer
+      if workers > 1 then Obs.Observer.serialized observer else observer
     in
+    let pool = Pool.create ~domains:workers () in
     (* A chain whose problem misbehaves mid-walk is contained: its
        [Aborted] partial (best-so-far plus counters at failure) joins
        the selection like any finished chain, and the failure is
        reported in [failures].  Only an unstartable chain (non-finite
        initial cost) propagates. *)
-    let run_one i chain_rng =
+    let run_one i =
       let state = make_state i in
-      match Engine.run ~observer chain_rng params state with
+      match Engine.run ~observer chain_rngs.(i) params state with
       | r -> (r, None)
       | exception Engine.Aborted { reason; partial } ->
           (partial, Some (Printexc.to_string reason))
     in
-    let run_job (i, chain_rng) = results.(i) <- Some (run_one i chain_rng) in
-    if workers = 1 then Array.iter run_job jobs
-    else begin
-      (* Static round-robin assignment of chains to domains. *)
-      let handles =
-        Array.init workers (fun w ->
-            Domain.spawn (fun () ->
-                let local = ref [] in
-                Array.iter
-                  (fun ((i, _) as job) ->
-                    if i mod workers = w then begin
-                      let (i, chain_rng) = job in
-                      local := (i, run_one i chain_rng) :: !local
-                    end)
-                  jobs;
-                !local))
-      in
-      Array.iter
-        (fun handle ->
-          List.iter (fun (i, r) -> results.(i) <- Some r) (Domain.join handle))
-        handles
-    end;
+    let results = Pool.map pool run_one chains in
     let failures = ref [] in
     Array.iteri
-      (fun i r ->
-        match r with
-        | Some (_, Some msg) -> failures := (i, msg) :: !failures
-        | Some (_, None) | None -> ())
+      (fun i (_, failure) ->
+        match failure with
+        | Some msg -> failures := (i, msg) :: !failures
+        | None -> ())
       results;
-    let results =
-      Array.map (function Some (r, _) -> r | None -> assert false) results
-    in
+    let results = Array.map fst results in
     let chain_costs = Array.map (fun r -> r.Mc_problem.best_cost) results in
     let best_idx = ref 0 in
     Array.iteri

@@ -422,6 +422,22 @@ module Observer = struct
     | [] -> Null
     | [ o ] -> o
     | many -> Fn (fun ev -> List.iter (fun o -> emit o ev) many)
+
+  (* The bundled sinks are single-domain; when several domains share
+     one observer, each event must arrive whole.  The interleaving
+     across domains remains scheduling-dependent — serialization
+     protects the sink, not the order. *)
+  let serialized o =
+    match o with
+    | Null -> Null
+    | Fn f ->
+        let lock = Mutex.create () in
+        Fn
+          (fun ev ->
+            Mutex.lock lock;
+            Fun.protect
+              ~finally:(fun () -> Mutex.unlock lock)
+              (fun () -> f ev))
 end
 
 let null = Observer.null

@@ -123,6 +123,14 @@ module Observer : sig
   val tee : t list -> t
   (** Broadcast to every enabled observer; collapses to {!null} when
       none is. *)
+
+  val serialized : t -> t
+  (** Wrap an observer so that emissions are serialized behind a fresh
+      mutex: when several domains share one observer (the multi-start
+      driver, the portfolio scheduler), a single-domain sink receives
+      one whole event at a time, with no torn writes.  The interleaving
+      of events {e across} domains still depends on scheduling.
+      Returns {!null} unchanged, so a disabled observer stays free. *)
 end
 
 val null : Observer.t

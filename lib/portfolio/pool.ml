@@ -1,0 +1,107 @@
+(* Deque-per-worker work stealing over a fixed task set.
+
+   Tasks are identified by index and dealt round-robin up front, so
+   worker [w]'s deque holds [w; w + workers; w + 2*workers; ...] in
+   ascending order.  The owner pops from the front (ascending index,
+   cache-friendly, and with one worker exactly a plain for-loop); a
+   thief steals from the back, so owner and thief only collide on the
+   last task of a deque.  A mutex per deque is plenty here: tasks are
+   whole engine runs, thousands to millions of evaluations each, so
+   deque operations are nowhere near the contention regime that
+   justifies a lock-free Chase-Lev deque. *)
+
+type deque = {
+  tasks : int array;
+  mutable front : int; (* next owner slot *)
+  mutable back : int; (* one past the last live slot; thieves take back-1 *)
+  lock : Mutex.t;
+}
+
+type t = { domains : int }
+
+let create ?domains () =
+  let domains =
+    match domains with
+    | Some d -> d
+    | None -> Domain.recommended_domain_count ()
+  in
+  if domains <= 0 then invalid_arg "Pool.create: domains <= 0";
+  { domains }
+
+let domains t = t.domains
+
+let locked dq f =
+  Mutex.lock dq.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock dq.lock) f
+
+let pop_front dq =
+  locked dq (fun () ->
+      if dq.front < dq.back then begin
+        let i = dq.tasks.(dq.front) in
+        dq.front <- dq.front + 1;
+        Some i
+      end
+      else None)
+
+let steal_back dq =
+  locked dq (fun () ->
+      if dq.front < dq.back then begin
+        dq.back <- dq.back - 1;
+        Some dq.tasks.(dq.back)
+      end
+      else None)
+
+let run t f n =
+  if n < 0 then invalid_arg "Pool.run: negative task count";
+  if n > 0 then begin
+    let workers = min t.domains n in
+    let deques =
+      Array.init workers (fun w ->
+          let count = ((n - 1 - w) / workers) + 1 in
+          let tasks = Array.init count (fun s -> w + (s * workers)) in
+          { tasks; front = 0; back = count; lock = Mutex.create () })
+    in
+    (* First failure wins deterministically by task index; the flag
+       only stops tasks that have not started yet. *)
+    let cancelled = Atomic.make false in
+    let failures = Array.make n None in
+    let worker w =
+      let rec next_task k =
+        if k >= workers then None
+        else begin
+          let dq = deques.((w + k) mod workers) in
+          let take = if k = 0 then pop_front else steal_back in
+          match take dq with Some i -> Some i | None -> next_task (k + 1)
+        end
+      in
+      let rec loop () =
+        if not (Atomic.get cancelled) then
+          match next_task 0 with
+          | None -> ()
+          | Some i ->
+              (match f i with
+              | () -> ()
+              | exception e ->
+                  let bt = Printexc.get_raw_backtrace () in
+                  failures.(i) <- Some (e, bt);
+                  Atomic.set cancelled true);
+              loop ()
+      in
+      loop ()
+    in
+    let handles =
+      Array.init (workers - 1) (fun h -> Domain.spawn (fun () -> worker (h + 1)))
+    in
+    worker 0;
+    Array.iter Domain.join handles;
+    Array.iter
+      (function
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
+      failures
+  end
+
+let map t f n =
+  let results = Array.make n None in
+  run t (fun i -> results.(i) <- Some (f i)) n;
+  Array.map (function Some v -> v | None -> assert false) results

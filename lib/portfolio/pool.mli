@@ -1,0 +1,47 @@
+(** Work-stealing domain pool.
+
+    The schedulers in this repository (the multi-start driver, the
+    portfolio racer) all have the same shape: a fixed set of
+    independent, coarse-grained tasks whose inputs — in particular
+    every task's RNG stream — are pinned {e before} any task starts,
+    so the results cannot depend on which domain runs what, or when.
+    This module supplies the execution half of that bargain: tasks are
+    dealt round-robin into one deque per worker, each worker drains its
+    own deque front to back, and a worker whose deque runs dry steals
+    from the {e back} of the others — so a straggler worker sheds its
+    tail of work instead of serializing the whole run behind it.
+
+    The calling domain always participates as worker 0; [domains = 1]
+    therefore runs every task in index order on the caller with no
+    domain spawned at all, which keeps single-threaded runs exactly as
+    debuggable as a plain loop. *)
+
+type t
+(** A pool configuration.  Cheap; workers are spawned per {!run} call
+    and joined before it returns, so no threads outlive the pool. *)
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] sizes the pool.  [domains] defaults to
+    [Domain.recommended_domain_count ()].
+    @raise Invalid_argument if [domains <= 0]. *)
+
+val domains : t -> int
+(** The configured worker-domain cap. *)
+
+val run : t -> (int -> unit) -> int -> unit
+(** [run t f n] executes [f i] exactly once for every [i] in
+    [0 .. n - 1], on at most [domains t] domains (never more than [n]).
+    Returns when every started task has finished.
+
+    [f] is called from worker domains and must confine its mutation to
+    per-task state (the usual pattern writes [results.(i)]); reading
+    immutable shared inputs is fine.
+
+    If a task raises, no {e new} task is started anywhere, already
+    running tasks complete, and after all workers drain the exception
+    of the {e lowest-indexed} failed task is re-raised in the caller —
+    a deterministic choice whatever the domain count.
+    @raise Invalid_argument if [n < 0]. *)
+
+val map : t -> (int -> 'a) -> int -> 'a array
+(** [map t f n] is [run] collecting [[| f 0; ...; f (n - 1) |]]. *)

@@ -1,0 +1,296 @@
+type outcome = {
+  best_cost : float;
+  final_cost : float;
+  stats : Mc_problem.stats;
+  failure : string option;
+}
+
+module Job = struct
+  type t = {
+    label : string;
+    work : Rng.t -> Budget.t -> Obs.Observer.t -> outcome;
+  }
+
+  let label t = t.label
+  let v ~label work = { label; work }
+
+  let of_run (run : _ Mc_problem.run) =
+    {
+      best_cost = run.best_cost;
+      final_cost = run.final_cost;
+      stats = run.stats;
+      failure = None;
+    }
+
+  let of_abort reason (partial : _ Mc_problem.run) =
+    {
+      best_cost = partial.best_cost;
+      final_cost = partial.final_cost;
+      stats = partial.stats;
+      failure = Some (Printexc.to_string reason);
+    }
+
+  (* A problem that cannot even start (non-finite initial cost, or
+     [make_state] itself raising [Invalid_cost]) has no partial to
+     preserve; it competes at [infinity] and loses every ranking. *)
+  let stillborn msg =
+    {
+      best_cost = infinity;
+      final_cost = infinity;
+      stats = Mc_problem.empty_stats;
+      failure = Some msg;
+    }
+
+  let figure1 (type s m)
+      (module P : Mc_problem.S with type state = s and type move = m)
+      ?counter_limit ?acceptance_limit ?defer_threshold ?delta_ops ~label
+      ~gfun ~schedule ~make_state () =
+    let module E = Figure1.Make (P) in
+    let params budget =
+      E.params ?counter_limit ?acceptance_limit ?defer_threshold ~gfun
+        ~schedule ~budget ()
+    in
+    (* Validate schedule/g-function/threshold agreement now, at
+       portfolio-assembly time, rather than on a worker domain mid-race. *)
+    ignore (params (Budget.Evaluations 1));
+    let work rng budget observer =
+      match E.run ~observer ?delta_ops rng (params budget) (make_state rng) with
+      | run -> of_run run
+      | exception E.Aborted { reason; partial } -> of_abort reason partial
+      | exception Mc_problem.Invalid_cost msg -> stillborn msg
+    in
+    { label; work }
+
+  let figure2 (type s m)
+      (module P : Mc_problem.S with type state = s and type move = m)
+      ?counter_limit ?restart_schedule ?delta_ops ~label ~gfun ~schedule
+      ~make_state () =
+    let module E = Figure2.Make (P) in
+    let params budget =
+      E.params ?counter_limit ?restart_schedule ~gfun ~schedule ~budget ()
+    in
+    ignore (params (Budget.Evaluations 1));
+    let work rng budget observer =
+      match E.run ~observer ?delta_ops rng (params budget) (make_state rng) with
+      | run -> of_run run
+      | exception E.Aborted { reason; partial } -> of_abort reason partial
+      | exception Mc_problem.Invalid_cost msg -> stillborn msg
+    in
+    { label; work }
+
+  let rejectionless (type s m)
+      (module P : Mc_problem.S with type state = s and type move = m)
+      ?delta_ops ~label ~gfun ~schedule ~make_state () =
+    let module E = Rejectionless.Make (P) in
+    let params budget = E.params ~gfun ~schedule ~budget in
+    ignore (params (Budget.Evaluations 1));
+    let work rng budget observer =
+      match E.run ~observer ?delta_ops rng (params budget) (make_state rng) with
+      | run -> of_run run
+      | exception E.Aborted { reason; partial } -> of_abort reason partial
+      | exception Mc_problem.Invalid_cost msg -> stillborn msg
+    in
+    { label; work }
+end
+
+type standing = {
+  label : string;
+  cost : float;
+  final_cost : float;
+  evaluations : int;
+  failure : string option;
+}
+
+type round = {
+  index : int;
+  budget_evaluations : int;
+  results : standing list;
+  culled : string list;
+}
+
+type report = {
+  mode : string;
+  jobs : int;
+  rounds : round list;
+  winner : standing;
+  total_evaluations : int;
+  stopped_early : bool;
+}
+
+let standing_of_outcome (job : Job.t) (o : outcome) =
+  {
+    label = job.label;
+    cost = o.best_cost;
+    final_cost = o.final_cost;
+    evaluations = o.stats.Mc_problem.evaluations;
+    failure = o.failure;
+  }
+
+(* One rung: run every surviving job at [budget] on the pool, each from
+   a fresh copy of its pinned stream, and rank.  Returns
+   (original index, standing) best first; ties break by job-list
+   position, and stillborn jobs ([infinity]) sink to the bottom. *)
+let run_rung pool observer (jobs : Job.t array) job_rngs alive budget =
+  let alive = Array.of_list alive in
+  let n = Array.length alive in
+  let outcomes =
+    Pool.map pool
+      (fun i ->
+        let j = alive.(i) in
+        jobs.(j).Job.work (Rng.copy job_rngs.(j)) budget observer)
+      n
+  in
+  let ranked =
+    List.init n (fun i ->
+        (alive.(i), standing_of_outcome jobs.(alive.(i)) outcomes.(i)))
+  in
+  List.sort
+    (fun (i1, s1) (i2, s2) ->
+      match Float.compare s1.cost s2.cost with
+      | 0 -> Int.compare i1 i2
+      | c -> c)
+    ranked
+
+let rec split_at k = function
+  | rest when k = 0 -> ([], rest)
+  | [] -> ([], [])
+  | x :: rest ->
+      let keep, cull = split_at (k - 1) rest in
+      (x :: keep, cull)
+
+let prepare ?(domains = 1) ?observer rng jobs ~who =
+  if jobs = [] then invalid_arg (who ^ ": no jobs");
+  let jobs = Array.of_list jobs in
+  let pool = Pool.create ~domains () in
+  let observer =
+    match observer with
+    | None -> Obs.Observer.null
+    | Some o -> if domains > 1 then Obs.Observer.serialized o else o
+  in
+  (* Every job's stream is split off the caller's generator before any
+     job runs: the assignment of jobs to domains can then never change
+     what any job computes. *)
+  let job_rngs = Array.init (Array.length jobs) (fun _ -> Rng.split rng) in
+  (jobs, pool, observer, job_rngs)
+
+let round_evaluations results =
+  List.fold_left (fun acc (_, s) -> acc + s.evaluations) 0 results
+
+let sweep ?domains ?observer rng ~budget jobs =
+  let jobs, pool, observer, job_rngs =
+    prepare ?domains ?observer rng jobs ~who:"Portfolio.sweep"
+  in
+  let ranked =
+    run_rung pool observer jobs job_rngs
+      (List.init (Array.length jobs) Fun.id)
+      budget
+  in
+  let results = List.map snd ranked in
+  {
+    mode = "sweep";
+    jobs = Array.length jobs;
+    rounds =
+      [
+        {
+          index = 1;
+          budget_evaluations = Budget.evaluations_or budget ~default:0;
+          results;
+          culled = [];
+        };
+      ];
+    winner = List.hd results;
+    total_evaluations = round_evaluations ranked;
+    stopped_early = false;
+  }
+
+let race ?domains ?observer ?deadline rng ~initial_budget jobs =
+  let jobs, pool, observer, job_rngs =
+    prepare ?domains ?observer rng jobs ~who:"Portfolio.race"
+  in
+  let deadline_clock = Option.map Budget.start deadline in
+  (* An [Evaluations] deadline is charged per rung through the tick
+     counter (deterministic); a [Seconds] deadline leaves the counter
+     at zero so every [exhausted] call actually polls the clock. *)
+  let charge evals =
+    match (deadline_clock, deadline) with
+    | Some clock, Some (Budget.Evaluations _) -> Budget.add_ticks clock evals
+    | _ -> ()
+  in
+  let deadline_hit () =
+    match deadline_clock with
+    | Some clock -> Budget.exhausted clock
+    | None -> false
+  in
+  let rounds = ref [] in
+  let total_evaluations = ref 0 in
+  let stopped_early = ref false in
+  let alive = ref (List.init (Array.length jobs) Fun.id) in
+  let winner = ref None in
+  let rung = ref 1 in
+  let running = ref true in
+  while !running do
+    let budget =
+      Budget.scale (float_of_int (1 lsl (!rung - 1))) initial_budget
+    in
+    let ranked = run_rung pool observer jobs job_rngs !alive budget in
+    let evals = round_evaluations ranked in
+    total_evaluations := !total_evaluations + evals;
+    charge evals;
+    let keep = (List.length ranked + 1) / 2 in
+    let survivors, culled = split_at keep ranked in
+    rounds :=
+      {
+        index = !rung;
+        budget_evaluations = Budget.evaluations_or budget ~default:0;
+        results = List.map snd ranked;
+        culled = List.map (fun (_, s) -> s.label) culled;
+      }
+      :: !rounds;
+    winner := Some (snd (List.hd ranked));
+    alive := List.map fst survivors;
+    if List.length survivors <= 1 then running := false
+    else if deadline_hit () then begin
+      stopped_early := true;
+      running := false
+    end
+    else incr rung
+  done;
+  {
+    mode = "race";
+    jobs = Array.length jobs;
+    rounds = List.rev !rounds;
+    winner = Option.get !winner;
+    total_evaluations = !total_evaluations;
+    stopped_early = !stopped_early;
+  }
+
+let standing_to_json (s : standing) : Obs.Json.t =
+  Obj
+    [
+      ("label", String s.label);
+      ("best_cost", Float s.cost);
+      ("final_cost", Float s.final_cost);
+      ("evaluations", Int s.evaluations);
+      ("failed", match s.failure with None -> Null | Some m -> String m);
+    ]
+
+let round_to_json (r : round) : Obs.Json.t =
+  Obj
+    [
+      ("round", Int r.index);
+      ("budget_evaluations", Int r.budget_evaluations);
+      ("results", List (List.map standing_to_json r.results));
+      ("culled", List (List.map (fun l -> Obs.Json.String l) r.culled));
+    ]
+
+let report_to_json (r : report) : Obs.Json.t =
+  Obj
+    [
+      ("schema", String "sa-lab/portfolio-report/v1");
+      ("mode", String r.mode);
+      ("jobs", Int r.jobs);
+      ("stopped_early", Bool r.stopped_early);
+      ("total_evaluations", Int r.total_evaluations);
+      ("winner", standing_to_json r.winner);
+      ("rounds", List (List.map round_to_json r.rounds));
+    ]

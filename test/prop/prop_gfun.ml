@@ -1,0 +1,125 @@
+(* Properties of the full 21-class g-function catalog (§3 of the
+   paper), for arbitrary finite inputs with h(i) <= h(j) and any
+   schedule step:
+
+   - every class returns a non-negative value and never NaN — the
+     engines compare [r < g], and a NaN would silently freeze a walk
+     (r < NaN is always false);
+   - the classes that are acceptance probabilities by construction
+     (Metropolis / annealing, g = 1, the two-level class, [COHO83a])
+     stay within [0, 1];
+   - the "difference" classes return +infinity exactly on a lateral
+     move (h(j) = h(i)) — the documented plateau convention: certain
+     acceptance, matching Metropolis's e^0 = 1 — and the polynomial
+     difference classes are finite on every non-lateral move in the
+     generated range.  (The exponential difference classes may
+     legitimately overflow to +infinity on near-lateral moves, so only
+     the lateral direction is asserted for them.) *)
+
+type inputs = {
+  m : int;  (** net count for the [COHO83a] row *)
+  temp_pick : int;  (** mapped into 1..k per class *)
+  y : float;
+  hi : float;
+  delta : float;  (** h(j) - h(i); 0 = lateral *)
+}
+
+let print_inputs { m; temp_pick; y; hi; delta } =
+  Printf.sprintf "{m=%d; temp_pick=%d; y=%h; hi=%h; delta=%h}" m temp_pick y
+    hi delta
+
+let gen_inputs =
+  QCheck.Gen.(
+    int_range 0 500 >>= fun m ->
+    int_range 0 1000 >>= fun temp_pick ->
+    float_range 1e-3 50. >>= fun y ->
+    float_range 0. 1e6 >>= fun hi ->
+    (* Lateral moves deserve half the mass: they are the documented
+       special case.  Non-lateral deltas stay >= 1e-6 so "non-lateral"
+       is not a subnormal division in disguise. *)
+    oneof [ return 0.; float_range 1e-6 1e3 ] >|= fun delta ->
+    { m; temp_pick; y; hi; delta })
+
+let inputs = QCheck.make ~print:print_inputs gen_inputs
+
+let bounded_names =
+  [ "Metropolis"; "Six Temperature Annealing"; "g = 1"; "Two level g"; "[COHO83a]" ]
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let is_diff g = contains_substring (Gfun.name g) "Diff"
+let is_exponential g = contains_substring (Gfun.name g) "Exponential"
+
+let eval_class g { temp_pick; y; hi; delta; _ } =
+  let temp = 1 + (temp_pick mod Gfun.k g) in
+  Gfun.eval g ~temp ~y ~hi ~hj:(hi +. delta)
+
+let check_catalog pred message i =
+  List.for_all
+    (fun g ->
+      pred g (eval_class g i)
+      ||
+      (Printf.eprintf "%s: class %S, inputs %s\n" message (Gfun.name g)
+         (print_inputs i);
+       false))
+    (Gfun.catalog ~m:i.m)
+
+let prop_never_nan_non_negative =
+  QCheck.Test.make ~count:1000
+    ~name:"all 21 classes: g is never NaN and never negative" inputs
+    (check_catalog
+       (fun _ v -> (not (Float.is_nan v)) && v >= 0.)
+       "NaN or negative")
+
+let prop_bounded_classes_within_unit =
+  QCheck.Test.make ~count:1000
+    ~name:"probability classes stay within [0, 1]" inputs
+    (check_catalog
+       (fun g v -> (not (List.mem (Gfun.name g) bounded_names)) || v <= 1.)
+       "above 1")
+
+let prop_diff_lateral_is_plus_infinity =
+  QCheck.Test.make ~count:1000
+    ~name:"difference classes: lateral move => g = +infinity" inputs
+    (fun i ->
+      check_catalog
+        (fun g v ->
+          (not (is_diff g))
+          || (not (Float.equal i.delta 0.))
+          || Float.equal v infinity)
+        "lateral not +inf" i)
+
+let prop_poly_diff_finite_off_plateau =
+  QCheck.Test.make ~count:1000
+    ~name:"polynomial difference classes: non-lateral move => g finite" inputs
+    (fun i ->
+      check_catalog
+        (fun g v ->
+          (not (is_diff g)) || is_exponential g || Float.equal i.delta 0.
+          || Float.is_finite v)
+        "non-lateral not finite" i)
+
+(* The catalog itself: 21 classes, distinct names, and every schedule
+   length k positive — the invariants the table generators and the
+   portfolio CLI lean on. *)
+let prop_catalog_shape =
+  QCheck.Test.make ~count:100 ~name:"catalog has 21 distinctly-named classes"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 0 500))
+    (fun m ->
+      let cat = Gfun.catalog ~m in
+      let names = List.map Gfun.name cat in
+      List.length cat = 21
+      && List.length (List.sort_uniq compare names) = 21
+      && List.for_all (fun g -> Gfun.k g >= 1) cat)
+
+let tests =
+  [
+    prop_never_nan_non_negative;
+    prop_bounded_classes_within_unit;
+    prop_diff_lateral_is_plus_infinity;
+    prop_poly_diff_finite_off_plateau;
+    prop_catalog_shape;
+  ]

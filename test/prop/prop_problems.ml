@@ -1,0 +1,56 @@
+(* Contract properties over the real problem adapters, on random
+   instances from [Gen_instances]: for TSP tours, QAP assignments, and
+   netlist bipartitions,
+
+   - [apply] followed by [revert] restores the cost bit-for-bit (the
+     engines pair them LIFO and rely on exact restoration),
+   - enumerating [moves] does not disturb the state,
+   - the cost is always finite.
+
+   One polymorphic walker, three instantiations — the same shape the
+   engines' inner loop has. *)
+
+let walk (type s m) (module P : Mc_problem.S with type state = s and type move = m)
+    state rng ~steps =
+  let bits () = Int64.bits_of_float (P.cost state) in
+  let ok = ref (Float.is_finite (P.cost state)) in
+  for _ = 1 to steps do
+    let before = bits () in
+    let mv = P.random_move rng state in
+    P.apply state mv;
+    if not (Float.is_finite (P.cost state)) then ok := false;
+    P.revert state mv;
+    if bits () <> before then ok := false;
+    (* A full neighborhood enumeration must be a read-only affair. *)
+    Seq.iter ignore (P.moves state);
+    if bits () <> before then ok := false;
+    (* Take the move for real so the walk visits many states, not one. *)
+    P.apply state mv
+  done;
+  !ok
+
+let prop_tsp =
+  QCheck.Test.make ~count:200
+    ~name:"tsp 2-opt: apply/revert restores cost bit-for-bit"
+    Gen_instances.tsp_recipe
+    (fun r ->
+      walk (module Tsp_problem) (Gen_instances.make_tsp r)
+        (Gen_instances.walk_rng r) ~steps:30)
+
+let prop_qap =
+  QCheck.Test.make ~count:200
+    ~name:"qap swap: apply/revert restores cost bit-for-bit"
+    Gen_instances.qap_recipe
+    (fun r ->
+      walk (module Qap.Problem) (Gen_instances.make_qap r)
+        (Gen_instances.walk_rng r) ~steps:30)
+
+let prop_bipartition =
+  QCheck.Test.make ~count:200
+    ~name:"bipartition swap: apply/revert restores cost bit-for-bit"
+    Gen_instances.bipartition_recipe
+    (fun r ->
+      walk (module Partition_problem) (Gen_instances.make_bipartition r)
+        (Gen_instances.walk_rng r) ~steps:30)
+
+let tests = [ prop_tsp; prop_qap; prop_bipartition ]

@@ -1,0 +1,70 @@
+(* Properties of [Stats.Online.merge] (Chan et al.'s parallel Welford
+   update): merging accumulators must agree — within float tolerance —
+   with having streamed all samples through a single accumulator, and
+   must be commutative and associative.  These are exactly the
+   algebraic facts the parallel schedulers rely on when they combine
+   per-domain statistics in whatever order the workers finish. *)
+
+let samples =
+  QCheck.make
+    ~print:(fun xs ->
+      "[" ^ String.concat "; " (List.map (Printf.sprintf "%h") xs) ^ "]")
+    QCheck.Gen.(list_size (int_bound 40) (float_range (-1e6) 1e6))
+
+let of_list xs =
+  let o = Stats.Online.create () in
+  List.iter (Stats.Online.add o) xs;
+  o
+
+(* Relative tolerance: merging reassociates float additions, so exact
+   bit equality is not the contract — closeness is. *)
+let approx a b = Float.abs (a -. b) <= 1e-9 *. (1. +. Float.abs a +. Float.abs b)
+
+let agree a b =
+  Stats.Online.count a = Stats.Online.count b
+  && approx (Stats.Online.mean a) (Stats.Online.mean b)
+  && approx (Stats.Online.variance a) (Stats.Online.variance b)
+  && (Stats.Online.count a = 0
+     || Stats.Online.min a = Stats.Online.min b
+        && Stats.Online.max a = Stats.Online.max b)
+
+let prop_merge_matches_single_pass =
+  QCheck.Test.make ~count:1000
+    ~name:"merge(of xs, of ys) = of (xs @ ys) within tolerance"
+    (QCheck.pair samples samples)
+    (fun (xs, ys) ->
+      agree (Stats.Online.merge (of_list xs) (of_list ys)) (of_list (xs @ ys)))
+
+let prop_merge_commutative =
+  QCheck.Test.make ~count:1000 ~name:"merge is commutative"
+    (QCheck.pair samples samples)
+    (fun (xs, ys) ->
+      let a = of_list xs and b = of_list ys in
+      agree (Stats.Online.merge a b) (Stats.Online.merge b a))
+
+let prop_merge_associative =
+  QCheck.Test.make ~count:1000 ~name:"merge is associative within tolerance"
+    (QCheck.triple samples samples samples)
+    (fun (xs, ys, zs) ->
+      let a = of_list xs and b = of_list ys and c = of_list zs in
+      agree
+        (Stats.Online.merge (Stats.Online.merge a b) c)
+        (Stats.Online.merge a (Stats.Online.merge b c)))
+
+(* merge must also leave its arguments untouched — the schedulers
+   reuse per-domain accumulators after roll-up. *)
+let prop_merge_pure =
+  QCheck.Test.make ~count:500 ~name:"merge does not mutate its arguments"
+    (QCheck.pair samples samples)
+    (fun (xs, ys) ->
+      let a = of_list xs and b = of_list ys in
+      ignore (Stats.Online.merge a b);
+      agree a (of_list xs) && agree b (of_list ys))
+
+let tests =
+  [
+    prop_merge_matches_single_pass;
+    prop_merge_commutative;
+    prop_merge_associative;
+    prop_merge_pure;
+  ]

@@ -609,6 +609,57 @@ let test_integration_stats_add_up () =
     (s.Mc_problem.improving + s.Mc_problem.lateral_accepted + s.Mc_problem.uphill_accepted
    + s.Mc_problem.rejected)
 
+(* Figure 2's core claim (the invariant behind the strategy): an
+   uphill move is only ever taken from a local optimum, i.e. whenever
+   [Descent_done] fires with budget left the full [moves] neighborhood
+   holds nothing strictly better.  Probed from inside the observer —
+   the callback is synchronous, so [state] IS the engine's current
+   configuration at that instant.  A [Descent_done] emitted because
+   the budget died mid-scan makes no such claim and is skipped. *)
+let check_f2_local_optimum (type s m)
+    (module P : Mc_problem.S with type state = s and type move = m) ~seed
+    ~budget state =
+  let module E2 = Figure2.Make (P) in
+  let p =
+    E2.params ~gfun:always_uphill ~schedule:one_schedule
+      ~budget:(Budget.Evaluations budget) ()
+  in
+  let probed = ref 0 in
+  let observer =
+    Obs.Observer.of_fun (function
+      | Obs.Event.Descent_done { cost; evaluations } when evaluations < budget ->
+          incr probed;
+          Seq.iter
+            (fun m ->
+              P.apply state m;
+              let c = P.cost state in
+              P.revert state m;
+              if c < cost -. 1e-9 then
+                Alcotest.failf
+                  "descent %d: neighbor at cost %g beats the local optimum %g"
+                  !probed c cost)
+            (P.moves state)
+      | _ -> ())
+  in
+  ignore (E2.run ~observer (Rng.create ~seed) p state);
+  Alcotest.check Alcotest.bool "probed at least one completed descent" true
+    (!probed > 0)
+
+let test_f2_local_optimum_tsp () =
+  let rng = Rng.create ~seed:41 in
+  let inst = Tsp_instance.random_uniform rng ~n:9 in
+  check_f2_local_optimum
+    (module Tsp_problem)
+    ~seed:42 ~budget:3000 (Tour.random rng inst)
+
+let test_f2_local_optimum_bipartition () =
+  let rng = Rng.create ~seed:43 in
+  let nl = Netlist.random_gola rng ~elements:10 ~nets:30 in
+  check_f2_local_optimum
+    (module Partition_problem)
+    ~seed:44 ~budget:3000
+    (Bipartition.random_balanced rng nl)
+
 let prop_best_never_exceeds_initial =
   QCheck.Test.make ~name:"qcheck: Figure 1 best never exceeds the initial cost"
     QCheck.(triple int (int_range 0 200) (int_range 1 500))
@@ -667,6 +718,9 @@ let suite =
     case "figure2: stops when schedule done" test_f2_stops_when_schedule_done;
     case "figure2: restart consumes budget" test_f2_restart_consumes_budget;
     case "figure2: deterministic" test_f2_deterministic;
+    case "figure2: uphill only from a TSP local optimum" test_f2_local_optimum_tsp;
+    case "figure2: uphill only from a bipartition local optimum"
+      test_f2_local_optimum_bipartition;
     case "rejectionless: descends" test_rl_descends;
     case "rejectionless: freezes and stops" test_rl_freezes_and_stops;
     case "rejectionless: every step moves" test_rl_every_step_moves;

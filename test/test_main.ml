@@ -18,6 +18,7 @@ let () =
       ("floorplan", Test_floorplan.suite);
       ("qap", Test_qap.suite);
       ("resilience", Test_resilience.suite);
+      ("portfolio", Test_portfolio.suite);
       ("integration", Test_integration.suite);
       ("golden", Test_golden.suite);
       ("lint", Test_lint.suite);
