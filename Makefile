@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test test-stress lint bench bench-quick bench-smoke perf chaos examples doc clean
+.PHONY: all build test test-stress lint bench bench-quick bench-smoke perf chaos top flame examples doc clean
 
 all: build
 
@@ -64,6 +64,28 @@ chaos:
 	dune exec bin/sa_lab.exe -- supervise chaos_inst.net --runs 4 -n 20000 \
 	  --chaos raise-cost --chaos-attempts 1 --report chaos_report.json
 	dune exec bench/check_json.exe -- chaos_report.json
+
+# Live dashboard for a run started with --telemetry-port (default 9090;
+# override with TELEMETRY_PORT=...).
+TELEMETRY_PORT ?= 9090
+top:
+	dune exec bin/sa_lab.exe -- top --port $(TELEMETRY_PORT)
+
+# Deterministic sampling profile of a portfolio race on a generated
+# TSP, rendered to flame.svg if a folded-stack renderer is on PATH
+# (inferno-flamegraph or flamegraph.pl); otherwise the .folded file is
+# the artifact.
+flame:
+	dune exec bin/sa_lab.exe -- generate --seed 7 -e 40 --nets 220 > flame_inst.net
+	dune exec bin/sa_lab.exe -- run flame_inst.net -n 200000 \
+	  --profile sa_lab.folded
+	@if command -v inferno-flamegraph >/dev/null 2>&1; then \
+	  inferno-flamegraph sa_lab.folded > flame.svg && echo "wrote flame.svg"; \
+	elif command -v flamegraph.pl >/dev/null 2>&1; then \
+	  flamegraph.pl sa_lab.folded > flame.svg && echo "wrote flame.svg"; \
+	else \
+	  echo "no flamegraph renderer found; folded stacks in sa_lab.folded"; \
+	fi
 
 examples:
 	@for e in quickstart gola_study nola_goto tsp_compare partition_demo \

@@ -8,17 +8,67 @@
    - sa-lab/checkpoint/v1        (sa_lab run --checkpoint; resilience-smoke)
    - sa-lab/supervisor-report/v1 (sa_lab supervise --report; resilience-smoke)
    - sa-lab/portfolio-report/v1  (sa_lab portfolio --report; portfolio-smoke)
+   - sa-lab/telemetry/v1         (the /runs endpoint; telemetry-smoke)
 
    Run by `dune runtest` through the aliases, so a regression that
    breaks any machine-readable output fails the tier-1 gate. *)
 
 let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("check_json: " ^ msg); exit 1) fmt
 
+(* The sampling-profiler summary embedded in bench results.  The
+   profiler is evaluation-driven, so its arithmetic is exact: samples
+   is events / cadence (integer division), and the per-span self
+   samples can never exceed the total. *)
+let check_profile path p =
+  let field name =
+    match Obs.Json.member name p with
+    | Some v -> v
+    | None -> fail "%s: profile missing field %S" path name
+  in
+  let int_field name =
+    match Obs.Json.to_int (field name) with
+    | Some v -> v
+    | None -> fail "%s: profile.%s is not an integer" path name
+  in
+  let cadence = int_field "cadence" in
+  if cadence <= 0 then fail "%s: profile.cadence = %d is not positive" path cadence;
+  let events = int_field "events" in
+  if events < 0 then fail "%s: profile.events is negative" path;
+  let samples = int_field "samples" in
+  if samples <> events / cadence then
+    fail "%s: profile.samples = %d but %d events at cadence %d predict %d" path
+      samples events cadence (events / cadence);
+  match field "spans" with
+  | Obs.Json.List spans ->
+      let self_total = ref 0 in
+      List.iteri
+        (fun i s ->
+          let sfield name =
+            match Obs.Json.member name s with
+            | Some v -> v
+            | None -> fail "%s: profile.spans[%d] missing field %S" path i name
+          in
+          (match sfield "span" with
+          | Obs.Json.String name when name <> "" -> ()
+          | _ -> fail "%s: profile.spans[%d].span is not a non-empty string" path i);
+          match Obs.Json.to_int (sfield "self") with
+          | Some c when c > 0 -> self_total := !self_total + c
+          | _ ->
+              fail "%s: profile.spans[%d].self is not a positive integer" path i)
+        spans;
+      if !self_total > samples then
+        fail "%s: profile.spans claim %d self samples but only %d were taken"
+          path !self_total samples;
+      if samples > 0 && spans = [] then
+        fail "%s: profile took %d samples but lists no spans" path samples
+  | _ -> fail "%s: profile.spans is not a list" path
+
 let check_bench path member =
   (match Obs.Json.to_float (member "engine_evals_per_sec") with
   | Some v when v > 0. && Float.is_finite v -> ()
   | Some v -> fail "%s: engine_evals_per_sec = %g is not positive" path v
   | None -> fail "%s: engine_evals_per_sec is not a number" path);
+  check_profile path (member "profile");
   (match Obs.Json.to_float (member "scale") with
   | Some _ -> ()
   | None -> fail "%s: scale is not a number" path);
@@ -360,6 +410,85 @@ let check_portfolio_report path member =
           winner_label
   | _ -> fail "%s: rounds is not a list" path
 
+(* The /runs snapshot.  Every run slot must be internally coherent
+   (status from the fixed vocabulary, counters non-negative, accepted
+   never ahead of proposed) and the optional pool block must list one
+   entry per worker for every counter. *)
+let check_telemetry path json member =
+  (match member "runs" with
+  | Obs.Json.List [] -> fail "%s: runs is empty" path
+  | Obs.Json.List runs ->
+      List.iteri
+        (fun i r ->
+          let field name =
+            match Obs.Json.member name r with
+            | Some v -> v
+            | None -> fail "%s: runs[%d] missing field %S" path i name
+          in
+          let non_negative_int name =
+            match Obs.Json.to_int (field name) with
+            | Some v when v >= 0 -> v
+            | _ -> fail "%s: runs[%d].%s is not a non-negative integer" path i name
+          in
+          (match field "label" with
+          | Obs.Json.String l when l <> "" -> ()
+          | _ -> fail "%s: runs[%d].label is not a non-empty string" path i);
+          (match field "status" with
+          | Obs.Json.String ("pending" | "running" | "done" | "culled") -> ()
+          | Obs.Json.String s ->
+              fail "%s: runs[%d].status %S is not pending/running/done/culled"
+                path i s
+          | _ -> fail "%s: runs[%d].status is not a string" path i);
+          let _ = non_negative_int "rung" in
+          let _ = non_negative_int "temp" in
+          let _ = non_negative_int "evaluations" in
+          let proposed = non_negative_int "proposed" in
+          let accepted = non_negative_int "accepted" in
+          if accepted > proposed then
+            fail "%s: runs[%d] accepted %d proposals but only %d were proposed"
+              path i accepted proposed;
+          List.iter
+            (fun name ->
+              match field name with
+              | Obs.Json.Int _ | Obs.Json.Float _ | Obs.Json.Null -> ()
+              | _ -> fail "%s: runs[%d].%s is not a number or null" path i name)
+            [ "y"; "best_cost"; "current_cost" ];
+          match Obs.Json.to_float (field "seconds") with
+          | Some s when s >= 0. && Float.is_finite s -> ()
+          | _ -> fail "%s: runs[%d].seconds is not a non-negative number" path i)
+        runs
+  | _ -> fail "%s: runs is not a list" path);
+  match Obs.Json.member "pool" json with
+  | None -> ()
+  | Some pool ->
+      let pfield name =
+        match Obs.Json.member name pool with
+        | Some v -> v
+        | None -> fail "%s: pool missing field %S" path name
+      in
+      let workers =
+        match Obs.Json.to_int (pfield "workers") with
+        | Some w when w >= 1 -> w
+        | _ -> fail "%s: pool.workers is not a positive integer" path
+      in
+      List.iter
+        (fun name ->
+          match pfield name with
+          | Obs.Json.List cells when List.length cells = workers ->
+              List.iteri
+                (fun w c ->
+                  match Obs.Json.to_float c with
+                  | Some v when v >= 0. && Float.is_finite v -> ()
+                  | _ ->
+                      fail "%s: pool.%s[%d] is not a non-negative number" path
+                        name w)
+                cells
+          | Obs.Json.List cells ->
+              fail "%s: pool.%s lists %d entries for %d workers" path name
+                (List.length cells) workers
+          | _ -> fail "%s: pool.%s is not a list" path name)
+        [ "tasks_run"; "steals"; "queue_depth"; "busy_seconds"; "idle_seconds" ]
+
 let () =
   let path =
     match Sys.argv with
@@ -397,5 +526,6 @@ let () =
   | "sa-lab/checkpoint/v1" -> check_checkpoint path
   | "sa-lab/supervisor-report/v1" -> check_supervisor_report path member
   | "sa-lab/portfolio-report/v1" -> check_portfolio_report path member
+  | "sa-lab/telemetry/v1" -> check_telemetry path json member
   | other -> fail "%s: unknown schema %S" path other);
   Printf.printf "check_json: %s ok (%s)\n" path schema

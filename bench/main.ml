@@ -59,6 +59,7 @@ let micro_results = ref ([] : Obs.Json.t list)
 let delta_results = ref ([] : Obs.Json.t list)
 let scaling_results = ref ([] : Obs.Json.t list)
 let engine_evals_per_sec = ref 0.
+let profile_summary = ref Obs.Json.Null
 
 (* Per-table roll-up: wall time plus the spread of the numeric cells
    (for the reproduction tables those are costs/densities, so min and
@@ -103,6 +104,7 @@ let write_json () =
         ("scale", Obs.Json.Float !scale);
         ("seed", Obs.Json.Int !seed);
         ("engine_evals_per_sec", Obs.Json.Float !engine_evals_per_sec);
+        ("profile", !profile_summary);
         ("tables_skipped", Obs.Json.Bool !skip_tables);
         ("tables", Obs.Json.List (List.rev !table_summaries));
         ("micro", Obs.Json.List (List.rev !micro_results));
@@ -621,9 +623,34 @@ let measure_throughput () =
     "figure1/six-temp-annealing, %d evaluations, null observer: %.4g evals/sec (%.3f s wall)\n"
     done_evals !engine_evals_per_sec dt
 
+(* The same walk under the sampling profiler.  Sampling is keyed to
+   the evaluation counter, so under this fixed seed the sample count
+   is exactly evals / cadence and the per-span split is reproducible
+   run over run; check_json verifies that arithmetic on the summary
+   embedded in the JSON. *)
+let run_profile () =
+  section "Sampling profiler";
+  let evals = 20_000 in
+  let state = Arrangement.copy bench_start in
+  let p =
+    F1.params ~gfun:Gfun.six_temp_annealing
+      ~schedule:(Schedule.geometric ~y1:3. ~ratio:0.9 ~k:6)
+      ~budget:(Budget.Evaluations evals) ()
+  in
+  let prof = Telemetry_profile.create () in
+  ignore (F1.run ~observer:(Telemetry_profile.observer prof) (Rng.create ~seed:21) p state);
+  Printf.printf
+    "figure1/six-temp-annealing, %d evaluations: %d samples (cadence %d)\n"
+    evals (Telemetry_profile.samples prof) (Telemetry_profile.cadence prof);
+  List.iter
+    (fun (span, self) -> Printf.printf "  %-24s %6d self samples\n" span self)
+    (Telemetry_profile.self_by_span prof);
+  profile_summary := Telemetry_profile.summary prof
+
 let () =
   if not !skip_tables then print_tables ();
   measure_throughput ();
+  run_profile ();
   run_delta_comparison ();
   run_portfolio_scaling ();
   if not !skip_micro then run_micro ();

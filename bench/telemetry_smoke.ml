@@ -1,0 +1,107 @@
+(* Telemetry smoke, wired into `dune runtest` via the telemetry-smoke
+   alias: a real 2-domain portfolio sweep with the whole telemetry
+   bundle attached and the HTTP listener live, then every endpoint is
+   scraped over a real socket:
+
+   - /healthz must answer "ok";
+   - /metrics must carry the expected Prometheus families (engine
+     counters, a histogram with its +Inf bucket, per-worker pool
+     gauges);
+   - /runs is saved to telemetry_smoke.json, which the rule then
+     feeds to check_json (schema sa-lab/telemetry/v1);
+   - `sa_lab top --once` (the executable's path arrives as argv 1
+     from the dune rule) must scrape the same live server and exit 0.
+
+   Everything runs in one process except the `top` child, so the
+   smoke needs no free-port coordination: the server binds an
+   ephemeral port and the test reads the choice back. *)
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("telemetry-smoke: " ^ msg);
+      exit 1)
+    fmt
+
+let contains hay needle =
+  let h = String.length hay and n = String.length needle in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let scrape ~port path =
+  match Telemetry_http.get ~port path with
+  | Ok (200, body) -> body
+  | Ok (status, _) -> fail "GET %s: status %d, want 200" path status
+  | Error msg -> fail "GET %s: %s" path msg
+
+let () =
+  let sa_lab =
+    match Sys.argv with
+    | [| _; exe |] -> exe
+    | _ -> fail "usage: telemetry_smoke SA_LAB_EXE"
+  in
+  let inst = Tsp_instance.random_uniform (Rng.create ~seed:60) ~n:80 in
+  let job label y =
+    Portfolio.Job.figure1
+      (module Tsp_problem)
+      ~delta_ops:Tsp_problem.delta_ops ~label ~gfun:Gfun.metropolis
+      ~schedule:(Schedule.of_array [| y |])
+      ~make_state:(fun rng -> Tour.random rng inst)
+      ()
+  in
+  let jobs = [ job "tsp-t0.1" 0.1; job "tsp-t0.3" 0.3; job "tsp-t1.0" 1.0 ] in
+  let workers = 2 in
+  let pool_stats = Pool.Stats.create ~clock:Obs.now ~workers () in
+  let tele =
+    Telemetry.create ~pool_stats ~workers
+      ~labels:(List.map Portfolio.Job.label jobs)
+      ()
+  in
+  let server = Telemetry_http.start ~handler:(Telemetry.handler tele) () in
+  let port = Telemetry_http.port server in
+  Fun.protect
+    ~finally:(fun () -> Telemetry_http.stop server)
+    (fun () ->
+      (* Before any job runs: endpoints already answer, all Pending. *)
+      if scrape ~port "/healthz" <> "ok\n" then fail "/healthz is not ok";
+      if not (contains (scrape ~port "/runs") "\"pending\"") then
+        fail "/runs before the sweep should report pending jobs";
+      let report =
+        Portfolio.sweep ~domains:workers
+          ~observer:(Telemetry.standings_observer tele)
+          ~job_observer:(Telemetry.job_observer tele)
+          ~pool_stats (Rng.create ~seed:61)
+          ~budget:(Budget.Evaluations 5_000) jobs
+      in
+      Printf.printf "sweep winner: %s\n"
+        report.Portfolio.winner.Portfolio.label;
+      let metrics = scrape ~port "/metrics" in
+      List.iter
+        (fun family ->
+          if not (contains metrics family) then
+            fail "/metrics is missing %S" family)
+        [
+          "sa_lab_proposed_total";
+          "le=\"+Inf\"";
+          "sa_lab_pool_tasks_run{worker=\"0\"}";
+          "sa_lab_pool_tasks_run{worker=\"1\"}";
+          "sa_lab_pool_idle_seconds{worker=\"0\"}";
+        ];
+      let runs = scrape ~port "/runs" in
+      if not (contains runs "\"sa-lab/telemetry/v1\"") then
+        fail "/runs is missing the schema tag";
+      if contains runs "\"pending\"" then
+        fail "/runs still reports pending jobs after the sweep";
+      let oc = open_out "telemetry_smoke.json" in
+      output_string oc runs;
+      close_out oc;
+      (* The dashboard against the same live server. *)
+      let argv = [| sa_lab; "top"; "--once"; "--port"; string_of_int port |] in
+      let pid =
+        Unix.create_process sa_lab argv Unix.stdin Unix.stdout Unix.stderr
+      in
+      match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> print_endline "telemetry-smoke: ok"
+      | _, Unix.WEXITED n -> fail "sa_lab top --once exited %d" n
+      | _, (Unix.WSIGNALED n | Unix.WSTOPPED n) ->
+          fail "sa_lab top --once killed by signal %d" n)

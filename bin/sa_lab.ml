@@ -644,6 +644,36 @@ let info_cmd =
   Cmd.v (Cmd.info "info" ~doc:"Summarize a netlist file.") Term.(const run $ file)
 
 (* ---------------------------------------------------------------- *)
+(* telemetry plumbing (run, portfolio, top)                          *)
+(* ---------------------------------------------------------------- *)
+
+(* Start the exposition server when --telemetry-port is given and
+   guarantee it is torn down on every exit path (normal, abort,
+   SIGINT/SIGTERM unwinding).  The bundle only observes the event
+   stream, so results and reports are byte-identical either way. *)
+let with_telemetry ?port ?pool_stats ~workers ~labels f =
+  match port with
+  | None -> f None
+  | Some port ->
+      let tele = Telemetry.create ?pool_stats ~workers ~labels () in
+      let server =
+        Telemetry_http.start ~port ~handler:(Telemetry.handler tele) ()
+      in
+      Printf.eprintf "telemetry: http://127.0.0.1:%d (/metrics /runs /healthz)\n%!"
+        (Telemetry_http.port server);
+      Fun.protect
+        ~finally:(fun () -> Telemetry_http.stop server)
+        (fun () -> f (Some tele))
+
+let telemetry_port_arg =
+  Arg.(value & opt (some int) None & info [ "telemetry-port" ] ~docv:"PORT"
+         ~doc:"Serve live telemetry over HTTP on 127.0.0.1:$(docv) while the
+               run is in flight: $(b,/metrics) (Prometheus text),
+               $(b,/runs) (sa-lab/telemetry/v1 JSON), $(b,/healthz).
+               Port 0 picks a free port (printed to stderr).  Results are
+               byte-identical with or without this flag.")
+
+(* ---------------------------------------------------------------- *)
 (* run (checkpointable figure1) and supervise                        *)
 (* ---------------------------------------------------------------- *)
 
@@ -700,7 +730,14 @@ let run_cmd =
   let stats =
     Arg.(value & flag & info [ "stats" ] ~doc:"Print the run's engine statistics.")
   in
-  let run file method_ evals base seed checkpoint every resume stats =
+  let profile =
+    Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE.folded"
+           ~doc:"Sample the engine span stack every 97th evaluation
+                 (deterministic under a fixed seed) and write folded-stack
+                 lines to $(docv) for flamegraph.pl / speedscope.")
+  in
+  let run file method_ evals base seed checkpoint every resume stats
+      telemetry_port profile =
     match read_netlist file with
     | Error msg ->
         prerr_endline msg;
@@ -766,7 +803,9 @@ let run_cmd =
               in
               match restored with
               | Error code -> code
-              | Ok (resume_arg, state, rng) -> (
+              | Ok (resume_arg, state, rng) ->
+                  with_telemetry ?port:telemetry_port ~workers:1
+                    ~labels:[ "run" ] (fun tele ->
                   (* Report the run's original starting point, not the
                      resume point, so resumed output matches the
                      uninterrupted run byte-for-byte. *)
@@ -774,6 +813,18 @@ let run_cmd =
                     match resume_arg with
                     | Some (snap, _) -> int_of_float snap.Figure1.initial_cost
                     | None -> Arrangement.density state
+                  in
+                  let profiler = Option.map (fun _ -> Telemetry_profile.create ()) profile in
+                  let observer =
+                    Obs.Observer.tee
+                      ((match tele with
+                       | Some t ->
+                           [ Telemetry.job_observer t ~worker:0 ~job:0 ~label:"run" ]
+                       | None -> [])
+                      @
+                      match profiler with
+                      | Some p -> [ Telemetry_profile.observer p ]
+                      | None -> [])
                   in
                   let finish result =
                     Printf.printf "initial density: %d\n" initial;
@@ -783,17 +834,23 @@ let run_cmd =
                       result.Mc_problem.final_cost;
                     if stats then
                       Format.printf "%a@." Mc_problem.pp_stats
-                        result.Mc_problem.stats
+                        result.Mc_problem.stats;
+                    match (profiler, profile) with
+                    | Some p, Some path ->
+                        Telemetry_profile.write_folded p path;
+                        Printf.eprintf "profile: %d samples -> %s\n"
+                          (Telemetry_profile.samples p) path
+                    | _ -> ()
                   in
                   let run_engine () =
                     match (checkpoint, resume_arg) with
-                    | None, _ -> Engine1.run rng params state
+                    | None, _ -> Engine1.run ~observer rng params state
                     | Some path, None ->
-                        Engine1.run
+                        Engine1.run ~observer
                           ~checkpoint_every:every
                           ~on_checkpoint:(on_checkpoint path) rng params state
                     | Some path, Some r ->
-                        Engine1.run
+                        Engine1.run ~observer
                           ~checkpoint_every:every
                           ~on_checkpoint:(on_checkpoint path) ~resume:r rng
                           params state
@@ -825,7 +882,7 @@ let run_cmd =
     (Cmd.info "run"
        ~doc:"Minimize density with the Figure 1 engine, with checkpoint/resume.")
     Term.(const run $ file $ method_ $ evals $ base $ seed $ checkpoint $ every
-          $ resume $ stats)
+          $ resume $ stats $ telemetry_port_arg $ profile)
 
 (* ---------------------------------------------------------------- *)
 (* supervise                                                         *)
@@ -1041,7 +1098,7 @@ let portfolio_cmd =
            ~doc:"Write the sa-lab/portfolio-report/v1 JSON to $(docv).")
   in
   let run file cities mode initial_evals domains base seed deadline
-      report_file =
+      report_file telemetry_port =
     let jobs_or_error =
       match file with
       | Some path -> (
@@ -1084,13 +1141,26 @@ let portfolio_cmd =
     | Ok jobs -> (
         let rng = Rng.create ~seed:(seed + 1) in
         let budget = Budget.Evaluations initial_evals in
+        let workers = max 1 (min domains (List.length jobs)) in
+        let pool_stats =
+          Option.map
+            (fun _ -> Pool.Stats.create ~clock:Obs.now ~workers ())
+            telemetry_port
+        in
         match
-          match mode with
-          | `Race ->
-              Portfolio.race ~domains
-                ?deadline:(Option.map (fun n -> Budget.Evaluations n) deadline)
-                rng ~initial_budget:budget jobs
-          | `Sweep -> Portfolio.sweep ~domains rng ~budget jobs
+          with_telemetry ?port:telemetry_port ?pool_stats ~workers
+            ~labels:(List.map Portfolio.Job.label jobs) (fun tele ->
+              let observer = Option.map Telemetry.standings_observer tele in
+              let job_observer = Option.map Telemetry.job_observer tele in
+              match mode with
+              | `Race ->
+                  Portfolio.race ~domains ?observer ?job_observer ?pool_stats
+                    ?deadline:
+                      (Option.map (fun n -> Budget.Evaluations n) deadline)
+                    rng ~initial_budget:budget jobs
+              | `Sweep ->
+                  Portfolio.sweep ~domains ?observer ?job_observer ?pool_stats
+                    rng ~budget jobs)
         with
         | exception Invalid_argument msg ->
             prerr_endline msg;
@@ -1137,7 +1207,190 @@ let portfolio_cmd =
              other (successive halving or a full sweep), optionally on
              several domains.")
     Term.(const run $ file $ cities $ mode $ initial_evals $ domains $ base
-          $ seed $ deadline $ report_file)
+          $ seed $ deadline $ report_file $ telemetry_port_arg)
+
+(* ---------------------------------------------------------------- *)
+(* top                                                               *)
+(* ---------------------------------------------------------------- *)
+
+(* Lenient JSON field accessors for the /runs snapshot: a field a
+   newer server omits (or renders null) degrades to a placeholder
+   instead of killing the dashboard. *)
+let jint name j =
+  match Obs.Json.member name j with
+  | Some v -> Option.value ~default:0 (Obs.Json.to_int v)
+  | None -> 0
+
+let jfloat name j = Option.bind (Obs.Json.member name j) Obs.Json.to_float
+let jstr name j =
+  match Obs.Json.member name j with Some (Obs.Json.String s) -> s | _ -> ""
+
+let top_render_runs buf prev now j =
+  let runs =
+    match Obs.Json.member "runs" j with Some (Obs.Json.List l) -> l | _ -> []
+  in
+  Printf.bprintf buf "%-28s %-8s %4s %4s %10s %10s %6s %9s\n" "JOB" "STATUS"
+    "RUNG" "TEMP" "BEST" "CURRENT" "ACC%" "STEPS/S";
+  List.iter
+    (fun slot ->
+      let label = jstr "label" slot in
+      let evals = jint "evaluations" slot in
+      let proposed = jint "proposed" slot in
+      let accepted = jint "accepted" slot in
+      let fmt_cost = function Some c -> Printf.sprintf "%10.2f" c | None -> "         -" in
+      let acc =
+        if proposed = 0 then "     -"
+        else Printf.sprintf "%5.1f%%" (100. *. float_of_int accepted /. float_of_int proposed)
+      in
+      let rate =
+        match Hashtbl.find_opt prev label with
+        | Some (e0, t0) when now > t0 && evals >= e0 ->
+            Printf.sprintf "%9.0f" (float_of_int (evals - e0) /. (now -. t0))
+        | _ -> "        -"
+      in
+      Hashtbl.replace prev label (evals, now);
+      Printf.bprintf buf "%-28s %-8s %4d %4d %s %s %s %s\n"
+        (if String.length label > 28 then String.sub label 0 28 else label)
+        (jstr "status" slot) (jint "rung" slot) (jint "temp" slot)
+        (fmt_cost (jfloat "best_cost" slot))
+        (fmt_cost (jfloat "current_cost" slot))
+        acc rate)
+    runs;
+  match Obs.Json.member "pool" j with
+  | None -> ()
+  | Some pool ->
+      let ints name =
+        match Obs.Json.member name pool with
+        | Some (Obs.Json.List l) ->
+            List.map (fun v -> Option.value ~default:0 (Obs.Json.to_int v)) l
+        | _ -> []
+      in
+      let floats name =
+        match Obs.Json.member name pool with
+        | Some (Obs.Json.List l) ->
+            List.map (fun v -> Option.value ~default:0. (Obs.Json.to_float v)) l
+        | _ -> []
+      in
+      let tasks = ints "tasks_run" and steals = ints "steals" in
+      let depth = ints "queue_depth" in
+      let busy = floats "busy_seconds" and idle = floats "idle_seconds" in
+      Buffer.add_string buf "\nPOOL\n";
+      List.iteri
+        (fun w t ->
+          let nth l = List.nth_opt l w in
+          Printf.bprintf buf
+            "  worker %d: tasks %4d  steals %4d  queued %4d  busy %8.2fs  idle %8.2fs\n"
+            w t
+            (Option.value ~default:0 (nth steals))
+            (Option.value ~default:0 (nth depth))
+            (Option.value ~default:0. (nth busy))
+            (Option.value ~default:0. (nth idle)))
+        tasks
+
+(* A couple of headline counters scraped from the Prometheus text, so
+   top exercises both endpoints the way a real scrape pipeline does. *)
+let top_render_metrics buf body =
+  let lines = String.split_on_char '\n' body in
+  let value_of prefix line =
+    if String.length line > String.length prefix
+       && String.equal (String.sub line 0 (String.length prefix)) prefix
+    then
+      match String.rindex_opt line ' ' with
+      | Some i ->
+          Some (String.sub line (i + 1) (String.length line - i - 1))
+      | None -> None
+    else None
+  in
+  let proposed =
+    List.find_map (value_of "sa_lab_proposed_total ") lines
+  in
+  let moves =
+    List.filter_map
+      (fun l ->
+        match value_of "sa_lab_move_" l with
+        | Some v when not (String.contains l '#') ->
+            (* "sa_lab_move_2opt_total 123" -> ("2opt", "123") *)
+            let rest = String.sub l 12 (String.length l - 12) in
+            Option.map
+              (fun i -> (String.sub rest 0 i, v))
+              (String.index_opt rest ' ')
+        | _ -> None)
+      lines
+  in
+  (match proposed with
+  | Some p -> Printf.bprintf buf "\nMETRICS  proposed %s" p
+  | None -> ());
+  List.iter (fun (m, v) -> Printf.bprintf buf "  %s %s" m v) moves;
+  if proposed <> None || moves <> [] then Buffer.add_char buf '\n'
+
+let top_cmd =
+  let port =
+    Arg.(required & opt (some int) None & info [ "port"; "p" ] ~docv:"PORT"
+           ~doc:"Telemetry port of the run to watch (the $(b,--telemetry-port)
+                 of a live $(b,run) or $(b,portfolio)).")
+  in
+  let host =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST"
+           ~doc:"Telemetry host.")
+  in
+  let interval =
+    Arg.(value & opt float 1.0 & info [ "interval"; "i" ] ~docv:"SECONDS"
+           ~doc:"Seconds between refreshes.")
+  in
+  let once =
+    Arg.(value & flag & info [ "once" ]
+           ~doc:"Render a single frame and exit (no screen clearing);
+                 non-zero exit if the endpoints cannot be scraped.")
+  in
+  let run port host interval once =
+    let prev = Hashtbl.create 32 in
+    let frame n =
+      match Telemetry_http.get ~host ~port "/runs" with
+      | Error msg -> Error msg
+      | Ok (status, _) when status <> 200 ->
+          Error (Printf.sprintf "/runs: HTTP %d" status)
+      | Ok (_, body) -> (
+          match Obs.Json.parse body with
+          | Error msg -> Error ("bad /runs JSON: " ^ msg)
+          | Ok j ->
+              let buf = Buffer.create 1024 in
+              if not once then Buffer.add_string buf "\027[2J\027[H";
+              Printf.bprintf buf "sa_lab top — %s:%d  (frame %d)\n\n" host port n;
+              top_render_runs buf prev (Unix.gettimeofday ()) j;
+              (match Telemetry_http.get ~host ~port "/metrics" with
+              | Ok (200, metrics) -> top_render_metrics buf metrics
+              | Ok _ | Error _ -> ());
+              print_string (Buffer.contents buf);
+              flush stdout;
+              Ok ())
+    in
+    if once then (
+      match frame 1 with
+      | Ok () -> 0
+      | Error msg ->
+          prerr_endline msg;
+          1)
+    else begin
+      Sys.catch_break true;
+      (try
+         let n = ref 0 in
+         while true do
+           incr n;
+           (match frame !n with
+           | Ok () -> ()
+           | Error msg -> Printf.printf "waiting for telemetry: %s\n%!" msg);
+           Unix.sleepf interval
+         done
+       with Sys.Break -> print_newline ());
+      0
+    end
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Live terminal view of a telemetry-enabled run: per-job
+             temperature, best/current cost, acceptance rate, steps/sec,
+             and per-worker pool counters, refreshed in place.")
+    Term.(const run $ port $ host $ interval $ once)
 
 (* ---------------------------------------------------------------- *)
 (* floorplan                                                         *)
@@ -1203,6 +1456,6 @@ let () =
        (Cmd.group info
           [
             tables_cmd; solve_cmd; run_cmd; supervise_cmd; trace_cmd;
-            portfolio_cmd; generate_cmd; goto_cmd; tsp_cmd; partition_cmd;
-            route_cmd; floorplan_cmd; info_cmd;
+            portfolio_cmd; top_cmd; generate_cmd; goto_cmd; tsp_cmd;
+            partition_cmd; route_cmd; floorplan_cmd; info_cmd;
           ]))

@@ -60,6 +60,10 @@ module Make (P : Mc_problem.S) = struct
       ?resume ?delta_ops rng p state =
     let observing = Obs.Observer.enabled observer in
     let emit ev = Obs.Observer.emit observer ev in
+    (* Span-stack floor: an abnormal exit unwinds (without emitting) to
+       here, so an aborted run cannot leak frames into the next run on
+       this domain. *)
+    let span_depth0 = Obs.Span.depth () in
     let k = Gfun.k p.gfun in
     (match checkpoint_every with
     | Some n when n <= 0 -> invalid_arg "Figure1.run: checkpoint_every <= 0"
@@ -133,7 +137,10 @@ module Make (P : Mc_problem.S) = struct
           };
       }
     in
-    let abort reason = raise (Aborted { reason; partial = partial () }) in
+    let abort reason =
+      Obs.Span.unwind_to span_depth0;
+      raise (Aborted { reason; partial = partial () })
+    in
     let last_ckpt = ref s0.ticks in
     let fire_checkpoint () =
       match on_checkpoint with
@@ -170,28 +177,29 @@ module Make (P : Mc_problem.S) = struct
       | None -> ()
     in
     let run_t0 = if observing then Obs.now () else 0. in
-    let epoch_t0 = ref run_t0 in
-    let close_epoch t =
-      if observing then begin
-        let t1 = Obs.now () in
-        emit
-          (Obs.Event.Span
-             { name = Printf.sprintf "temp:%d" t; seconds = t1 -. !epoch_t0 });
-        epoch_t0 := t1
-      end
-    in
     let enter_temp t =
       if observing then
         emit (Obs.Event.Temp_advance { temp = t; y = Schedule.get p.schedule t })
     in
     if observing then emit (Obs.Event.Run_start { cost = !hi });
+    (* Temperature epochs are proper [Obs.Span]s now (one "run" root,
+       one "temp:<i>" child per epoch), so the per-domain span stack —
+       what the sampling profiler reads — names the phase every
+       evaluation belongs to.  The emitted Span events keep their old
+       names and order; only the [t0] of each epoch moves from the
+       previous epoch's close to its own open (the same instant, one
+       [Obs.now] call apart). *)
+    let run_span = Obs.Span.enter observer "run" in
     enter_temp !temp;
+    let epoch = ref (Obs.Span.enter observer (Printf.sprintf "temp:%d" !temp)) in
+    let close_epoch () = Obs.Span.exit observer !epoch in
     let advance_temp () =
-      close_epoch !temp;
+      close_epoch ();
       incr temp;
       counter := 0;
       accepted_at_temp := 0;
-      enter_temp !temp
+      enter_temp !temp;
+      epoch := Obs.Span.enter observer (Printf.sprintf "temp:%d" !temp)
     in
     let accept hj =
       (* Classify by comparison and only materialise the delta when an
@@ -320,7 +328,7 @@ module Make (P : Mc_problem.S) = struct
             if observing then
               emit
                 (Obs.Event.Proposed
-                   { evaluation = Budget.ticks clock; cost = hj });
+                   { evaluation = Budget.ticks clock; cost = hj; kind = None });
             if decide hj then accept hj else reject m hj
         | Some d ->
             (* Fast path: price the move without touching the state, so
@@ -341,7 +349,11 @@ module Make (P : Mc_problem.S) = struct
             if observing then
               emit
                 (Obs.Event.Proposed
-                   { evaluation = Budget.ticks clock; cost = hj });
+                   {
+                     evaluation = Budget.ticks clock;
+                     cost = hj;
+                     kind = d.Mc_problem.kind;
+                   });
             if decide hj then begin
               (try d.Mc_problem.commit state m with e -> abort e);
               accept hj
@@ -357,7 +369,8 @@ module Make (P : Mc_problem.S) = struct
     (* A final fire guarantees the checkpoint file exists (and is
        marked complete) even for runs shorter than the interval. *)
     if Budget.ticks clock <> !last_ckpt then fire_checkpoint ();
-    close_epoch !temp;
+    close_epoch ();
+    Obs.Span.exit observer run_span;
     if observing then
       emit
         (Obs.Event.Run_end

@@ -33,6 +33,7 @@ module Make (P : Mc_problem.S) = struct
   let run ?(observer = Obs.Observer.null) ?delta_ops rng p state =
     let observing = Obs.Observer.enabled observer in
     let emit ev = Obs.Observer.emit observer ev in
+    let span_depth0 = Obs.Span.depth () in
     let k = Gfun.k p.gfun in
     let clock = Budget.start p.budget in
     let h0 = P.cost state in
@@ -51,6 +52,7 @@ module Make (P : Mc_problem.S) = struct
     (* Abnormal exits carry the best-so-far out; the walk state is
        restored (half-evaluated move reverted) before the raise. *)
     let abort reason =
+      Obs.Span.unwind_to span_depth0;
       raise
         (Aborted
            {
@@ -98,6 +100,7 @@ module Make (P : Mc_problem.S) = struct
         emit (Obs.Event.Temp_advance { temp = t; y = Schedule.get p.schedule t })
     in
     if observing then emit (Obs.Event.Run_start { cost = !hi });
+    let run_span = Obs.Span.enter observer "run" in
     enter_temp 1;
     let note_best () =
       if !hi < !best_cost then begin
@@ -164,7 +167,7 @@ module Make (P : Mc_problem.S) = struct
                 if observing then
                   emit
                     (Obs.Event.Proposed
-                       { evaluation = Budget.ticks clock; cost = hj });
+                       { evaluation = Budget.ticks clock; cost = hj; kind = None });
                 if hj < !hi then begin
                   if observing then
                     emit
@@ -197,7 +200,11 @@ module Make (P : Mc_problem.S) = struct
                 if observing then
                   emit
                     (Obs.Event.Proposed
-                       { evaluation = Budget.ticks clock; cost = hj });
+                       {
+                         evaluation = Budget.ticks clock;
+                         cost = hj;
+                         kind = d.Mc_problem.kind;
+                       });
                 if hj < !hi then begin
                   (try d.Mc_problem.commit state m with e -> abort e);
                   if observing then
@@ -284,7 +291,7 @@ module Make (P : Mc_problem.S) = struct
             if observing then
               emit
                 (Obs.Event.Proposed
-                   { evaluation = Budget.ticks clock; cost = hj });
+                   { evaluation = Budget.ticks clock; cost = hj; kind = None });
             let y = Schedule.get p.schedule !temp in
             let g = Gfun.eval p.gfun ~temp:!temp ~y ~hi:!hi ~hj in
             if Rng.unit_float rng < g then take hj
@@ -301,7 +308,11 @@ module Make (P : Mc_problem.S) = struct
             if observing then
               emit
                 (Obs.Event.Proposed
-                   { evaluation = Budget.ticks clock; cost = hj });
+                   {
+                     evaluation = Budget.ticks clock;
+                     cost = hj;
+                     kind = d.Mc_problem.kind;
+                   });
             let y = Schedule.get p.schedule !temp in
             let g = Gfun.eval p.gfun ~temp:!temp ~y ~hi:!hi ~hj in
             if Rng.unit_float rng < g then begin
@@ -315,6 +326,7 @@ module Make (P : Mc_problem.S) = struct
             end
       end
     done;
+    Obs.Span.exit observer run_span;
     if observing then
       emit
         (Obs.Event.Run_end

@@ -53,11 +53,15 @@ type ('state, 'move) delta_ops = {
   commit : 'state -> 'move -> unit;
   abandon : 'state -> 'move -> unit;
   recost_every : int;
+  kind : string option;
 }
 
-let delta_ops ?(recost_every = 10_000) ~propose ~delta ~commit ~abandon () =
+let delta_ops ?(recost_every = 10_000) ?kind ~propose ~delta ~commit ~abandon () =
   if recost_every <= 0 then invalid_arg "Mc_problem.delta_ops: recost_every <= 0";
-  { propose; delta; commit; abandon; recost_every }
+  (match kind with
+  | Some "" -> invalid_arg "Mc_problem.delta_ops: empty kind label"
+  | Some _ | None -> ());
+  { propose; delta; commit; abandon; recost_every; kind }
 
 (** Outcome counters common to all engines. *)
 type stats = {
@@ -430,6 +434,7 @@ let stats_of_events events =
       | Obs.Event.Descent_done _ -> { s with descents = s.descents + 1 }
       | Obs.Event.Run_start _ | Obs.Event.New_best _ | Obs.Event.Span _
       | Obs.Event.Run_end _ | Obs.Event.Checkpoint_written _
-      | Obs.Event.Retry _ | Obs.Event.Quarantined _ ->
+      | Obs.Event.Retry _ | Obs.Event.Quarantined _
+      | Obs.Event.Rung_standing _ ->
           s)
     empty_stats events

@@ -25,6 +25,7 @@ module Make (P : Mc_problem.S) = struct
   let run ?(observer = Obs.Observer.null) ?delta_ops rng p state =
     let observing = Obs.Observer.enabled observer in
     let emit ev = Obs.Observer.emit observer ev in
+    let span_depth0 = Obs.Span.depth () in
     let k = Gfun.k p.gfun in
     let clock = Budget.start p.budget in
     let h0 = P.cost state in
@@ -42,6 +43,7 @@ module Make (P : Mc_problem.S) = struct
     (* Abnormal exits carry the best-so-far out; the walk state is
        restored (half-evaluated move reverted) before the raise. *)
     let abort reason =
+      Obs.Span.unwind_to span_depth0;
       raise
         (Aborted
            {
@@ -112,6 +114,7 @@ module Make (P : Mc_problem.S) = struct
         emit (Obs.Event.Temp_advance { temp = t; y = Schedule.get p.schedule t })
     in
     if observing then emit (Obs.Event.Run_start { cost = !hi });
+    let run_span = Obs.Span.enter observer "run" in
     enter_temp 1;
     while (not !stop) && not (Budget.exhausted clock) do
       maybe_resync ();
@@ -157,7 +160,7 @@ module Make (P : Mc_problem.S) = struct
                      if observing then
                        emit
                          (Obs.Event.Proposed
-                            { evaluation = Budget.ticks clock; cost = hj });
+                            { evaluation = Budget.ticks clock; cost = hj; kind = None });
                      let w = weight hj in
                      if w > 0. then Some (m, hj, w) else None
                    end)
@@ -173,7 +176,11 @@ module Make (P : Mc_problem.S) = struct
                      if observing then
                        emit
                          (Obs.Event.Proposed
-                            { evaluation = Budget.ticks clock; cost = hj });
+                            {
+                              evaluation = Budget.ticks clock;
+                              cost = hj;
+                              kind = d.Mc_problem.kind;
+                            });
                      let w = weight hj in
                      if w > 0. then Some (m, hj, w)
                      else begin
@@ -237,6 +244,7 @@ module Make (P : Mc_problem.S) = struct
         end
       end
     done;
+    Obs.Span.exit observer run_span;
     if observing then
       emit
         (Obs.Event.Run_end

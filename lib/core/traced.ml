@@ -22,7 +22,8 @@ module Make (P : Mc_problem.S) = struct
   let cost s =
     let c = P.cost s.inner in
     Obs.Observer.emit s.observer
-      (Obs.Event.Proposed { evaluation = Recorder.count s.recorder; cost = c });
+      (Obs.Event.Proposed
+         { evaluation = Recorder.count s.recorder; cost = c; kind = None });
     c
 
   let random_move rng s = P.random_move rng s.inner

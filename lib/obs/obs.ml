@@ -262,7 +262,7 @@ module Event = struct
 
   type t =
     | Run_start of { cost : float }
-    | Proposed of { evaluation : int; cost : float }
+    | Proposed of { evaluation : int; cost : float; kind : string option }
     | Accepted of { kind : accept_kind; cost : float; delta : float }
     | Rejected of { delta : float }
     | New_best of { evaluation : int; cost : float }
@@ -278,6 +278,13 @@ module Event = struct
     | Checkpoint_written of { path : string; evaluation : int }
     | Retry of { label : string; attempt : int; delay : float; reason : string }
     | Quarantined of { label : string; attempts : int; reason : string }
+    | Rung_standing of {
+        rung : int;
+        label : string;
+        best_cost : float;
+        evaluations : int;
+        culled : bool;
+      }
 
   let kind_name = function
     | Improving -> "improving"
@@ -294,8 +301,11 @@ module Event = struct
     let open Json in
     match ev with
     | Run_start { cost } -> Obj [ ("ev", String "run_start"); ("cost", Float cost) ]
-    | Proposed { evaluation; cost } ->
-        Obj [ ("ev", String "proposed"); ("n", Int evaluation); ("cost", Float cost) ]
+    | Proposed { evaluation; cost; kind } ->
+        (* The move-kind field is omitted when absent so that traces
+           from kind-less adapters keep their pre-existing byte shape. *)
+        let base = [ ("ev", String "proposed"); ("n", Int evaluation); ("cost", Float cost) ] in
+        Obj (match kind with None -> base | Some k -> base @ [ ("kind", String k) ])
     | Accepted { kind; cost; delta } ->
         Obj
           [
@@ -341,6 +351,16 @@ module Event = struct
             ("attempts", Int attempts);
             ("reason", String reason);
           ]
+    | Rung_standing { rung; label; best_cost; evaluations; culled } ->
+        Obj
+          [
+            ("ev", String "rung_standing");
+            ("rung", Int rung);
+            ("label", String label);
+            ("best_cost", Float best_cost);
+            ("n", Int evaluations);
+            ("culled", Bool culled);
+          ]
 
   exception Bad of string
 
@@ -365,10 +385,22 @@ module Event = struct
       | Json.String s -> s
       | _ -> raise (Bad ("field " ^ name ^ " is not a string"))
     in
+    let opt_str name =
+      match Json.member name json with
+      | Some (Json.String s) -> Some s
+      | Some _ -> raise (Bad ("field " ^ name ^ " is not a string"))
+      | None -> None
+    in
+    let bool name =
+      match get name with
+      | Json.Bool b -> b
+      | _ -> raise (Bad ("field " ^ name ^ " is not a boolean"))
+    in
     match
       match str "ev" with
       | "run_start" -> Run_start { cost = fnum "cost" }
-      | "proposed" -> Proposed { evaluation = inum "n"; cost = fnum "cost" }
+      | "proposed" ->
+          Proposed { evaluation = inum "n"; cost = fnum "cost"; kind = opt_str "kind" }
       | "accepted" ->
           let kind =
             match kind_of_name (str "kind") with
@@ -402,6 +434,15 @@ module Event = struct
       | "quarantined" ->
           Quarantined
             { label = str "label"; attempts = inum "attempts"; reason = str "reason" }
+      | "rung_standing" ->
+          Rung_standing
+            {
+              rung = inum "rung";
+              label = str "label";
+              best_cost = fnum "best_cost";
+              evaluations = inum "n";
+              culled = bool "culled";
+            }
       | other -> raise (Bad ("unknown event " ^ other))
     with
     | ev -> Ok ev
@@ -738,14 +779,35 @@ module Metrics = struct
   let names t =
     Hashtbl.fold (fun k _ acc -> k :: acc) t.table [] |> List.sort compare
 
+  (* Fold [src] into [into]: counters add, histograms combine through
+     [Log_hist.merge] (whose moments use the Stats.Online.merge
+     algebra), gauges last-write-wins — the telemetry layer keeps
+     per-shard gauges apart precisely because no cross-shard gauge
+     combination is canonical. *)
+  let merge_into ~into src =
+    List.iter
+      (fun name ->
+        match Hashtbl.find src.table name with
+        | Counter r -> incr ~by:!r into name
+        | Gauge r -> set_gauge into name !r
+        | Hist h -> (
+            match Hashtbl.find_opt into.table name with
+            | None ->
+                Hashtbl.add into.table name
+                  (Hist (Log_hist.merge h (Log_hist.create ~base:(Log_hist.base h) ())))
+            | Some (Hist h0) -> Hashtbl.replace into.table name (Hist (Log_hist.merge h0 h))
+            | Some m -> wrong_kind "merge_into" name m))
+      (names src)
+
   let observer t =
     let temp = ref 1 in
     Observer.of_fun (fun ev ->
         match ev with
         | Event.Run_start { cost } -> set_gauge t "initial_cost" cost
-        | Event.Proposed _ ->
+        | Event.Proposed { kind; _ } ->
             incr t "proposed";
-            incr t (Printf.sprintf "proposed.t%d" !temp)
+            incr t (Printf.sprintf "proposed.t%d" !temp);
+            (match kind with Some k -> incr t ("move." ^ k) | None -> ())
         | Event.Accepted { kind; delta; _ } ->
             incr t
               (match kind with
@@ -772,7 +834,8 @@ module Metrics = struct
               set_gauge t "evals_per_sec" (float_of_int evaluations /. seconds)
         | Event.Checkpoint_written _ -> incr t "checkpoints"
         | Event.Retry _ -> incr t "retries"
-        | Event.Quarantined _ -> incr t "quarantined")
+        | Event.Quarantined _ -> incr t "quarantined"
+        | Event.Rung_standing _ -> incr t "rung_standings")
 
   (* Recover (temp, accepted, proposed) rows from the per-temperature
      counter names. *)
@@ -844,20 +907,49 @@ end
 module Span = struct
   type t = { name : string; t0 : float; live : bool }
 
+  (* Per-domain stack of currently-open span names, innermost first.
+     Domain-local storage keeps concurrent engine runs (one per pool
+     worker) from seeing each other's frames; within a domain, engine
+     runs are sequential, so enter/exit pairs nest properly.  The
+     sampling profiler reads this stack — it costs nothing unless a
+     span is actually entered (i.e. an observer is attached). *)
+  let stack_key : string list ref Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> ref [])
+
   let enter obs name =
-    if Observer.enabled obs then { name; t0 = now (); live = true }
+    if Observer.enabled obs then begin
+      let st = Domain.DLS.get stack_key in
+      st := name :: !st;
+      { name; t0 = now (); live = true }
+    end
     else { name; t0 = 0.; live = false }
 
   (* Named [close] internally so the bare call below cannot be mistaken
      for Stdlib.exit (which sa-lint bans in library code); the public
      name stays [exit] to pair with [enter]. *)
   let close obs t =
-    if t.live then
+    if t.live then begin
+      let st = Domain.DLS.get stack_key in
+      (match !st with
+      | top :: rest when String.equal top t.name -> st := rest
+      | _ -> ());
       Observer.emit obs (Event.Span { name = t.name; seconds = now () -. t.t0 })
+    end
 
   let exit = close
 
   let time obs name f =
     let span = enter obs name in
     Fun.protect ~finally:(fun () -> close obs span) f
+
+  let stack () = List.rev !(Domain.DLS.get stack_key)
+  let depth () = List.length !(Domain.DLS.get stack_key)
+
+  (* Pop (without emitting) down to a previously-recorded depth: the
+     engines call this on abnormal exit so an aborted run cannot leak
+     frames into whatever runs next on the same domain. *)
+  let unwind_to n =
+    let st = Domain.DLS.get stack_key in
+    let rec drop l = if List.length l <= max 0 n then l else drop (List.tl l) in
+    st := drop !st
 end

@@ -48,6 +48,13 @@ module Json : sig
   (** Numeric value of an [Int] or [Float]. *)
 
   val to_int : t -> int option
+
+  val float_to_string : float -> string
+  (** The writer's float rendering: the shortest decimal string that
+      round-trips ([%.15g], falling back to [%.17g]), integers as
+      [n.0], non-finite values as ["null"].  Exposed so that other text
+      formats (the Prometheus exposition in [sa_telemetry]) can render
+      histogram bucket bounds with exactly the same digits. *)
 end
 
 (** The event taxonomy.  One engine run emits, in order: [Run_start],
@@ -63,9 +70,12 @@ module Event : sig
 
   type t =
     | Run_start of { cost : float }  (** cost of the initial state *)
-    | Proposed of { evaluation : int; cost : float }
+    | Proposed of { evaluation : int; cost : float; kind : string option }
         (** a perturbation was evaluated; [evaluation] is the budget
-            tick (1-based), [cost] the proposed configuration's cost *)
+            tick (1-based), [cost] the proposed configuration's cost,
+            [kind] the neighborhood label of the proposing move scheme
+            (["2opt"], ["or_opt"], ...) when the adapter declares one
+            via {!Mc_problem.delta_ops} — [None] on the fallback path *)
     | Accepted of { kind : accept_kind; cost : float; delta : float }
         (** the last proposal was taken; [delta = cost - previous] *)
     | Rejected of { delta : float }  (** the last proposal was reverted *)
@@ -93,6 +103,16 @@ module Event : sig
     | Quarantined of { label : string; attempts : int; reason : string }
         (** job [label] exhausted its [attempts] and was pulled from the
             campaign *)
+    | Rung_standing of {
+        rung : int;
+        label : string;
+        best_cost : float;
+        evaluations : int;
+        culled : bool;
+      }
+        (** the portfolio scheduler finished rung [rung]: job [label]
+            stands at [best_cost] after [evaluations] ticks, and
+            [culled] says whether successive halving just dropped it *)
 
   val kind_name : accept_kind -> string
   (** ["improving"], ["lateral"] or ["uphill"]. *)
@@ -267,8 +287,10 @@ end
 
     - counters [proposed], [accepted.improving], [accepted.lateral],
       [accepted.uphill], [rejected], [temp_advance], [descents],
-      [new_best], and per-temperature [proposed.t<i>] /
-      [accepted.t<i>] (the acceptance ratio per temperature);
+      [new_best], per-temperature [proposed.t<i>] / [accepted.t<i>]
+      (the acceptance ratio per temperature), per-neighborhood
+      [move.<kind>] for proposals that carry a move-kind label, and
+      [rung_standings];
     - histogram [uphill_delta] (the uphill move size distribution) and
       [span.<name>] phase durations;
     - gauges [initial_cost], [best_cost], [best_evaluation]
@@ -296,6 +318,14 @@ module Metrics : sig
 
   val names : t -> string list
   (** Sorted. *)
+
+  val merge_into : into:t -> t -> unit
+  (** Fold a registry into another: counters add, histograms combine
+      through {!Log_hist.merge} (Welford moments via
+      [Stats.Online.merge]), gauges last-write-wins.  The telemetry
+      layer merges its per-worker shards with this.
+      @raise Invalid_argument if a name is registered with different
+      metric kinds on the two sides. *)
 
   val observer : t -> Observer.t
   (** The standard engine instrumentation described above.  Tracks the
@@ -327,4 +357,19 @@ module Span : sig
   val time : Observer.t -> string -> (unit -> 'a) -> 'a
   (** [time obs name f] wraps [f ()] in {!enter}/{!exit} (exit also on
       exception). *)
+
+  val stack : unit -> string list
+  (** The names of the spans currently open {e on this domain},
+      outermost first (e.g. [["run"; "temp:3"]]).  Spans entered with a
+      null observer do not appear (they are never recorded).  The
+      sampling profiler reads this at its evaluation-count cadence. *)
+
+  val depth : unit -> int
+  (** [List.length (stack ())] without the list. *)
+
+  val unwind_to : int -> unit
+  (** Silently pop this domain's stack down to a previously recorded
+      {!depth} — no [Span] events are emitted for the discarded frames.
+      Engines call this on abnormal exit so an aborted run cannot leak
+      frames into the next run on the same domain. *)
 end

@@ -31,7 +31,7 @@ let moves part =
 (* Cuts are exact ints in float, so the fast path's accumulated
    [hi +. delta] is exact — bit-identical to the slow path. *)
 let delta_ops =
-  Mc_problem.delta_ops ~propose:random_move
+  Mc_problem.delta_ops ~kind:"swap" ~propose:random_move
     ~delta:(fun part (a, b) -> float_of_int (Bipartition.swap_delta part a b))
     ~commit:(fun part (a, b) -> Bipartition.swap part a b)
     ~abandon:(fun _ _ -> ())

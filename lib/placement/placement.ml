@@ -268,7 +268,7 @@ module Problem = struct
   (* HPWLs are exact ints in float, so the fast path's accumulated
      [hi +. delta] is exact — bit-identical to the slow path. *)
   let delta_ops =
-    Mc_problem.delta_ops ~propose:random_move
+    Mc_problem.delta_ops ~kind:"swap" ~propose:random_move
       ~delta:(fun state (s1, s2) -> float_of_int (swap_delta state s1 s2))
       ~commit:(fun state (s1, s2) -> swap_slots state s1 s2)
       ~abandon:(fun _ _ -> ())

@@ -28,7 +28,51 @@ val create : ?domains:int -> unit -> t
 val domains : t -> int
 (** The configured worker-domain cap. *)
 
-val run : t -> (int -> unit) -> int -> unit
+(** Per-worker scheduling counters, sampled by telemetry.
+
+    Each worker owns one [Atomic] cell per counter, so updating them
+    never contends with other workers or with readers; a reader sees
+    each counter individually consistent, not a global snapshot.  The
+    clock is {e injected} to keep this library dependency-free: pass a
+    monotonic seconds-returning function such as [Obs.now], or omit it
+    and the busy/idle times stay zero while the integer counters still
+    count.  A [Stats.t] may be reused across {!run} calls, in which
+    case counters accumulate; {!reset} zeroes them. *)
+module Stats : sig
+  type t
+
+  val create : ?clock:(unit -> float) -> workers:int -> unit -> t
+  (** [create ~clock ~workers ()] allocates counters for [workers]
+      workers.  [clock] defaults to [fun () -> 0.] (times disabled).
+      @raise Invalid_argument if [workers <= 0]. *)
+
+  val workers : t -> int
+  (** Number of worker slots allocated. *)
+
+  val tasks_run : t -> int -> int
+  (** [tasks_run t w] is the number of tasks worker [w] completed. *)
+
+  val steals : t -> int -> int
+  (** [steals t w] is the number of tasks worker [w] took from another
+      worker's deque. *)
+
+  val queue_depth : t -> int -> int
+  (** [queue_depth t w] is the number of tasks currently waiting in
+      worker [w]'s deque (live only while a run is in flight). *)
+
+  val busy_seconds : t -> int -> float
+  (** [busy_seconds t w] is the time worker [w] spent inside tasks. *)
+
+  val idle_seconds : t -> int -> float
+  (** [idle_seconds t w] is the time worker [w] spent looking for work
+      or waiting for the run to end (wall time minus busy time,
+      recorded when the worker exits). *)
+
+  val reset : t -> unit
+  (** Zero every counter. *)
+end
+
+val run : ?stats:Stats.t -> t -> (int -> unit) -> int -> unit
 (** [run t f n] executes [f i] exactly once for every [i] in
     [0 .. n - 1], on at most [domains t] domains (never more than [n]).
     Returns when every started task has finished.
@@ -41,7 +85,22 @@ val run : t -> (int -> unit) -> int -> unit
     running tasks complete, and after all workers drain the exception
     of the {e lowest-indexed} failed task is re-raised in the caller —
     a deterministic choice whatever the domain count.
-    @raise Invalid_argument if [n < 0]. *)
 
-val map : t -> (int -> 'a) -> int -> 'a array
+    [stats], when given, receives per-worker counters as the run
+    progresses; it must have at least [min (domains t) n] worker slots.
+    @raise Invalid_argument if [n < 0], or if [stats] has fewer slots
+    than the run has workers. *)
+
+val map : ?stats:Stats.t -> t -> (int -> 'a) -> int -> 'a array
 (** [map t f n] is [run] collecting [[| f 0; ...; f (n - 1) |]]. *)
+
+val run' : ?stats:Stats.t -> t -> (worker:int -> int -> unit) -> int -> unit
+(** [run' t f n] is {!run} except each call [f ~worker i] is told which
+    worker slot executes it — the hook telemetry uses to route a task's
+    events into that worker's metrics shard without locking.  Worker
+    numbers are scheduling slots, not domain identities: the same task
+    set may land on different workers from run to run (except with one
+    domain, where everything runs on worker 0 in index order). *)
+
+val map' : ?stats:Stats.t -> t -> (worker:int -> int -> 'a) -> int -> 'a array
+(** [map' t f n] is {!run'} collecting [[| f ~worker 0; ... |]]. *)

@@ -130,13 +130,21 @@ let standing_of_outcome (job : Job.t) (o : outcome) =
    a fresh copy of its pinned stream, and rank.  Returns
    (original index, standing) best first; ties break by job-list
    position, and stillborn jobs ([infinity]) sink to the bottom. *)
-let run_rung pool observer (jobs : Job.t array) job_rngs alive budget =
+let run_rung ?job_observer ?pool_stats pool observer (jobs : Job.t array)
+    job_rngs alive budget =
   let alive = Array.of_list alive in
   let n = Array.length alive in
   let outcomes =
-    Pool.map pool
-      (fun i ->
+    Pool.map' ?stats:pool_stats pool
+      (fun ~worker i ->
         let j = alive.(i) in
+        let observer =
+          match job_observer with
+          | None -> observer
+          | Some f ->
+              Obs.Observer.tee
+                [ observer; f ~worker ~job:j ~label:jobs.(j).Job.label ]
+        in
         jobs.(j).Job.work (Rng.copy job_rngs.(j)) budget observer)
       n
   in
@@ -176,15 +184,33 @@ let prepare ?(domains = 1) ?observer rng jobs ~who =
 let round_evaluations results =
   List.fold_left (fun acc (_, s) -> acc + s.evaluations) 0 results
 
-let sweep ?domains ?observer rng ~budget jobs =
+(* Standings are emitted from the caller's domain after the rung has
+   been ranked, so their order in any event stream is deterministic. *)
+let emit_standings observer ~rung ~culled ranked =
+  if Obs.Observer.enabled observer then
+    List.iter
+      (fun (_, s) ->
+        Obs.Observer.emit observer
+          (Obs.Event.Rung_standing
+             {
+               rung;
+               label = s.label;
+               best_cost = s.cost;
+               evaluations = s.evaluations;
+               culled = List.mem s.label culled;
+             }))
+      ranked
+
+let sweep ?domains ?observer ?job_observer ?pool_stats rng ~budget jobs =
   let jobs, pool, observer, job_rngs =
     prepare ?domains ?observer rng jobs ~who:"Portfolio.sweep"
   in
   let ranked =
-    run_rung pool observer jobs job_rngs
+    run_rung ?job_observer ?pool_stats pool observer jobs job_rngs
       (List.init (Array.length jobs) Fun.id)
       budget
   in
+  emit_standings observer ~rung:1 ~culled:[] ranked;
   let results = List.map snd ranked in
   {
     mode = "sweep";
@@ -203,7 +229,8 @@ let sweep ?domains ?observer rng ~budget jobs =
     stopped_early = false;
   }
 
-let race ?domains ?observer ?deadline rng ~initial_budget jobs =
+let race ?domains ?observer ?job_observer ?pool_stats ?deadline rng
+    ~initial_budget jobs =
   let jobs, pool, observer, job_rngs =
     prepare ?domains ?observer rng jobs ~who:"Portfolio.race"
   in
@@ -232,12 +259,18 @@ let race ?domains ?observer ?deadline rng ~initial_budget jobs =
     let budget =
       Budget.scale (float_of_int (1 lsl (!rung - 1))) initial_budget
     in
-    let ranked = run_rung pool observer jobs job_rngs !alive budget in
+    let ranked =
+      run_rung ?job_observer ?pool_stats pool observer jobs job_rngs !alive
+        budget
+    in
     let evals = round_evaluations ranked in
     total_evaluations := !total_evaluations + evals;
     charge evals;
     let keep = (List.length ranked + 1) / 2 in
     let survivors, culled = split_at keep ranked in
+    emit_standings observer ~rung:!rung
+      ~culled:(List.map (fun (_, s) -> s.label) culled)
+      ranked;
     rounds :=
       {
         index = !rung;

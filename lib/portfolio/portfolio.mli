@@ -130,6 +130,8 @@ type report = {
 val sweep :
   ?domains:int ->
   ?observer:Obs.Observer.t ->
+  ?job_observer:(worker:int -> job:int -> label:string -> Obs.Observer.t) ->
+  ?pool_stats:Pool.Stats.t ->
   Rng.t ->
   budget:Budget.t ->
   Job.t list ->
@@ -138,12 +140,25 @@ val sweep :
     (ties broken by list position).  [domains] (default 1) caps the
     worker domains; [observer] receives every job's engine events,
     serialized behind a mutex when [domains > 1] (see
-    {!Obs.Observer.serialized}).
+    {!Obs.Observer.serialized}), plus one {!Obs.Event.Rung_standing}
+    per job after ranking (rung 1, nothing culled).
+
+    [job_observer], when given, is called once per job run {e on the
+    worker domain about to run it} and the observer it returns is teed
+    with [observer] for that run only — the telemetry hook that routes
+    a job's events into its worker's metrics shard and its own run
+    slot.  It must be safe to call concurrently from worker domains and
+    must not touch any RNG the jobs use.  [pool_stats] receives the
+    pool's per-worker scheduling counters (see {!Pool.Stats}).  Neither
+    affects what any job computes: reports stay byte-identical with or
+    without them.
     @raise Invalid_argument on an empty job list or [domains <= 0]. *)
 
 val race :
   ?domains:int ->
   ?observer:Obs.Observer.t ->
+  ?job_observer:(worker:int -> job:int -> label:string -> Obs.Observer.t) ->
+  ?pool_stats:Pool.Stats.t ->
   ?deadline:Budget.t ->
   Rng.t ->
   initial_budget:Budget.t ->
@@ -161,6 +176,11 @@ val race :
     the wall clock.  When it fires with several jobs still alive the
     race stops early, the current leader wins, and the report says
     [stopped_early = true].
+
+    After each rung every standing is emitted as an
+    {!Obs.Event.Rung_standing} (with [culled] flagged) through
+    [observer], from the caller's domain, in ranked order.
+    [job_observer] and [pool_stats] behave as in {!sweep}.
 
     @raise Invalid_argument on an empty job list or [domains <= 0]. *)
 

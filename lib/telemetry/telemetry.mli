@@ -1,0 +1,112 @@
+(** Live telemetry aggregation: per-worker metric shards, a lock-free
+    run table, Prometheus text rendering, and the path router served
+    by {!Telemetry_http}.
+
+    Everything here {e reads} engine state carried by {!Obs.Event}
+    streams; nothing touches an RNG or feeds back into a run, so
+    engine results and portfolio reports stay byte-identical with
+    telemetry on or off — the repository's determinism bargain. *)
+
+(** Per-worker {!Obs.Metrics} registries.  Each worker updates only
+    its own shard behind its own (uncontended) mutex; a scrape folds
+    every shard into a fresh registry with {!Obs.Metrics.merge_into},
+    whose histogram merge uses the [Stats.Online] moment algebra. *)
+module Shards : sig
+  type t
+
+  val create : workers:int -> t
+  (** @raise Invalid_argument if [workers <= 0]. *)
+
+  val workers : t -> int
+
+  val observer : t -> worker:int -> Obs.Observer.t
+  (** A fresh standard-instrumentation observer over worker
+      [worker]'s shard.  Call once per engine run (the observer
+      tracks the run's current temperature).
+      @raise Invalid_argument if [worker] is out of range. *)
+
+  val merged : t -> Obs.Metrics.t
+  (** Snapshot: every shard folded into a fresh registry. *)
+end
+
+(** One slot of live run state per portfolio job, written lock-free
+    (one [Atomic] cell per field) by the worker currently running the
+    job and read by scrapes.  [Proposed]-event updates are batched
+    ~512 deep, so live state costs the hot path a few ref writes. *)
+module Runs : sig
+  type status = Pending | Running | Done | Culled
+
+  val status_name : status -> string
+
+  type t
+
+  val create : string list -> t
+  (** [create labels], one slot per job, in portfolio job order.
+      @raise Invalid_argument on an empty list. *)
+
+  val jobs : t -> int
+  val label : t -> int -> string
+
+  val observer : t -> job:int -> Obs.Observer.t
+  (** Routes one engine run's events into slot [job].  [Run_start]
+      resets the slot (a fresh racing rung restarts the job), so one
+      observer per run.
+      @raise Invalid_argument if [job] is out of range. *)
+
+  val standings_observer : t -> Obs.Observer.t
+  (** Consumes the scheduler's {!Obs.Event.Rung_standing} events:
+      pins per-rung numbers and marks culled jobs.  Attach to the
+      portfolio's shared observer. *)
+
+  val to_json : t -> Obs.Json.t
+  (** The [runs] array of the [sa-lab/telemetry/v1] snapshot. *)
+end
+
+(** Prometheus text exposition (format 0.0.4). *)
+module Prometheus : sig
+  val sanitize : string -> string
+  (** Metric-name sanitization: anything outside [[a-zA-Z0-9_:]]
+      becomes [_]. *)
+
+  val render : ?pool_stats:Pool.Stats.t -> Obs.Metrics.t -> string
+  (** Render a registry: counters as [sa_lab_<name>_total], gauges as
+      [sa_lab_<name>], histograms as cumulative
+      [sa_lab_<name>_bucket{le="..."}] series with a [le="+Inf"] line
+      counting every sample (underflow included) plus [_sum] and
+      [_count].  Bucket bounds render with
+      {!Obs.Json.float_to_string} — shortest round-trip digits, never
+      [%g] — so distinct bounds can never collapse into one [le]
+      label.  [pool_stats] appends per-worker
+      [sa_lab_pool_*{worker="n"}] gauges.  Output is sorted by metric
+      name, hence deterministic. *)
+end
+
+type t
+(** A bundle of shards + run table (+ optional pool counters) wired
+    for one [sa_lab run]/[portfolio] invocation. *)
+
+val create :
+  ?pool_stats:Pool.Stats.t -> workers:int -> labels:string list -> unit -> t
+
+val shards : t -> Shards.t
+val runs : t -> Runs.t
+val pool_stats : t -> Pool.Stats.t option
+
+val job_observer :
+  t -> worker:int -> job:int -> label:string -> Obs.Observer.t
+(** The hook to pass as [Portfolio.sweep ~job_observer]: shard
+    metrics for [worker] teed with the run slot for [job]. *)
+
+val standings_observer : t -> Obs.Observer.t
+(** {!Runs.standings_observer} of the bundle's run table. *)
+
+val snapshot_json : t -> Obs.Json.t
+(** The [sa-lab/telemetry/v1] document: [{schema; runs; pool?}]. *)
+
+val metrics_body : t -> string
+(** {!Prometheus.render} over the merged shards. *)
+
+val handler : t -> path:string -> int * string * string
+(** The router {!Telemetry_http.start} serves: [/metrics] (Prometheus
+    text), [/runs] (telemetry/v1 JSON), [/healthz] (["ok\n"]), 404
+    otherwise.  Returns (status, content type, body). *)

@@ -1,0 +1,331 @@
+(* Zero-dependency HTTP/1.1 exposition listener.
+
+   Scope: GET on three fixed paths from localhost scrapers (a
+   Prometheus agent, `sa_lab top`, curl).  That rules the frameworks
+   out and rules simplicity in: a request parser over an injectable
+   read function (so the torture tests can feed split reads and
+   overlong garbage without a socket), one acceptor systhread
+   multiplexing with [Unix.select], one systhread per live
+   connection, and a self-pipe to make [stop] interrupt everything —
+   including a scrape in flight — promptly and cleanly. *)
+
+(* ----------------------------- Requests -------------------------- *)
+
+module Request = struct
+  type t = {
+    meth : string;
+    path : string;
+    version : string;
+    headers : (string * string) list;  (* names lowercased *)
+  }
+
+  type error = Eof | Too_large | Bad of string
+
+  let error_to_string = function
+    | Eof -> "eof"
+    | Too_large -> "request too large"
+    | Bad msg -> "bad request: " ^ msg
+
+  let header t name = List.assoc_opt (String.lowercase_ascii name) t.headers
+
+  (* True when the peer asked to drop the connection after this
+     response — [Connection: close], or HTTP/1.0 without an explicit
+     keep-alive. *)
+  let wants_close t =
+    match Option.map String.lowercase_ascii (header t "connection") with
+    | Some "close" -> true
+    | Some "keep-alive" -> false
+    | _ -> String.equal t.version "HTTP/1.0"
+
+  let parse_request_line line =
+    match String.split_on_char ' ' line with
+    | [ meth; path; version ] when meth <> "" && path <> "" ->
+        if
+          String.length version >= 7
+          && String.equal (String.sub version 0 7) "HTTP/1."
+        then Ok (meth, path, version)
+        else Error (Bad ("unsupported version: " ^ version))
+    | _ -> Error (Bad "malformed request line")
+
+  let parse_header line =
+    match String.index_opt line ':' with
+    | None | Some 0 -> Error (Bad ("malformed header: " ^ line))
+    | Some i ->
+        let name = String.lowercase_ascii (String.sub line 0 i) in
+        let value =
+          String.trim (String.sub line (i + 1) (String.length line - i - 1))
+        in
+        Ok (name, value)
+
+  (* Read one request head (everything through the blank line) from
+     [read_fn : bytes -> pos -> len -> int], which follows the
+     [Unix.read] contract: 0 means EOF.  Reads are taken in small
+     chunks and the scan resumes where it left off, so a head split
+     across any number of reads parses identically to one delivered
+     whole. *)
+  let read ?(max_bytes = 8192) read_fn =
+    let buf = Buffer.create 256 in
+    let chunk = Bytes.create 512 in
+    let rec fill_until_blank_line scanned =
+      (* The head ends at the first CRLFCRLF (or bare LFLF).  Scan
+         only fresh bytes, minus overlap for a separator that
+         straddles a chunk boundary. *)
+      let s = Buffer.contents buf in
+      let n = String.length s in
+      let rec find i =
+        if i + 1 >= n then None
+        else if s.[i] = '\n' && s.[i + 1] = '\n' then Some (i, 2)
+        else if
+          i + 3 < n
+          && s.[i] = '\r'
+          && s.[i + 1] = '\n'
+          && s.[i + 2] = '\r'
+          && s.[i + 3] = '\n'
+        then Some (i, 4)
+        else find (i + 1)
+      in
+      match find (max 0 (scanned - 3)) with
+      | Some (stop, _sep) -> Ok (String.sub s 0 stop)
+      | None ->
+          if n > max_bytes then Error Too_large
+          else begin
+            match read_fn chunk 0 (Bytes.length chunk) with
+            | 0 -> Error Eof
+            | got ->
+                Buffer.add_subbytes buf chunk 0 got;
+                fill_until_blank_line n
+            | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) ->
+                Error Eof
+          end
+    in
+    match fill_until_blank_line 0 with
+    | Error _ as e -> e
+    | Ok head -> (
+        let lines =
+          String.split_on_char '\n' head
+          |> List.map (fun l ->
+                 let n = String.length l in
+                 if n > 0 && l.[n - 1] = '\r' then String.sub l 0 (n - 1) else l)
+          |> List.filter (fun l -> l <> "")
+        in
+        match lines with
+        | [] -> Error (Bad "empty request")
+        | request_line :: header_lines -> (
+            match parse_request_line request_line with
+            | Error _ as e -> e
+            | Ok (meth, path, version) ->
+                let rec headers acc = function
+                  | [] -> Ok (List.rev acc)
+                  | l :: rest -> (
+                      match parse_header l with
+                      | Error _ as e -> e
+                      | Ok h -> headers (h :: acc) rest)
+                in
+                headers [] header_lines
+                |> Result.map (fun headers -> { meth; path; version; headers })
+            ))
+end
+
+(* ----------------------------- Responses ------------------------- *)
+
+let status_text = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 431 -> "Request Header Fields Too Large"
+  | _ -> "Internal Server Error"
+
+let response_bytes ~status ~content_type ~close body =
+  let b = Buffer.create (String.length body + 128) in
+  Printf.bprintf b "HTTP/1.1 %d %s\r\n" status (status_text status);
+  Printf.bprintf b "Content-Type: %s\r\n" content_type;
+  Printf.bprintf b "Content-Length: %d\r\n" (String.length body);
+  Printf.bprintf b "Connection: %s\r\n" (if close then "close" else "keep-alive");
+  Buffer.add_string b "\r\n";
+  Buffer.add_string b body;
+  Buffer.to_bytes b
+
+(* ------------------------------ Server --------------------------- *)
+
+exception Stopped
+
+type t = {
+  lsock : Unix.file_descr;
+  port : int;
+  stop_r : Unix.file_descr;  (* self-pipe: readable <=> stopping *)
+  stop_w : Unix.file_descr;
+  acceptor : Thread.t;
+  stopping : bool Atomic.t;
+}
+
+let port t = t.port
+
+let write_all fd bytes =
+  let n = Bytes.length bytes in
+  let rec go off =
+    if off < n then
+      match Unix.write fd bytes off (n - off) with
+      | 0 -> raise Stopped
+      | written -> go (off + written)
+  in
+  go 0
+
+(* Block until [fd] is readable or the stop pipe fires; stopping
+   wins.  This is what makes teardown clean in the middle of a slow
+   scrape: every blocking point in a connection funnels through
+   here. *)
+let wait_readable stop_r fd =
+  match Unix.select [ fd; stop_r ] [] [] (-1.) with
+  | readable, _, _ -> if List.mem stop_r readable then raise Stopped
+
+let serve_connection ~stop_r ~handler fd =
+  let read_fn buf pos len =
+    wait_readable stop_r fd;
+    Unix.read fd buf pos len
+  in
+  let rec next () =
+    match Request.read read_fn with
+    | Error Request.Eof -> ()
+    | Error Request.Too_large ->
+        write_all fd
+          (response_bytes ~status:431 ~content_type:"text/plain" ~close:true
+             "request too large\n")
+    | Error (Request.Bad _) ->
+        write_all fd
+          (response_bytes ~status:400 ~content_type:"text/plain" ~close:true
+             "bad request\n")
+    | Ok req ->
+        let close = Request.wants_close req in
+        (if not (String.equal req.Request.meth "GET") then
+           write_all fd
+             (response_bytes ~status:405 ~content_type:"text/plain" ~close
+                "only GET here\n")
+         else begin
+           let status, content_type, body = handler ~path:req.Request.path in
+           write_all fd (response_bytes ~status ~content_type ~close body)
+         end);
+        if not close then next ()
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      try next () with
+      | Stopped -> ()
+      | Unix.Unix_error ((ECONNRESET | EPIPE), _, _) -> ())
+
+let start ?(host = "127.0.0.1") ?(port = 0) ~handler () =
+  let lsock = Unix.socket PF_INET SOCK_STREAM 0 in
+  let t =
+    try
+      Unix.setsockopt lsock SO_REUSEADDR true;
+      Unix.bind lsock (ADDR_INET (Unix.inet_addr_of_string host, port));
+      Unix.listen lsock 16;
+      let port =
+        match Unix.getsockname lsock with
+        | ADDR_INET (_, p) -> p
+        | ADDR_UNIX _ -> assert false
+      in
+      let stop_r, stop_w = Unix.pipe () in
+      let stopping = Atomic.make false in
+      let acceptor =
+        Thread.create
+          (fun () ->
+            (* Joining every connection thread before the acceptor
+               exits is what lets [stop] promise that no handler is
+               running afterwards. *)
+            let conns = ref [] in
+            (try
+               while true do
+                 wait_readable stop_r lsock;
+                 match Unix.accept lsock with
+                 | fd, _ ->
+                     conns :=
+                       Thread.create (serve_connection ~stop_r ~handler) fd
+                       :: !conns
+                 | exception Unix.Unix_error ((ECONNABORTED | EINTR), _, _) ->
+                     ()
+               done
+             with Stopped -> ());
+            List.iter Thread.join !conns)
+          ()
+      in
+      { lsock; port; stop_r; stop_w; acceptor; stopping }
+    with e ->
+      (try Unix.close lsock with Unix.Unix_error _ -> ());
+      raise e
+  in
+  t
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    (* One byte wakes every select; the pipe stays readable forever
+       after, so late selects see it too. *)
+    ignore (Unix.write t.stop_w (Bytes.of_string "x") 0 1);
+    Thread.join t.acceptor;
+    List.iter
+      (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+      [ t.lsock; t.stop_r; t.stop_w ]
+  end
+
+(* ------------------------------ Client --------------------------- *)
+
+(* Minimal GET for `sa_lab top` and the tests; returns status and
+   body.  Reads until the peer honours [Connection: close]. *)
+let get ?(host = "127.0.0.1") ?(timeout = 5.) ~port path =
+  let sock = Unix.socket PF_INET SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      try
+        Unix.setsockopt_float sock SO_RCVTIMEO timeout;
+        Unix.setsockopt_float sock SO_SNDTIMEO timeout;
+        Unix.connect sock (ADDR_INET (Unix.inet_addr_of_string host, port));
+        let req =
+          Printf.sprintf "GET %s HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n"
+            path host
+        in
+        write_all sock (Bytes.of_string req);
+        let buf = Buffer.create 1024 in
+        let chunk = Bytes.create 4096 in
+        let rec drain () =
+          match Unix.read sock chunk 0 (Bytes.length chunk) with
+          | 0 -> ()
+          | n ->
+              Buffer.add_subbytes buf chunk 0 n;
+              drain ()
+        in
+        (try drain () with Unix.Unix_error ((ECONNRESET | EPIPE), _, _) -> ());
+        let raw = Buffer.contents buf in
+        match String.index_opt raw ' ' with
+        | None -> Error "malformed response"
+        | Some sp -> (
+            let status =
+              int_of_string_opt
+                (String.sub raw (sp + 1) (min 3 (String.length raw - sp - 1)))
+            in
+            match status with
+            | None -> Error "malformed status line"
+            | Some status -> (
+                (* Body starts after the first blank line. *)
+                let rec find i =
+                  if i + 1 >= String.length raw then None
+                  else if raw.[i] = '\n' && raw.[i + 1] = '\n' then Some (i + 2)
+                  else if
+                    i + 3 < String.length raw
+                    && raw.[i] = '\r'
+                    && raw.[i + 1] = '\n'
+                    && raw.[i + 2] = '\r'
+                    && raw.[i + 3] = '\n'
+                  then Some (i + 4)
+                  else find (i + 1)
+                in
+                match find 0 with
+                | None -> Error "no response body"
+                | Some start ->
+                    Ok
+                      ( status,
+                        String.sub raw start (String.length raw - start) )))
+      with
+      | Unix.Unix_error (e, fn, _) ->
+          Error (Printf.sprintf "%s: %s" fn (Unix.error_message e)))

@@ -1,0 +1,71 @@
+(** Zero-dependency HTTP/1.1 listener for the telemetry endpoints.
+
+    Built for GET from localhost scrapers; no routing, no TLS, no
+    chunked bodies.  The request parser reads through an injectable
+    function so tests can torture it (split reads, oversized heads,
+    garbage) without opening a socket; the server multiplexes every
+    blocking point against a self-pipe so {!stop} interrupts even a
+    scrape in flight and returns only when no handler is running. *)
+
+module Request : sig
+  type t = {
+    meth : string;
+    path : string;
+    version : string;  (** e.g. ["HTTP/1.1"] *)
+    headers : (string * string) list;  (** names lowercased *)
+  }
+
+  type error =
+    | Eof  (** peer closed before a full head arrived *)
+    | Too_large  (** head exceeded [max_bytes] *)
+    | Bad of string  (** malformed request line or header *)
+
+  val error_to_string : error -> string
+
+  val header : t -> string -> string option
+  (** Case-insensitive header lookup. *)
+
+  val wants_close : t -> bool
+  (** [Connection: close], or HTTP/1.0 without explicit keep-alive. *)
+
+  val read : ?max_bytes:int -> (bytes -> int -> int -> int) -> (t, error) result
+  (** [read read_fn] consumes one request head from [read_fn] (the
+      [Unix.read] contract: [read_fn buf pos len] returns bytes
+      delivered, 0 at EOF).  A head split across any number of reads
+      parses identically to one delivered whole.  [max_bytes]
+      defaults to 8192. *)
+end
+
+type t
+
+val start :
+  ?host:string ->
+  ?port:int ->
+  handler:(path:string -> int * string * string) ->
+  unit ->
+  t
+(** Bind [host] (default localhost) at [port] (default 0 = ephemeral;
+    read the choice back with {!port}), and serve GET requests
+    through [handler] on background systhreads: one acceptor plus one
+    thread per live connection, keep-alive honoured.  [handler]
+    returns (status, content type, body); it is called from
+    connection threads and must be thread-safe.  Non-GET methods get
+    405, malformed requests 400, oversized heads 431.
+    @raise Unix.Unix_error if the port cannot be bound. *)
+
+val port : t -> int
+
+val stop : t -> unit
+(** Wake every connection (including one mid-request), join all
+    server threads, close all descriptors.  Idempotent.  After [stop]
+    returns no handler is running. *)
+
+val get :
+  ?host:string ->
+  ?timeout:float ->
+  port:int ->
+  string ->
+  (int * string, string) result
+(** [get ~port path]: one-shot client used by [sa_lab top] and the
+    tests.  Returns (status, body); [timeout] (default 5s) bounds
+    each socket operation. *)

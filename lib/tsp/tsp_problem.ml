@@ -37,7 +37,7 @@ let moves tour =
    fast path's accumulated [hi +. delta] matches the committed cached
    length bit-for-bit — the equivalence the property tests assert. *)
 let delta_ops =
-  Mc_problem.delta_ops ~propose:random_move
+  Mc_problem.delta_ops ~kind:"2opt" ~propose:random_move
     ~delta:(fun tour (i, j) -> Tour.two_opt_delta tour i j)
     ~commit:(fun tour (i, j) -> Tour.two_opt tour i j)
     ~abandon:(fun _ _ -> ())
@@ -108,7 +108,7 @@ module Or_opt = struct
   (* [Tour.or_opt] also updates the cached length by [len +. delta],
      giving the same bit-exact fast/slow agreement as 2-opt. *)
   let delta_ops =
-    Mc_problem.delta_ops ~propose:random_move
+    Mc_problem.delta_ops ~kind:"or_opt" ~propose:random_move
       ~delta:(fun tour m -> Tour.or_opt_delta tour ~seg:m.seg ~len:m.len ~dest:m.dest)
       ~commit:(fun tour m -> Tour.or_opt tour ~seg:m.seg ~len:m.len ~dest:m.dest)
       ~abandon:(fun _ _ -> ())

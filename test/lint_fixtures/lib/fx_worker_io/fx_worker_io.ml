@@ -1,0 +1,5 @@
+(* Fixture: must trigger no-blocking-io-in-worker exactly once (a
+   blocking channel write inside a Pool worker closure; lives under a
+   lib/ prefix inside the fixture tree so the rule applies). *)
+let log_from_workers pool oc =
+  Pool.run pool (fun i -> output_string oc (string_of_int i)) 4

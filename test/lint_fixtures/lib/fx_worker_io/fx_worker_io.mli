@@ -1,0 +1,2 @@
+(* Interface present so this fixture does not also trip mli-required. *)
+val log_from_workers : Pool.t -> out_channel -> unit

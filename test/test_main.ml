@@ -19,6 +19,7 @@ let () =
       ("qap", Test_qap.suite);
       ("resilience", Test_resilience.suite);
       ("portfolio", Test_portfolio.suite);
+      ("telemetry", Test_telemetry.suite);
       ("integration", Test_integration.suite);
       ("golden", Test_golden.suite);
       ("lint", Test_lint.suite);

@@ -85,7 +85,8 @@ let all_events =
   Obs.Event.
     [
       Run_start { cost = 119. };
-      Proposed { evaluation = 1; cost = 124. };
+      Proposed { evaluation = 1; cost = 124.; kind = None };
+      Proposed { evaluation = 2; cost = 118.; kind = Some "2opt" };
       Accepted { kind = Improving; cost = 117.; delta = -2. };
       Accepted { kind = Lateral; cost = 117.; delta = 0. };
       Accepted { kind = Uphill; cost = 120.; delta = 3. };
@@ -98,6 +99,8 @@ let all_events =
       Checkpoint_written { path = "ckpt.json"; evaluation = 1000 };
       Retry { label = "run-3"; attempt = 2; delay = 0.25; reason = "Fault injected" };
       Quarantined { label = "run-3"; attempts = 4; reason = "deadline exceeded" };
+      Rung_standing
+        { rung = 2; label = "tsp-128#3"; best_cost = 107.5; evaluations = 4000; culled = true };
     ]
 
 let test_event_roundtrip () =
@@ -167,9 +170,9 @@ let test_trajectory_observer_records () =
   let t = Obs.Trajectory.create 16 in
   let o = Obs.Trajectory.observer t in
   Obs.Observer.emit o (Obs.Event.Run_start { cost = 9. });
-  Obs.Observer.emit o (Obs.Event.Proposed { evaluation = 1; cost = 5. });
+  Obs.Observer.emit o (Obs.Event.Proposed { evaluation = 1; cost = 5.; kind = None });
   Obs.Observer.emit o (Obs.Event.Rejected { delta = 1. });
-  Obs.Observer.emit o (Obs.Event.Proposed { evaluation = 2; cost = 7. });
+  Obs.Observer.emit o (Obs.Event.Proposed { evaluation = 2; cost = 7.; kind = None });
   Alcotest.check Alcotest.int "initial + 2 proposals" 3 (Obs.Trajectory.count t);
   Alcotest.check (Alcotest.float 0.) "minimum" 5. (Obs.Trajectory.minimum t)
 
@@ -253,7 +256,8 @@ let test_ring () =
   let r = Obs.Ring.create 3 in
   let o = Obs.Ring.observer r in
   for i = 1 to 5 do
-    Obs.Observer.emit o (Obs.Event.Proposed { evaluation = i; cost = float_of_int i })
+    Obs.Observer.emit o
+      (Obs.Event.Proposed { evaluation = i; cost = float_of_int i; kind = None })
   done;
   Alcotest.check Alcotest.int "seen all" 5 (Obs.Ring.seen r);
   Alcotest.check Alcotest.int "keeps capacity" 3 (Obs.Ring.length r);
@@ -289,7 +293,8 @@ let test_downsample () =
   let o = Obs.Downsample.observer ~capacity:8 (Obs.Ring.observer r) in
   let n = 10_000 in
   for i = 1 to n do
-    Obs.Observer.emit o (Obs.Event.Proposed { evaluation = i; cost = float_of_int i })
+    Obs.Observer.emit o
+      (Obs.Event.Proposed { evaluation = i; cost = float_of_int i; kind = None })
   done;
   Obs.Observer.emit o (Obs.Event.Run_end
                          { evaluations = n; final_cost = 0.; best_cost = 0.; seconds = 0. });
@@ -341,13 +346,13 @@ let test_metrics_observer_standard_set () =
       [
         Run_start { cost = 10. };
         Temp_advance { temp = 1; y = 1. };
-        Proposed { evaluation = 1; cost = 9. };
+        Proposed { evaluation = 1; cost = 9.; kind = None };
         Accepted { kind = Improving; cost = 9.; delta = -1. };
         New_best { evaluation = 1; cost = 9. };
-        Proposed { evaluation = 2; cost = 12. };
+        Proposed { evaluation = 2; cost = 12.; kind = Some "2opt" };
         Rejected { delta = 3. };
         Temp_advance { temp = 2; y = 0.9 };
-        Proposed { evaluation = 3; cost = 11. };
+        Proposed { evaluation = 3; cost = 11.; kind = None };
         Accepted { kind = Uphill; cost = 11.; delta = 2. };
         Span { name = "temp:2"; seconds = 0.25 };
         Run_end { evaluations = 3; final_cost = 11.; best_cost = 9.; seconds = 0.5 };
@@ -424,8 +429,9 @@ let test_f1_jsonl_reconciles () =
     (count (function Obs.Event.Run_start _ -> true | _ -> false));
   Alcotest.check Alcotest.int "one run_end" 1
     (count (function Obs.Event.Run_end _ -> true | _ -> false));
-  Alcotest.check Alcotest.int "one span per temperature"
-    r.Mc_problem.stats.Mc_problem.temperatures_visited
+  (* One span per temperature epoch plus the enclosing "run" span. *)
+  Alcotest.check Alcotest.int "spans = temperatures + run"
+    (r.Mc_problem.stats.Mc_problem.temperatures_visited + 1)
     (count (function Obs.Event.Span _ -> true | _ -> false))
 
 let test_f1_defer_jsonl_reconciles () =
