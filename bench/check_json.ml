@@ -4,7 +4,7 @@
    The top-level "schema" field selects the rule set:
 
    - sa-lab/bench-results/v1     (bench/main.exe --json; bench-smoke alias)
-   - sa-lab/lint-report/v1       (sa_lint --json / --json-file; @lint alias)
+   - sa-lab/lint-report/v2       (sa_lint --json / --json-file; @lint alias)
    - sa-lab/checkpoint/v1        (sa_lab run --checkpoint; resilience-smoke)
    - sa-lab/supervisor-report/v1 (sa_lab supervise --report; resilience-smoke)
    - sa-lab/portfolio-report/v1  (sa_lab portfolio --report; portfolio-smoke)
@@ -133,7 +133,7 @@ let check_bench path member =
           | _ -> fail "%s: delta[%d].costs_agree is not a boolean" path i)
         entries
   | _ -> fail "%s: delta is not a list" path);
-  match member "scaling" with
+  (match member "scaling" with
   | Obs.Json.List entries ->
       List.iteri
         (fun i s ->
@@ -167,15 +167,52 @@ let check_bench path member =
                 path i
           | _ -> fail "%s: scaling[%d].report_identical is not a boolean" path i)
         entries
-  | _ -> fail "%s: scaling is not a list" path
+  | _ -> fail "%s: scaling is not a list" path);
+  match member "lint" with
+  | Obs.Json.Obj _ as l ->
+      let lmember name =
+        match Obs.Json.member name l with
+        | Some v -> v
+        | None -> fail "%s: lint missing field %S" path name
+      in
+      (match Obs.Json.to_int (lmember "files") with
+      | Some f when f > 0 -> ()
+      | _ -> fail "%s: lint.files is not a positive integer" path);
+      (match Obs.Json.to_int (lmember "cold_reanalyzed") with
+      | Some c when c > 0 -> ()
+      | _ -> fail "%s: lint.cold_reanalyzed is not a positive integer" path);
+      (* The contract the cache bench exists to witness: a warm run over
+         an unchanged tree re-analyzes nothing. *)
+      (match Obs.Json.to_int (lmember "warm_reanalyzed") with
+      | Some 0 -> ()
+      | Some n ->
+          fail "%s: lint.warm_reanalyzed = %d — the warm cache re-analyzed files"
+            path n
+      | None -> fail "%s: lint.warm_reanalyzed is not an integer" path);
+      let nonneg name =
+        match Obs.Json.to_float (lmember name) with
+        | Some v when v >= 0. && Float.is_finite v -> ()
+        | _ -> fail "%s: lint.%s is not a non-negative finite number" path name
+      in
+      nonneg "cold_seconds";
+      nonneg "warm_seconds";
+      (match Obs.Json.to_float (lmember "speedup") with
+      | Some v when v > 0. && Float.is_finite v -> ()
+      | _ -> fail "%s: lint.speedup is not a positive finite number" path)
+  | _ -> fail "%s: lint is not an object" path
 
-let check_lint path member =
+let check_lint path json member =
   let non_negative_int name =
     match Obs.Json.to_int (member name) with
     | Some v when v >= 0 -> v
     | _ -> fail "%s: %s is not a non-negative integer" path name
   in
-  let _files = non_negative_int "files_scanned" in
+  let files = non_negative_int "files_scanned" in
+  let reanalyzed = non_negative_int "files_reanalyzed" in
+  if reanalyzed > files then
+    fail "%s: files_reanalyzed = %d exceeds files_scanned = %d" path
+      reanalyzed files;
+  let _typed = non_negative_int "typed_modules" in
   let _supp = non_negative_int "suppressions" in
   let errors = non_negative_int "error_count" in
   let warnings = non_negative_int "warning_count" in
@@ -196,9 +233,10 @@ let check_lint path member =
           | s -> fail "%s: rules[%d].severity %S is not error/warning" path i s)
         rules
   | _ -> fail "%s: rules is not a list" path);
-  match member "diagnostics" with
+  let counted = ref 0 in
+  let baselined_true = ref 0 in
+  (match member "diagnostics" with
   | Obs.Json.List diags ->
-      let counted = ref 0 in
       List.iteri
         (fun i d ->
           let field name =
@@ -215,6 +253,39 @@ let check_lint path member =
           (match Obs.Json.to_int (field "col") with
           | Some c when c >= 0 -> ()
           | _ -> fail "%s: diagnostics[%d].col is not a non-negative integer" path i);
+          (* Typed rules attach their witness as a call-path trace;
+             syntactic rules attach []. *)
+          (match field "trace" with
+          | Obs.Json.List frames ->
+              List.iteri
+                (fun j f ->
+                  let ffield name =
+                    match Obs.Json.member name f with
+                    | Some v -> v
+                    | None ->
+                        fail "%s: diagnostics[%d].trace[%d] missing field %S"
+                          path i j name
+                  in
+                  (match (ffield "symbol", ffield "file") with
+                  | Obs.Json.String s, Obs.Json.String _ when s <> "" -> ()
+                  | _ ->
+                      fail
+                        "%s: diagnostics[%d].trace[%d] symbol/file must be \
+                         non-empty strings"
+                        path i j);
+                  match (Obs.Json.to_int (ffield "line"),
+                         Obs.Json.to_int (ffield "col")) with
+                  | Some l, Some c when l >= 1 && c >= 0 -> ()
+                  | _ ->
+                      fail "%s: diagnostics[%d].trace[%d] line/col out of range"
+                        path i j)
+                frames
+          | _ -> fail "%s: diagnostics[%d].trace is not a list" path i);
+          (match Obs.Json.member "baselined" d with
+          | Some (Obs.Json.Bool true) -> incr baselined_true
+          | Some (Obs.Json.Bool false) | None -> ()
+          | Some _ ->
+              fail "%s: diagnostics[%d].baselined is not a boolean" path i);
           match field "severity" with
           | Obs.Json.String ("error" | "warning") -> incr counted
           | _ -> fail "%s: diagnostics[%d].severity is not error/warning" path i)
@@ -222,7 +293,25 @@ let check_lint path member =
       if !counted <> errors + warnings then
         fail "%s: error_count + warning_count = %d but %d diagnostics listed"
           path (errors + warnings) !counted
-  | _ -> fail "%s: diagnostics is not a list" path
+  | _ -> fail "%s: diagnostics is not a list" path);
+  match Obs.Json.member "baseline" json with
+  | None -> ()
+  | Some b ->
+      let stat name =
+        match Option.bind (Obs.Json.member name b) Obs.Json.to_int with
+        | Some v when v >= 0 -> v
+        | _ -> fail "%s: baseline.%s is not a non-negative integer" path name
+      in
+      let matched = stat "matched" in
+      let fresh = stat "fresh" in
+      let _stale = stat "stale" in
+      if matched + fresh <> !counted then
+        fail
+          "%s: baseline claims %d matched + %d fresh but %d diagnostics listed"
+          path matched fresh !counted;
+      if matched <> !baselined_true then
+        fail "%s: baseline.matched = %d but %d diagnostics carry baselined=true"
+          path matched !baselined_true
 
 (* The checkpoint rule set leans on the resilience library itself:
    [Checkpoint.read] re-verifies the CRC, and [snapshot_of_json]
@@ -522,7 +611,7 @@ let () =
   in
   (match schema with
   | "sa-lab/bench-results/v1" -> check_bench path member
-  | "sa-lab/lint-report/v1" -> check_lint path member
+  | "sa-lab/lint-report/v2" -> check_lint path json member
   | "sa-lab/checkpoint/v1" -> check_checkpoint path
   | "sa-lab/supervisor-report/v1" -> check_supervisor_report path member
   | "sa-lab/portfolio-report/v1" -> check_portfolio_report path member

@@ -60,6 +60,7 @@ let delta_results = ref ([] : Obs.Json.t list)
 let scaling_results = ref ([] : Obs.Json.t list)
 let engine_evals_per_sec = ref 0.
 let profile_summary = ref Obs.Json.Null
+let lint_summary = ref Obs.Json.Null
 
 (* Per-table roll-up: wall time plus the spread of the numeric cells
    (for the reproduction tables those are costs/densities, so min and
@@ -110,6 +111,7 @@ let write_json () =
         ("micro", Obs.Json.List (List.rev !micro_results));
         ("delta", Obs.Json.List (List.rev !delta_results));
         ("scaling", Obs.Json.List (List.rev !scaling_results));
+        ("lint", !lint_summary);
       ]
   in
   let oc = open_out !json_path in
@@ -647,12 +649,82 @@ let run_profile () =
     (Telemetry_profile.self_by_span prof);
   profile_summary := Telemetry_profile.summary prof
 
+(* ------------------------------------------------------------------ *)
+(* Lint engine: incremental cache                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The syntactic lint pass over a synthetic source tree, once with an
+   empty cache and once again with the cache it just filled.  The warm
+   run must re-analyze zero files and return the same findings; the
+   cold/warm wall-time pair is the headline number for the cache. *)
+let run_lint_bench () =
+  section "Lint cache (cold vs warm)";
+  let files = 60 in
+  let dir = Filename.temp_dir "sa_lint_bench" "" in
+  let src = Filename.concat dir "src" in
+  Sys.mkdir src 0o755;
+  for i = 0 to files - 1 do
+    let oc = open_out (Filename.concat src (Printf.sprintf "m%02d.ml" i)) in
+    Printf.fprintf oc "let base = %d\n" i;
+    for j = 0 to 40 do
+      Printf.fprintf oc "let f%d x = x + base + %d\n" j j
+    done;
+    (* Every file carries one suppressed coercion (so directive parsing
+       is on the timed path); every seventh also carries a live one. *)
+    output_string oc
+      "(* sa-lint: allow no-obj-magic *)\nlet id (x : int) : int = Obj.magic x\n";
+    if i mod 7 = 0 then
+      output_string oc "let unsafe (x : int) : float = Obj.magic x\n";
+    close_out oc
+  done;
+  let rules = Lint_rules.builtin () in
+  let cache =
+    Lint_cache.create ~dir:(Filename.concat dir "cache") ~version:"bench"
+  in
+  let timed () =
+    let t0 = Obs.now () in
+    let report = Lint.run ~rules ~cache ~root:dir [ "src" ] in
+    (Obs.now () -. t0, report)
+  in
+  let cold_s, cold = timed () in
+  let warm_s, warm = timed () in
+  let rec rm_rf p =
+    if Sys.is_directory p then (
+      Array.iter (fun e -> rm_rf (Filename.concat p e)) (Sys.readdir p);
+      Sys.rmdir p)
+    else Sys.remove p
+  in
+  rm_rf dir;
+  let speedup = cold_s /. Float.max warm_s 1e-9 in
+  Printf.printf
+    "%d files: cold %.4f s (%d analyzed), warm %.4f s (%d analyzed), %.1fx\n"
+    cold.Lint.files_scanned cold_s cold.Lint.files_reanalyzed warm_s
+    warm.Lint.files_reanalyzed speedup;
+  if warm.Lint.files_reanalyzed <> 0 then
+    failwith "lint bench: warm run re-analyzed files";
+  if
+    List.length warm.Lint.diagnostics <> List.length cold.Lint.diagnostics
+    || warm.Lint.suppressions <> cold.Lint.suppressions
+  then failwith "lint bench: warm run disagrees with cold run";
+  lint_summary :=
+    Obs.Json.Obj
+      [
+        ("files", Obs.Json.Int cold.Lint.files_scanned);
+        ("findings", Obs.Json.Int (List.length cold.Lint.diagnostics));
+        ("cold_seconds", Obs.Json.Float cold_s);
+        ("warm_seconds", Obs.Json.Float warm_s);
+        ("cold_reanalyzed", Obs.Json.Int cold.Lint.files_reanalyzed);
+        ("warm_reanalyzed", Obs.Json.Int warm.Lint.files_reanalyzed);
+        ("speedup", Obs.Json.Float speedup);
+      ]
+
 let () =
   if not !skip_tables then print_tables ();
   measure_throughput ();
   run_profile ();
   run_delta_comparison ();
   run_portfolio_scaling ();
+  run_lint_bench ();
   if not !skip_micro then run_micro ();
   write_json ();
   print_newline ()

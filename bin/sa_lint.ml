@@ -1,39 +1,88 @@
 (* The project lint gate: `sa_lint [options] [paths...]` walks the
    given trees (default: lib bin bench test), runs the built-in rule
-   catalog, and exits non-zero on any finding — the `@lint` dune alias
-   and `make lint` are thin wrappers over this.
+   catalog — plus, under `--typed`, the interprocedural effect/race
+   rules over the `.cmt` files dune already produced — and exits
+   non-zero on findings.  The `@lint` dune alias and `make lint` are
+   thin wrappers over this.
+
+   Exit codes: 0 clean; 1 findings (with `--baseline`, *fresh*
+   findings only); 2 engine error — unreadable paths or files the
+   front end could not parse.
 
    Output is the human text report by default; `--json` emits the
-   sa-lab/lint-report/v1 document to stdout and `--json-file PATH`
-   writes it to a file (both may be combined with the text report
-   suppressed only in `--json` mode). *)
+   sa-lab/lint-report/v2 document to stdout and `--json-file PATH`
+   writes it to a file. *)
 
-let usage = "usage: sa_lint [--root DIR] [--json] [--json-file PATH] [--list-rules] [paths...]"
+let usage =
+  "usage: sa_lint [--root DIR] [--typed] [--cache] [--cache-dir DIR]\n\
+  \               [--baseline PATH] [--write-baseline PATH]\n\
+  \               [--error RULE] [--max-warnings N] [--explain RULE]\n\
+  \               [--json] [--json-file PATH] [--list-rules] [paths...]"
 
 let () =
   let root = ref "." in
   let json_stdout = ref false in
   let json_file = ref "" in
   let list_rules = ref false in
+  let typed = ref false in
+  let use_cache = ref false in
+  let cache_dir = ref "" in
+  let baseline_path = ref "" in
+  let write_baseline = ref "" in
+  let explain = ref "" in
+  let promote = ref [] in
+  let max_warnings = ref 0 in
   let paths = ref [] in
   let spec =
     [
-      ("--root", Arg.Set_string root, "DIR directory the paths are relative to (default .)");
-      ("--json", Arg.Set json_stdout, " print the sa-lab/lint-report/v1 JSON to stdout");
-      ("--json-file", Arg.Set_string json_file, "PATH also write the JSON report to PATH");
-      ("--list-rules", Arg.Set list_rules, " print the rule catalog and exit");
+      ("--root", Arg.Set_string root,
+       "DIR directory the paths are relative to (default .)");
+      ("--typed", Arg.Set typed,
+       " run the interprocedural effect/race rules over _build .cmt files");
+      ("--cache", Arg.Set use_cache,
+       " reuse per-file results for unchanged files (_build/sa_lint_cache)");
+      ("--cache-dir", Arg.Set_string cache_dir,
+       "DIR cache directory (implies --cache)");
+      ("--baseline", Arg.Set_string baseline_path,
+       "PATH ratchet file: only findings not in it fail the run");
+      ("--write-baseline", Arg.Set_string write_baseline,
+       "PATH write a baseline covering the current findings, then exit 0");
+      ("--error", Arg.String (fun r -> promote := r :: !promote),
+       "RULE promote a warning rule to error (repeatable)");
+      ("--max-warnings", Arg.Set_int max_warnings,
+       "N tolerate up to N warnings before exiting 1 (default 0)");
+      ("--explain", Arg.Set_string explain,
+       "RULE print the full rationale for one rule and exit");
+      ("--json", Arg.Set json_stdout,
+       " print the sa-lab/lint-report/v2 JSON to stdout");
+      ("--json-file", Arg.Set_string json_file,
+       "PATH also write the JSON report to PATH");
+      ("--list-rules", Arg.Set list_rules,
+       " print the rule catalog and exit");
     ]
   in
   Arg.parse spec (fun p -> paths := p :: !paths) usage;
   Lint_rules.register_builtin ();
+  Race_rules.register_builtin ();
   if !list_rules then begin
     List.iter
       (fun r ->
-        Printf.printf "%-22s %-7s %s\n" r.Lint_rule.name
+        Printf.printf "%-32s %-7s %s\n" r.Lint_rule.name
           (Lint_diagnostic.severity_name r.Lint_rule.severity)
           r.Lint_rule.doc)
       (Lint_rule.all ());
     exit 0
+  end;
+  if !explain <> "" then begin
+    match Lint_rule.find !explain with
+    | Some r ->
+        Printf.printf "%s (%s)\n  %s\n\n%s\n" r.Lint_rule.name
+          (Lint_diagnostic.severity_name r.Lint_rule.severity)
+          r.Lint_rule.doc r.Lint_rule.explain;
+        exit 0
+    | None ->
+        Printf.eprintf "sa-lint: unknown rule %s (try --list-rules)\n" !explain;
+        exit 2
   end;
   let paths =
     match List.rev !paths with
@@ -45,19 +94,96 @@ let () =
           [ "lib"; "bin"; "bench"; "test" ]
     | ps -> ps
   in
+  let policy = if !typed then Some Callgraph.repo_policy else None in
+  let cache =
+    if !use_cache || !cache_dir <> "" then
+      let dir =
+        if !cache_dir <> "" then !cache_dir
+        else Filename.concat !root (Filename.concat "_build" "sa_lint_cache")
+      in
+      let version =
+        Lint_rule.fingerprint () ^ "\x00"
+        ^
+        match policy with
+        | Some p -> Callgraph.policy_fingerprint p
+        | None -> "untyped"
+      in
+      Some (Lint_cache.create ~dir ~version)
+    else None
+  in
   let report =
-    try Lint.run ~root:!root paths
+    try Lint.run ?cache ?typed:policy ~root:!root paths
     with Sys_error msg ->
       prerr_endline msg;
       exit 2
   in
+  (* `--error RULE` promotes after the fact: severity lives on each
+     diagnostic, so promotion affects counting and exit status without
+     touching the registered rule set (or the cache, which stores raw
+     results). *)
+  let report =
+    if !promote = [] then report
+    else
+      {
+        report with
+        Lint.diagnostics =
+          List.map
+            (fun d ->
+              if List.mem d.Lint_diagnostic.rule !promote then
+                { d with Lint_diagnostic.severity = Lint_diagnostic.Error }
+              else d)
+            report.Lint.diagnostics;
+      }
+  in
+  if !write_baseline <> "" then begin
+    let b = Baseline.of_diagnostics report.Lint.diagnostics in
+    let oc = open_out !write_baseline in
+    output_string oc (Obs.Json.to_string (Baseline.to_json b));
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "sa-lint: baseline written to %s (%d findings)\n"
+      !write_baseline (Baseline.size b);
+    exit 0
+  end;
+  let baseline =
+    if !baseline_path = "" then None
+    else
+      match Baseline.load !baseline_path with
+      | Some b -> Some (Baseline.apply b report.Lint.diagnostics)
+      | None ->
+          Printf.eprintf
+            "sa-lint: baseline %s missing or unreadable; treating as empty\n"
+            !baseline_path;
+          Some (Baseline.apply Baseline.empty report.Lint.diagnostics)
+  in
   if !json_file <> "" then begin
     let oc = open_out !json_file in
-    output_string oc (Obs.Json.to_string (Lint.to_json report));
+    output_string oc (Obs.Json.to_string (Lint.to_json ?baseline report));
     output_char oc '\n';
     close_out oc
   end;
   if !json_stdout then
-    print_endline (Obs.Json.to_string (Lint.to_json report))
-  else Format.printf "%a@?" Lint.pp_text report;
-  if report.Lint.diagnostics <> [] then exit 1
+    print_endline (Obs.Json.to_string (Lint.to_json ?baseline report))
+  else Format.printf "%a@?" (fun ppf -> Lint.pp_text ?baseline ppf) report;
+  (match baseline with
+  | Some (_, stats) when stats.Baseline.stale > 0 ->
+      Printf.eprintf
+        "sa-lint: baseline has %d stale entr%s; regenerate with make \
+         lint-baseline to keep the ratchet tight\n"
+        stats.Baseline.stale
+        (if stats.Baseline.stale = 1 then "y" else "ies")
+  | _ -> ());
+  (* Engine trouble (unparseable files) is 2, findings are 1. *)
+  if Lint.parse_error_count report > 0 then exit 2;
+  let counted =
+    match baseline with
+    | None -> report.Lint.diagnostics
+    | Some (marked, _) ->
+        List.filter_map (fun (d, b) -> if b then None else Some d) marked
+  in
+  let errors, warnings =
+    List.partition
+      (fun d -> d.Lint_diagnostic.severity = Lint_diagnostic.Error)
+      counted
+  in
+  if errors <> [] || List.length warnings > !max_warnings then exit 1

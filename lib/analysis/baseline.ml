@@ -1,0 +1,130 @@
+(* The ratchet.  Entries are keyed (rule, file, message) with a count
+   — deliberately line-free, so reformatting or adding code above a
+   known finding does not churn the baseline, while a *new* instance
+   of the same message in the same file still shows up as fresh once
+   the count is exceeded. *)
+
+type entry = { rule : string; file : string; message : string; count : int }
+type t = { entries : entry list }
+
+type stats = { matched : int; fresh : int; stale : int }
+
+let empty = { entries = [] }
+
+let key (d : Lint_diagnostic.t) =
+  (d.Lint_diagnostic.rule, d.Lint_diagnostic.file, d.Lint_diagnostic.message)
+
+let of_diagnostics diags =
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun d ->
+      let k = key d in
+      Hashtbl.replace counts k
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)))
+    diags;
+  let entries =
+    Hashtbl.fold
+      (fun (rule, file, message) count acc ->
+        { rule; file; message; count } :: acc)
+      counts []
+  in
+  {
+    entries =
+      List.sort
+        (fun a b ->
+          match compare a.rule b.rule with
+          | 0 -> (
+              match compare a.file b.file with
+              | 0 -> compare a.message b.message
+              | c -> c)
+          | c -> c)
+        entries;
+  }
+
+(* Walk the (sorted) diagnostics consuming baseline budget per key:
+   the first [count] instances of a key are baselined, the rest are
+   fresh.  Left-over budget means the baseline has stale entries — the
+   ratchet should be regenerated (shrinking only). *)
+let apply t diags =
+  let budget = Hashtbl.create 64 in
+  List.iter
+    (fun e -> Hashtbl.replace budget (e.rule, e.file, e.message) e.count)
+    t.entries;
+  let matched = ref 0 and fresh = ref 0 in
+  let marked =
+    List.map
+      (fun d ->
+        let k = key d in
+        match Hashtbl.find_opt budget k with
+        | Some n when n > 0 ->
+            Hashtbl.replace budget k (n - 1);
+            incr matched;
+            (d, true)
+        | _ ->
+            incr fresh;
+            (d, false))
+      diags
+  in
+  let stale = Hashtbl.fold (fun _ n acc -> acc + n) budget 0 in
+  (marked, { matched = !matched; fresh = !fresh; stale })
+
+let to_json t =
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.String "sa-lab/lint-baseline/v1");
+      ( "entries",
+        Obs.Json.List
+          (List.map
+             (fun e ->
+               Obs.Json.Obj
+                 [
+                   ("rule", Obs.Json.String e.rule);
+                   ("file", Obs.Json.String e.file);
+                   ("message", Obs.Json.String e.message);
+                   ("count", Obs.Json.Int e.count);
+                 ])
+             t.entries) );
+    ]
+
+let of_json j =
+  match Obs.Json.member "entries" j with
+  | Some (Obs.Json.List l) ->
+      let entries =
+        List.filter_map
+          (fun e ->
+            let str name =
+              match Obs.Json.member name e with
+              | Some (Obs.Json.String s) -> Some s
+              | _ -> None
+            in
+            match (str "rule", str "file", str "message") with
+            | Some rule, Some file, Some message ->
+                Some
+                  {
+                    rule;
+                    file;
+                    message;
+                    count =
+                      Option.value ~default:1
+                        (Option.bind (Obs.Json.member "count" e) Obs.Json.to_int);
+                  }
+            | _ -> None)
+          l
+      in
+      Some { entries }
+  | _ -> None
+
+let load path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic -> (
+      let contents =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match Obs.Json.parse contents with
+      | Ok j -> of_json j
+      | Error _ -> None)
+
+let size t = List.fold_left (fun acc e -> acc + e.count) 0 t.entries

@@ -1,0 +1,38 @@
+(** The baseline ratchet ([lint_baseline.json]).
+
+    A baseline is a multiset of known findings keyed
+    [(rule, file, message)] — deliberately line-free, so moving code
+    around a known finding does not churn the file, while a new
+    instance of the same message in the same file exceeds the count
+    and surfaces as fresh.  CI fails on fresh findings only; the
+    checked-in baseline may shrink but never grow (regenerate it with
+    [make lint-baseline] after fixing findings). *)
+
+type t
+
+type stats = {
+  matched : int;  (** diagnostics covered by the baseline *)
+  fresh : int;  (** diagnostics NOT covered — what CI fails on *)
+  stale : int;  (** baseline budget no current diagnostic uses *)
+}
+
+val empty : t
+
+val of_diagnostics : Lint_diagnostic.t list -> t
+(** Build a baseline covering exactly the given findings. *)
+
+val apply : t -> Lint_diagnostic.t list -> (Lint_diagnostic.t * bool) list * stats
+(** Mark each diagnostic baselined ([true]) or fresh ([false]),
+    consuming baseline budget in diagnostic order. *)
+
+val load : string -> t option
+(** [None] when the file is missing or unparseable (treated by the
+    driver as an empty baseline plus a warning, not a crash). *)
+
+val to_json : t -> Obs.Json.t
+(** The [sa-lab/lint-baseline/v1] document, entries sorted. *)
+
+val of_json : Obs.Json.t -> t option
+
+val size : t -> int
+(** Total finding budget (sum of entry counts). *)

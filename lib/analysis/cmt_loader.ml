@@ -1,0 +1,69 @@
+(* Loading the compiler's typed-tree artifacts.  Dune leaves one
+   [.cmt] per compiled module under [.<lib>.objs/byte/]; since the
+   lint executable is built with the same compiler that produced them,
+   [Cmt_format.read_cmt] gives us the typedtree directly — no re-type
+   pass, no environment setup. *)
+
+type t = {
+  modname : string;
+  source : string option;  (* path as the compiler saw it *)
+  structure : Typedtree.structure option;  (* None for interfaces/packs *)
+  cmt_path : string;
+}
+
+let is_cmt p = Filename.check_suffix p ".cmt"
+
+let find_cmts dirs =
+  let results = ref [] in
+  let rec walk dir =
+    match Sys.readdir dir with
+    | entries ->
+        Array.iter
+          (fun entry ->
+            let p = Filename.concat dir entry in
+            if Sys.is_directory p then walk p
+            else if is_cmt entry then results := p :: !results)
+          entries
+    | exception Sys_error _ -> ()
+  in
+  List.iter (fun d -> if Sys.file_exists d && Sys.is_directory d then walk d) dirs;
+  List.sort String.compare !results
+
+(* Default search roots for a lint invocation rooted at [root]: when
+   run from the source tree, the artifacts live under [_build/default];
+   when run inside a dune action (cwd already [_build/default]), the
+   [.objs] directories sit next to the sources. *)
+let default_dirs ~root paths =
+  let base =
+    let b = Filename.concat (Filename.concat root "_build") "default" in
+    if Sys.file_exists b && Sys.is_directory b then b else root
+  in
+  List.filter_map
+    (fun p ->
+      let d = if p = "" || p = "." then base else Filename.concat base p in
+      if Sys.file_exists d && Sys.is_directory d then Some d else None)
+    paths
+
+let load path =
+  match Cmt_format.read_cmt path with
+  | infos ->
+      let structure =
+        match infos.Cmt_format.cmt_annots with
+        | Cmt_format.Implementation str -> Some str
+        | _ -> None
+      in
+      Ok
+        {
+          modname = infos.Cmt_format.cmt_modname;
+          source = infos.Cmt_format.cmt_sourcefile;
+          structure;
+          cmt_path = path;
+        }
+  | exception Sys_error msg -> Error msg
+  | exception Cmi_format.Error _ ->
+      Error (Printf.sprintf "%s: not a cmt file (bad magic or format)" path)
+  | exception Failure msg -> Error (Printf.sprintf "%s: %s" path msg)
+  | exception End_of_file -> Error (Printf.sprintf "%s: truncated cmt" path)
+
+let read_digest path =
+  Digest.to_hex (Digest.file path)

@@ -1,0 +1,34 @@
+(** Discovery and loading of [.cmt] typed-tree artifacts.
+
+    The typed pass reads the binary annotations dune already produces
+    ([-bin-annot] is on by default), so "analyze the whole program"
+    costs one [Cmt_format.read_cmt] per module — no re-typing. *)
+
+type t = {
+  modname : string;  (** compilation unit name, e.g. ["Portfolio"] *)
+  source : string option;
+      (** source path as given to the compiler, e.g.
+          ["lib/portfolio/portfolio.ml"] *)
+  structure : Typedtree.structure option;
+      (** the implementation's typedtree; [None] for interface-only or
+          packed units *)
+  cmt_path : string;
+}
+
+val find_cmts : string list -> string list
+(** Recursively collect every [*.cmt] under the given directories
+    (hidden directories such as [.sa_pool.objs] are searched —
+    that is where dune puts them).  Missing directories are skipped. *)
+
+val default_dirs : root:string -> string list -> string list
+(** Where to look for the artifacts of [paths] (e.g. [["lib"]]) under
+    [root]: prefers [root/_build/default/<p>] (running from a source
+    checkout), falling back to [root/<p>] (running inside a dune
+    action whose cwd is already the build tree). *)
+
+val load : string -> (t, string) result
+(** Read one [.cmt]; corrupt, truncated, or wrong-magic files are
+    [Error], never an exception. *)
+
+val read_digest : string -> string
+(** Hex content digest of a file (cache key ingredient). *)

@@ -1,0 +1,135 @@
+(* The incremental cache: one small JSON file per cached result,
+   keyed by content digest + the engine's version fingerprint (rule
+   set, policy, and format), so editing a rule or the policy
+   invalidates everything at once with no stampede logic.  Entries are
+   immutable once written; stale keys are simply never read again. *)
+
+type t = {
+  dir : string;
+  version : string;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let format_version = "sa-lint-cache/2"
+
+let rec mkdirs dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdirs (Filename.dirname dir);
+    match Sys.mkdir dir 0o755 with
+    | () -> ()
+    | exception Sys_error _ ->
+        (* lost a race with a concurrent build action, or truly
+           unwritable — the latter surfaces on the first store *)
+        ()
+  end
+
+let create ~dir ~version =
+  mkdirs dir;
+  {
+    dir;
+    version = format_version ^ "\x00" ^ version;
+    hits = 0;
+    misses = 0;
+  }
+
+let key t ~kind ~path ~digest =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00" [ t.version; kind; path; digest ]))
+
+let entry_path t key = Filename.concat t.dir (key ^ ".json")
+
+let read_entry t key =
+  let path = entry_path t key in
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic -> (
+      let contents =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match Obs.Json.parse contents with
+      | Ok j -> Some j
+      | Error _ -> None)
+
+(* Atomic-enough write: temp file + rename, so a concurrently reading
+   process never sees a torn entry.  (Concurrent writers of the same
+   key are writing identical bytes — same digest — so the last rename
+   winning is fine.) *)
+let write_entry t key json =
+  let path = entry_path t key in
+  let tmp = path ^ ".tmp" in
+  match open_out_bin tmp with
+  | exception Sys_error _ -> ()
+  | oc ->
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (Obs.Json.to_string json));
+      (match Sys.rename tmp path with
+      | () -> ()
+      | exception Sys_error _ -> ( try Sys.remove tmp with Sys_error _ -> ()))
+
+(* Per-file syntactic results: raw (pre-suppression) diagnostics plus
+   the suppression table, both needed to replay the filter against a
+   possibly different CLI configuration. *)
+
+let find_file t ~path ~digest =
+  let key = key t ~kind:"file" ~path ~digest in
+  match read_entry t key with
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+  | Some j ->
+      let diags =
+        match Obs.Json.member "diagnostics" j with
+        | Some (Obs.Json.List l) ->
+            Some (List.filter_map Lint_diagnostic.of_json l)
+        | _ -> None
+      in
+      let suppress =
+        Option.map Lint_suppress.of_json (Obs.Json.member "suppress" j)
+      in
+      (match (diags, suppress) with
+      | Some d, Some s ->
+          t.hits <- t.hits + 1;
+          Some (d, s)
+      | _ ->
+          t.misses <- t.misses + 1;
+          None)
+
+let store_file t ~path ~digest (diags, suppress) =
+  let key = key t ~kind:"file" ~path ~digest in
+  write_entry t key
+    (Obs.Json.Obj
+       [
+         ("path", Obs.Json.String path);
+         ( "diagnostics",
+           Obs.Json.List (List.map Lint_diagnostic.to_json diags) );
+         ("suppress", Lint_suppress.to_json suppress);
+       ])
+
+(* Per-.cmt typed summaries, keyed by the cmt file's digest. *)
+
+let find_summary t ~path ~digest =
+  let key = key t ~kind:"cmt" ~path ~digest in
+  match read_entry t key with
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+  | Some j -> (
+      match Callgraph.summary_of_json j with
+      | Some s ->
+          t.hits <- t.hits + 1;
+          Some s
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+let store_summary t ~path ~digest summary =
+  let key = key t ~kind:"cmt" ~path ~digest in
+  write_entry t key (Callgraph.summary_to_json summary)
+
+let hits t = t.hits
+let misses t = t.misses

@@ -1,0 +1,40 @@
+(** The incremental result cache under [_build/sa_lint_cache/].
+
+    One JSON file per entry, named by a digest of (format version,
+    rule-set fingerprint + policy fingerprint, entry kind, path,
+    content digest) — so touching a rule, the policy, or a source file
+    changes the key and the old entry is simply never read again.
+    Writes go through a temp-file rename; a failed read or a corrupt
+    entry degrades to a miss, never an error.
+
+    Two entry kinds: syntactic per-file results (raw pre-suppression
+    diagnostics + the file's suppression table, so suppression
+    filtering can be replayed) and per-[.cmt] call-graph summaries
+    (the expensive part of the typed pass). *)
+
+type t
+
+val create : dir:string -> version:string -> t
+(** Create/open the cache directory.  [version] is the caller's
+    fingerprint (rule set + policy); the cache composes it with its
+    own format version. *)
+
+val find_file :
+  t -> path:string -> digest:string ->
+  (Lint_diagnostic.t list * Lint_suppress.t) option
+
+val store_file :
+  t -> path:string -> digest:string ->
+  Lint_diagnostic.t list * Lint_suppress.t -> unit
+
+val find_summary :
+  t -> path:string -> digest:string -> Callgraph.summary option
+
+val store_summary :
+  t -> path:string -> digest:string -> Callgraph.summary -> unit
+
+val hits : t -> int
+(** Entries served from disk this run. *)
+
+val misses : t -> int
+(** Lookups that had to be recomputed this run. *)

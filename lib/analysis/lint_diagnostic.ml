@@ -1,5 +1,10 @@
 type severity = Error | Warning
 
+(* One step of a typed-rule witness: a definition (or the primitive
+   use site, as the last frame) on the call path from the flagged site
+   to the effect. *)
+type frame = { symbol : string; file : string; line : int; col : int }
+
 type t = {
   rule : string;
   severity : severity;
@@ -9,9 +14,15 @@ type t = {
   end_line : int;
   end_col : int;
   message : string;
+  trace : frame list;  (* empty for syntactic rules *)
 }
 
 let severity_name = function Error -> "error" | Warning -> "warning"
+
+let severity_of_name = function
+  | "error" -> Some Error
+  | "warning" -> Some Warning
+  | _ -> None
 
 let compare a b =
   match String.compare a.file b.file with
@@ -26,17 +37,75 @@ let compare a b =
 
 let pp ppf d =
   Format.fprintf ppf "%s:%d:%d: %s [%s] %s" d.file d.line d.col
-    (severity_name d.severity) d.rule d.message
+    (severity_name d.severity) d.rule d.message;
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "@.    via %s (%s:%d:%d)" f.symbol f.file f.line
+        f.col)
+    d.trace
 
-let to_json d =
+let frame_to_json f =
   Obs.Json.Obj
     [
-      ("rule", Obs.Json.String d.rule);
-      ("severity", Obs.Json.String (severity_name d.severity));
-      ("file", Obs.Json.String d.file);
-      ("line", Obs.Json.Int d.line);
-      ("col", Obs.Json.Int d.col);
-      ("end_line", Obs.Json.Int d.end_line);
-      ("end_col", Obs.Json.Int d.end_col);
-      ("message", Obs.Json.String d.message);
+      ("symbol", Obs.Json.String f.symbol);
+      ("file", Obs.Json.String f.file);
+      ("line", Obs.Json.Int f.line);
+      ("col", Obs.Json.Int f.col);
     ]
+
+let to_json ?baselined d =
+  Obs.Json.Obj
+    ([
+       ("rule", Obs.Json.String d.rule);
+       ("severity", Obs.Json.String (severity_name d.severity));
+       ("file", Obs.Json.String d.file);
+       ("line", Obs.Json.Int d.line);
+       ("col", Obs.Json.Int d.col);
+       ("end_line", Obs.Json.Int d.end_line);
+       ("end_col", Obs.Json.Int d.end_col);
+       ("message", Obs.Json.String d.message);
+       ("trace", Obs.Json.List (List.map frame_to_json d.trace));
+     ]
+    @
+    match baselined with
+    | Some b -> [ ("baselined", Obs.Json.Bool b) ]
+    | None -> [])
+
+let frame_of_json j =
+  let str name =
+    match Obs.Json.member name j with
+    | Some (Obs.Json.String s) -> Some s
+    | _ -> None
+  in
+  let int name = Option.bind (Obs.Json.member name j) Obs.Json.to_int in
+  match (str "symbol", str "file", int "line", int "col") with
+  | Some symbol, Some file, Some line, Some col ->
+      Some { symbol; file; line; col }
+  | _ -> None
+
+let of_json j =
+  let str name =
+    match Obs.Json.member name j with
+    | Some (Obs.Json.String s) -> Some s
+    | _ -> None
+  in
+  let int name = Option.bind (Obs.Json.member name j) Obs.Json.to_int in
+  match
+    ( str "rule",
+      Option.bind (str "severity") severity_of_name,
+      str "file",
+      str "message",
+      int "line",
+      int "col" )
+  with
+  | Some rule, Some severity, Some file, Some message, Some line, Some col ->
+      let end_line = Option.value ~default:line (int "end_line") in
+      let end_col = Option.value ~default:col (int "end_col") in
+      let trace =
+        match Obs.Json.member "trace" j with
+        | Some (Obs.Json.List l) -> List.filter_map frame_of_json l
+        | _ -> []
+      in
+      Some
+        { rule; severity; file; line; col; end_line; end_col; message; trace }
+  | _ -> None

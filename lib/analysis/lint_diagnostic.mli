@@ -6,6 +6,11 @@
 
 type severity = Error | Warning
 
+(** One step of a typed-rule witness: a definition (or, as the last
+    frame, the primitive use site) on the call path from the flagged
+    site to the effect. *)
+type frame = { symbol : string; file : string; line : int; col : int }
+
 type t = {
   rule : string;  (** name of the rule that fired, e.g. ["no-obj-magic"] *)
   severity : severity;
@@ -15,16 +20,27 @@ type t = {
   end_line : int;
   end_col : int;
   message : string;
+  trace : frame list;
+      (** the effect's call path for typed rules; empty for the
+          syntactic ones *)
 }
 
 val severity_name : severity -> string
 (** ["error"] or ["warning"]. *)
+
+val severity_of_name : string -> severity option
 
 val compare : t -> t -> int
 (** Order by [file], [line], [col], then [rule]: the stable report
     order used by both reporters and the golden tests. *)
 
 val pp : Format.formatter -> t -> unit
-(** [file:line:col: severity [rule] message] on one line. *)
+(** [file:line:col: severity [rule] message], followed by one indented
+    [via ...] line per trace frame. *)
 
-val to_json : t -> Obs.Json.t
+val to_json : ?baselined:bool -> t -> Obs.Json.t
+(** The [sa-lab/lint-report/v2] diagnostic object.  [baselined] adds
+    the ratchet marker (present only when a baseline was applied). *)
+
+val of_json : Obs.Json.t -> t option
+(** Inverse of {!to_json} (used by the incremental cache). *)

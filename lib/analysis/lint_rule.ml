@@ -9,11 +9,16 @@ type source_file = {
 type check =
   | Structure of (source_file -> Parsetree.structure -> Lint_diagnostic.t list)
   | Fileset of (source_file list -> Lint_diagnostic.t list)
+  | Typed of
+      (policy:Callgraph.policy ->
+      Callgraph.program ->
+      Lint_diagnostic.t list)
 
 type t = {
   name : string;
   severity : Lint_diagnostic.severity;
   doc : string;
+  explain : string;
   check : check;
 }
 
@@ -48,4 +53,18 @@ let diag ~rule ~file ~loc message =
     end_line = e.pos_lnum;
     end_col = e.pos_cnum - e.pos_bol;
     message;
+    trace = [];
   }
+
+(* Fingerprint of the registered rule set; changing any rule's name,
+   severity, doc, or the set itself invalidates every cache entry. *)
+let fingerprint () =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\n"
+          (List.map
+             (fun r ->
+               r.name ^ "\x00"
+               ^ Lint_diagnostic.severity_name r.severity
+               ^ "\x00" ^ r.doc)
+             !registry)))

@@ -1,11 +1,14 @@
 (** The rule abstraction and registry.
 
-    A rule is either a [Structure] check, run over the parsetree of
-    each [.ml] file, or a [Fileset] check, run once over the whole set
-    of scanned files (for layout invariants like "every library module
-    ships an interface").  Rules are registered once at startup
-    ({!Lint_rules.register_builtin}) and looked up by name for
-    documentation and suppression validation. *)
+    A rule is a [Structure] check (run over the parsetree of each
+    [.ml] file), a [Fileset] check (run once over the whole set of
+    scanned files, for layout invariants like "every library module
+    ships an interface"), or a [Typed] check (run once over the
+    whole-program call graph built from [.cmt] files — the effect and
+    race rules).  Rules are registered once at startup
+    ({!Lint_rules.register_builtin}, {!Race_rules.register_builtin})
+    and looked up by name for documentation, [--explain], and
+    suppression validation. *)
 
 (** What a structure rule sees about the file it is checking. *)
 type source_file = {
@@ -21,11 +24,18 @@ type source_file = {
 type check =
   | Structure of (source_file -> Parsetree.structure -> Lint_diagnostic.t list)
   | Fileset of (source_file list -> Lint_diagnostic.t list)
+  | Typed of
+      (policy:Callgraph.policy ->
+      Callgraph.program ->
+      Lint_diagnostic.t list)
 
 type t = {
   name : string;
   severity : Lint_diagnostic.severity;
   doc : string;  (** one-line description for [--list-rules] and JSON *)
+  explain : string;
+      (** the longer story behind the rule, printed by
+          [sa_lint --explain <rule>] *)
   check : check;
 }
 
@@ -48,4 +58,8 @@ val diag :
   string ->
   Lint_diagnostic.t
 (** Convenience constructor mapping a compiler location to a
-    diagnostic. *)
+    diagnostic (with an empty trace). *)
+
+val fingerprint : unit -> string
+(** Digest of the registered rule set — part of every incremental
+    cache key, so editing the rules invalidates cached results. *)

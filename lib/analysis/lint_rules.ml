@@ -53,6 +53,14 @@ let no_stdlib_random =
       doc =
         "Stdlib.Random is hidden global state; draw from an explicit Rng.t \
          (lib/rng) so every run is a pure function of its seed";
+      explain =
+        "The paper's tables are all statistics over repeated annealing runs, \
+         and the whole apparatus (checkpoint/replay, racing portfolios, \
+         property tests) assumes a run is a pure function of its recorded \
+         seed. Stdlib.Random draws from one ambient generator shared by \
+         everything in the process, so any extra draw anywhere reorders every \
+         subsequent sample. Thread an explicit Rng.t (lib/rng), splitting \
+         streams where parallelism needs independence.";
       check = Lint_rule.Structure (fun file str -> check file str);
     }
   and check file str =
@@ -87,6 +95,12 @@ let no_self_init =
       doc =
         "self_init seeds from wall-clock/PID entropy: every table in the \
          paper reproduction must be replayable from a recorded seed";
+      explain =
+        "Random.self_init (and Rng wrappers of it) seeds from wall-clock and \
+         PID entropy, which makes the very first draw unreproducible — no \
+         recorded artifact can replay it. Accept a seed from the caller and \
+         build the generator with Rng.create ~seed; bin/ owns the one place \
+         where a fresh seed may be minted (and must log it).";
       check = Lint_rule.Structure (fun file str -> check file str);
     }
   and check file str =
@@ -108,6 +122,12 @@ let no_obj_magic =
       Lint_rule.name = "no-obj-magic";
       severity = Lint_diagnostic.Error;
       doc = "Obj.magic defeats the type checker; there is no sound use here";
+      explain =
+        "Obj.magic is an unchecked coercion: the compiler believes whatever \
+         type you assert, and a wrong assertion corrupts memory silently \
+         instead of failing a test. Nothing in a numeric experiment repo \
+         needs it — restructure with variants, GADTs, or first-class modules \
+         instead.";
       check = Lint_rule.Structure (fun file str -> check file str);
     }
   and check file str =
@@ -129,6 +149,13 @@ let no_catchall_exn =
       doc =
         "a bare `with _ ->` swallows Out_of_memory, Stack_overflow and \
          contract violations; match the exceptions you mean to handle";
+      explain =
+        "A bare `with _ ->` (or `match ... with exception _ ->`) catches \
+         Out_of_memory, Stack_overflow, Assert_failure and every contract \
+         violation alongside the error you meant to handle, converting \
+         crashes into silently-wrong numbers. Name the exceptions the site \
+         expects; let everything else propagate to the supervisor, which \
+         records it per-run.";
       check = Lint_rule.Structure (fun file str -> check file str);
     }
   and catchall_case c =
@@ -181,6 +208,12 @@ let no_print_in_lib =
       doc =
         "library code must stay silent: report through Obs sinks so callers \
          own the channels (printing belongs to bin/ and bench/)";
+      explain =
+        "Printing from lib/ couples engine code to the process's std \
+         channels: it garbles concurrent runs, breaks machine-readable \
+         output modes, and can't be redirected per-run. Emit an Obs event or \
+         accept a Format.formatter so the caller (bin/, bench/) decides \
+         where bytes go.";
       check = Lint_rule.Structure (fun file str -> check file str);
     }
   and check file str =
@@ -212,6 +245,12 @@ let no_exit_in_lib =
         "exit from library code kills the whole process — under the \
          supervisor that would abort every remaining run of a campaign; \
          raise a typed exception and let bin/ pick the exit status";
+      explain =
+        "Stdlib.exit terminates the process from wherever it's called: under \
+         the portfolio supervisor that aborts every remaining run of a \
+         campaign and loses buffered telemetry. Library code should raise a \
+         typed exception; only bin/ entry points translate failures into \
+         exit statuses.";
       check = Lint_rule.Structure (fun file str -> check file str);
     }
   and check file str =
@@ -258,6 +297,14 @@ let no_physical_float_eq =
         "=/== on float operands (syntactic heuristic): NaN breaks =, and == \
          compares boxes; compare against a tolerance or use Float.equal \
          deliberately";
+      explain =
+        "(=) on floats is false for NaN = NaN and true for -0. = 0., and \
+         (==) compares boxed addresses, so both give surprising answers \
+         exactly where annealing arithmetic produces edge values. Compare \
+         |a - b| against a tolerance, or write Float.equal where \
+         bit-equality is genuinely intended. The check is a syntactic \
+         heuristic: it fires when either operand looks float-ish (literal, \
+         float arithmetic, Float.* name).";
       check = Lint_rule.Structure (fun file str -> check file str);
     }
   and check file str =
@@ -305,6 +352,13 @@ let no_blocking_io_in_worker =
          every task behind it in the deque waits out the syscall and racing \
          budgets skew; write to lock-free telemetry cells or Obs sinks and \
          do the IO on the caller's domain";
+      explain =
+        "Pool workers are domains: a task that parks in a syscall stalls \
+         every task queued behind it, which skews racing-portfolio budgets \
+         and wall-clock comparisons. This syntactic form only sees blocking \
+         names written literally inside the Pool.run/map call; the typed \
+         companion rule typed-blocking-io-in-worker follows calls \
+         interprocedurally through the .cmt call graph.";
       check = Lint_rule.Structure (fun file str -> check file str);
     }
   and blocking_ident = function
@@ -355,6 +409,12 @@ let mli_required =
       doc =
         "every lib/ module ships an interface: the .mli is where the \
          engine/problem contracts live";
+      explain =
+        "An .mli is the only place a module's contract is written down and \
+         the only thing that keeps internals from leaking into five call \
+         sites. Engine/problem/schedule signatures in this repo are load \
+         bearing — the portfolio and property harness program against them \
+         — so every lib/ module must ship one.";
       check = Lint_rule.Fileset (fun files -> check files);
     }
   and check files =
@@ -381,6 +441,7 @@ let mli_required =
                 end_col = 0;
                 message =
                   Printf.sprintf "library module has no interface: add %s" want;
+                trace = [];
               }
         else None)
       files

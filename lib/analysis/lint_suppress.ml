@@ -1,8 +1,23 @@
-type t = (int * string list) list
-(* (line, rules) pairs: the directive's effective lines are [line] and
-   [line + 1].  Small per-file lists; linear scans are fine. *)
+(* Suppression tables.
 
-let empty = []
+   A directive's reach used to be "its own line and the next" — which
+   left later lines of a multi-line expression uncovered.  Now each
+   [allow] directive is attached to the enclosing syntax: its range
+   extends to the end of the widest expression or structure item that
+   *starts* on the directive's line or the next one (so both the
+   trailing style and the directive-above style cover the whole
+   construct), never less than the historical two lines.  The
+   [allow-file] form silences its rules for the entire file. *)
+
+type entry = { start_line : int; end_line : int; rules : string list }
+
+type t = {
+  entries : entry list;
+  file_rules : string list;  (* rules silenced file-wide *)
+  directives : int;  (* how many directives built this table *)
+}
+
+let empty = { entries = []; file_rules = []; directives = 0 }
 
 let is_rule_char = function
   | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> true
@@ -30,20 +45,103 @@ let parse_directive text =
   if String.length text < plen || String.sub text 0 plen <> prefix then None
   else
     match split_words (String.sub text plen (String.length text - plen)) with
-    | "allow" :: rules when rules <> [] -> Some rules
+    | "allow" :: "file" :: rules when rules <> [] ->
+        (* split_words breaks "allow-file" at the '-'?  No: '-' is a
+           rule char, so "allow-file" stays one word — this arm is the
+           historical tolerance for "allow file r". *)
+        Some (`Allow_file rules)
+    | "allow-file" :: rules when rules <> [] -> Some (`Allow_file rules)
+    | "allow" :: rules when rules <> [] -> Some (`Allow rules)
     | _ -> None
 
-let of_comments comments =
-  List.filter_map
+(* The end line of the widest expression/structure-item span starting
+   on [line] or [line + 1]; at least [line + 1]. *)
+let reach spans line =
+  List.fold_left
+    (fun acc (s, e) -> if s = line || s = line + 1 then max acc e else acc)
+    (line + 1) spans
+
+let of_comments ~spans comments =
+  let entries = ref [] and file_rules = ref [] and directives = ref 0 in
+  List.iter
     (fun (text, loc) ->
       match parse_directive text with
-      | None -> None
-      | Some rules -> Some (loc.Location.loc_end.Lexing.pos_lnum, rules))
-    comments
+      | None -> ()
+      | Some (`Allow rules) ->
+          incr directives;
+          let line = loc.Location.loc_end.Lexing.pos_lnum in
+          entries :=
+            { start_line = line; end_line = reach spans line; rules }
+            :: !entries
+      | Some (`Allow_file rules) ->
+          incr directives;
+          file_rules := !file_rules @ rules)
+    comments;
+  { entries = List.rev !entries; file_rules = !file_rules;
+    directives = !directives }
 
 let suppressed t ~rule ~line =
-  List.exists
-    (fun (l, rules) -> (line = l || line = l + 1) && List.mem rule rules)
-    t
+  List.mem rule t.file_rules
+  || List.exists
+       (fun e ->
+         line >= e.start_line && line <= e.end_line && List.mem rule e.rules)
+       t.entries
 
-let count t = List.length t
+let count t = t.directives
+
+(* (De)serialization for the incremental cache. *)
+
+let to_json t =
+  Obs.Json.Obj
+    [
+      ( "entries",
+        Obs.Json.List
+          (List.map
+             (fun e ->
+               Obs.Json.Obj
+                 [
+                   ("start_line", Obs.Json.Int e.start_line);
+                   ("end_line", Obs.Json.Int e.end_line);
+                   ( "rules",
+                     Obs.Json.List
+                       (List.map (fun r -> Obs.Json.String r) e.rules) );
+                 ])
+             t.entries) );
+      ( "file_rules",
+        Obs.Json.List (List.map (fun r -> Obs.Json.String r) t.file_rules) );
+      ("directives", Obs.Json.Int t.directives);
+    ]
+
+let strings = function
+  | Obs.Json.List l ->
+      List.filter_map (function Obs.Json.String s -> Some s | _ -> None) l
+  | _ -> []
+
+let of_json j =
+  let int name = Option.bind (Obs.Json.member name j) Obs.Json.to_int in
+  let entries =
+    match Obs.Json.member "entries" j with
+    | Some (Obs.Json.List l) ->
+        List.filter_map
+          (fun e ->
+            let eint name = Option.bind (Obs.Json.member name e) Obs.Json.to_int in
+            match (eint "start_line", eint "end_line") with
+            | Some start_line, Some end_line ->
+                Some
+                  {
+                    start_line;
+                    end_line;
+                    rules =
+                      (match Obs.Json.member "rules" e with
+                      | Some r -> strings r
+                      | None -> []);
+                  }
+            | _ -> None)
+          l
+    | _ -> []
+  in
+  let file_rules =
+    match Obs.Json.member "file_rules" j with Some r -> strings r | None -> []
+  in
+  let directives = Option.value ~default:0 (int "directives") in
+  { entries; file_rules; directives }

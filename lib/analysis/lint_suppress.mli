@@ -1,17 +1,25 @@
-(** Per-site suppression: [(* sa-lint: allow <rule> ... *)].
+(** Suppression directives.
 
-    A suppression comment silences the named rules on the comment's
-    last line and on the line immediately below it, so both styles
-    work:
+    [(* sa-lint: allow <rule> ... *)] silences the named rules over
+    the {e enclosing expression span}: the range runs from the
+    directive's line to the end of the widest expression or structure
+    item starting on that line or the next, so a directive placed just
+    above a multi-line expression covers all of it (and never less
+    than the historical "this line and the next").
 
     {[
       let x = Obj.magic y (* sa-lint: allow no-obj-magic *)
 
-      (* sa-lint: allow no-obj-magic *)
-      let x = Obj.magic y
+      (* sa-lint: allow no-catchall-exn *)
+      let g () =
+        try f ()
+        with _ -> 0        (* still covered: same expression span *)
     ]}
 
-    Comments come from the compiler's lexer (via {!Lint.run}), so
+    [(* sa-lint: allow-file <rule> ... *)] silences the named rules
+    for the whole file (used by deliberately-nasty compiled fixtures).
+
+    Comments come from the compiler's lexer (via [Lint.run]), so
     strings and nested comments are handled exactly as OCaml does. *)
 
 type t
@@ -19,14 +27,18 @@ type t
 
 val empty : t
 
-val of_comments : (string * Location.t) list -> t
-(** Build the table from [Lexer.comments ()] output: comment text
-    (without the [(*]/[*)] markers) and its location. *)
+val of_comments :
+  spans:(int * int) list -> (string * Location.t) list -> t
+(** Build the table from [Lexer.comments ()] output (comment text
+    without the markers, plus its location) and the file's syntax
+    spans ([(start_line, end_line)] of every expression and structure
+    item, from the parsetree). *)
 
-val parse_directive : string -> string list option
-(** [parse_directive text] is [Some rules] when [text] is an
-    [sa-lint: allow] directive, with the listed rule names; [None] for
-    ordinary comments.  Exposed for the unit tests. *)
+val parse_directive :
+  string -> [ `Allow of string list | `Allow_file of string list ] option
+(** [Some] when [text] is an [sa-lint:] directive, with the listed
+    rule names; [None] for ordinary comments.  Exposed for the unit
+    tests. *)
 
 val suppressed : t -> rule:string -> line:int -> bool
 (** Is [rule] silenced on [line]? *)
@@ -34,3 +46,8 @@ val suppressed : t -> rule:string -> line:int -> bool
 val count : t -> int
 (** Number of directives in the table (reported so unused suppressions
     are at least visible in the summary). *)
+
+val to_json : t -> Obs.Json.t
+(** For the incremental cache. *)
+
+val of_json : Obs.Json.t -> t

@@ -1,0 +1,26 @@
+(** The typed rule family: interprocedural effect/taint enforcement
+    and the data-race heuristic, run over the {!Callgraph.program}
+    built from [.cmt] files.
+
+    - [typed-blocking-io-in-worker] (error): a Pool task closure can
+      reach blocking IO through any call chain.
+    - [typed-wallclock-in-report] (error): a policy sink (report
+      builder, checkpoint writer, JSON emitter) can read the wall
+      clock.
+    - [typed-ambient-random-in-report] (error): a policy sink can draw
+      from ambient RNG state.
+    - [typed-unsync-mutable-in-worker] (warning): a Pool task can
+      write module-level mutable state without a dominating
+      [Mutex.protect] or [Atomic] — a data-race candidate.
+
+    Every diagnostic carries the witnessing call path in its [trace]
+    field.  All four are may-analyses over the {!Callgraph} blind
+    spots (functors and first-class modules are not entered). *)
+
+val blocking_io_in_worker : Lint_rule.t
+val wallclock_in_report : Lint_rule.t
+val ambient_random_in_report : Lint_rule.t
+val unsync_mutable_in_worker : Lint_rule.t
+
+val builtin : unit -> Lint_rule.t list
+val register_builtin : unit -> unit

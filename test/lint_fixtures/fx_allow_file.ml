@@ -1,0 +1,7 @@
+(* sa-lint: allow-file no-obj-magic *)
+(* Fixture: one file-scoped directive, several violations — all of
+   them must be silenced, wherever they sit in the file. *)
+
+let one (x : int) : float = Obj.magic x
+
+let much_later (x : float) : int = Obj.magic x

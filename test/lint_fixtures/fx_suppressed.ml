@@ -1,8 +1,16 @@
 (* Fixture: every violation below carries an allow directive, so this
-   file must contribute zero diagnostics — it exercises both the
-   same-line and line-above suppression placements. *)
+   file must contribute zero diagnostics — it exercises the same-line
+   placement, the line-above placement, and the span rule (the
+   directive covers the whole enclosing expression, so a violation
+   several lines into the construct is still silenced). *)
 
 let coerced (x : int) : float = Obj.magic x (* sa-lint: allow no-obj-magic *)
 
 (* sa-lint: allow no-catchall-exn *)
-let swallow f = try f () with _ -> ()
+let swallow f =
+  match f () with
+  | v -> Some v
+  | exception _ ->
+      (* the catch-all is three lines below the directive: only the
+         span-based window reaches it *)
+      None

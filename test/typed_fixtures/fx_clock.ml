@@ -1,0 +1,3 @@
+(* Wall-clock reads, one hop below the report code. *)
+
+let now () = Unix.gettimeofday ()

@@ -1,0 +1,4 @@
+(* An extra hop between the report code and the clock, so the
+   witness trace has depth to show. *)
+
+let tick () = Fx_clock.now ()

@@ -1,0 +1,6 @@
+(* Blocking IO behind an innocent-looking helper. *)
+
+let save path line =
+  let oc = open_out path in
+  output_string oc line;
+  close_out oc

@@ -1,0 +1,7 @@
+(* Stand-in scheduler: the fixture policy names [Fx_pool] as the pool
+   module, so applications of [run]/[map] below are "task submissions"
+   to the typed rules — without dragging the real sa_pool (and its
+   domains) into a lint fixture. *)
+
+let run f = f ()
+let map f xs = List.map f xs

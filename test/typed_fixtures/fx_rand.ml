@@ -1,0 +1,5 @@
+(* sa-lint: allow-file no-stdlib-random *)
+(* Ambient RNG draw — the allow-file directive silences the syntactic
+   rule so this stays a *typed*-rule counterexample only. *)
+
+let jitter () = Random.float 1.0

@@ -1,0 +1,11 @@
+(* The fixture policy's sinks ([Fx_report.*]): [stamped] reaches the
+   wall clock two hops down, [to_json] reaches both the clock and the
+   ambient RNG, [pure] is the clean negative. *)
+
+let stamped cost = (Fx_deep.tick (), cost)
+
+let to_json cost =
+  Printf.sprintf "{\"cost\": %f, \"t\": %f, \"jitter\": %f}" cost
+    (Fx_clock.now ()) (Fx_rand.jitter ())
+
+let pure cost = string_of_float cost

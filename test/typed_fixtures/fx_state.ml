@@ -1,0 +1,9 @@
+(* Module-level mutable state, mutated with and without
+   synchronization: [bump] is the data-race candidate, [bump_atomic]
+   is the negative case (Global_mutable but synced). *)
+
+let hits = ref 0
+let bump () = incr hits
+
+let shared = Atomic.make 0
+let bump_atomic () = Atomic.incr shared

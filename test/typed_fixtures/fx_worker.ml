@@ -1,0 +1,26 @@
+(* Task closures handed to the fixture pool: [crunch] races on
+   Fx_state.hits, [persist] reaches blocking IO through Fx_io.save,
+   [shout] blocks directly inside the closure, [ok] only touches
+   synchronized state — the negative case. *)
+
+let crunch xs =
+  Fx_pool.map
+    (fun x ->
+      Fx_state.bump ();
+      x * x)
+    xs
+
+let persist xs =
+  Fx_pool.run (fun () -> List.iter (fun x -> Fx_io.save "out.txt" x) xs)
+
+let shout () = Fx_pool.run (fun () -> output_string stdout "boom")
+
+(* sa-lint: allow typed-blocking-io-in-worker *)
+let flush_logs () = Fx_pool.run (fun () -> flush stdout)
+
+let ok xs =
+  Fx_pool.map
+    (fun x ->
+      Fx_state.bump_atomic ();
+      x + 1)
+    xs
