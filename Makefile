@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test test-stress lint lint-baseline bench bench-quick bench-smoke perf chaos top flame examples doc clean
+.PHONY: all build test test-stress lint lint-baseline bench bench-quick bench-smoke perf chaos serve load top flame examples doc clean
 
 all: build
 
@@ -73,6 +73,24 @@ chaos:
 	dune exec bin/sa_lab.exe -- supervise chaos_inst.net --runs 4 -n 20000 \
 	  --chaos raise-cost --chaos-attempts 1 --report chaos_report.json
 	dune exec bench/check_json.exe -- chaos_report.json
+
+# The annealing job daemon: crash-safe state under STATE_DIR, HTTP on
+# SA_LABD_PORT (0 = ephemeral; the bound port is written to
+# $(STATE_DIR)/sa_labd.port).  SIGTERM drains gracefully; restarting
+# over the same STATE_DIR resumes interrupted jobs from their latest
+# checkpoints.  See README.md for curl examples.
+STATE_DIR ?= sa_labd_state
+SA_LABD_PORT ?= 8080
+serve:
+	dune exec bin/sa_labd.exe -- --state-dir $(STATE_DIR) --port $(SA_LABD_PORT)
+
+# Service load bench: the full-scale concurrent-tenant run (quota
+# storm, 8 submitting clients, p50/p99 submit-to-complete, plus a
+# kill/restart resume), written into BENCH_results.json and
+# schema-validated.
+load:
+	dune exec bench/main.exe -- --skip-tables --skip-micro --json BENCH_results.json
+	dune exec bench/check_json.exe -- BENCH_results.json
 
 # Live dashboard for a run started with --telemetry-port (default 9090;
 # override with TELEMETRY_PORT=...).

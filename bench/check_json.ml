@@ -168,7 +168,7 @@ let check_bench path member =
           | _ -> fail "%s: scaling[%d].report_identical is not a boolean" path i)
         entries
   | _ -> fail "%s: scaling is not a list" path);
-  match member "lint" with
+  (match member "lint" with
   | Obs.Json.Obj _ as l ->
       let lmember name =
         match Obs.Json.member name l with
@@ -199,7 +199,41 @@ let check_bench path member =
       (match Obs.Json.to_float (lmember "speedup") with
       | Some v when v > 0. && Float.is_finite v -> ()
       | _ -> fail "%s: lint.speedup is not a positive finite number" path)
-  | _ -> fail "%s: lint is not an object" path
+  | _ -> fail "%s: lint is not an object" path);
+  (* The sa_labd load bench: concurrent jobs over real sockets must
+     have completed, the quota must actually have rejected someone,
+     and the kill-and-restart phase must have resumed a job. *)
+  match member "service" with
+  | Obs.Json.Obj _ as s ->
+      let smember name =
+        match Obs.Json.member name s with
+        | Some v -> v
+        | None -> fail "%s: service missing field %S" path name
+      in
+      let positive_int name =
+        match Obs.Json.to_int (smember name) with
+        | Some v when v >= 1 -> v
+        | _ -> fail "%s: service.%s is not a positive integer" path name
+      in
+      let jobs = positive_int "jobs" in
+      let completed = positive_int "completed" in
+      if completed < jobs then
+        fail "%s: service completed %d of %d submitted jobs" path completed jobs;
+      ignore (positive_int "rejected");
+      ignore (positive_int "resumed");
+      (match Obs.Json.to_int (smember "rejected_queue") with
+      | Some v when v >= 0 -> ()
+      | _ -> fail "%s: service.rejected_queue is not a non-negative integer" path);
+      let latency name =
+        match Obs.Json.to_float (smember name) with
+        | Some v when v >= 0. && Float.is_finite v -> v
+        | _ -> fail "%s: service.%s is not a non-negative finite number" path name
+      in
+      let p50 = latency "p50_ms" in
+      let p99 = latency "p99_ms" in
+      if p99 < p50 then
+        fail "%s: service.p99_ms = %g is below service.p50_ms = %g" path p99 p50
+  | _ -> fail "%s: service is not an object" path
 
 let check_lint path json member =
   let non_negative_int name =

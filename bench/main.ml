@@ -61,6 +61,7 @@ let scaling_results = ref ([] : Obs.Json.t list)
 let engine_evals_per_sec = ref 0.
 let profile_summary = ref Obs.Json.Null
 let lint_summary = ref Obs.Json.Null
+let service_summary = ref Obs.Json.Null
 
 (* Per-table roll-up: wall time plus the spread of the numeric cells
    (for the reproduction tables those are costs/densities, so min and
@@ -112,6 +113,7 @@ let write_json () =
         ("delta", Obs.Json.List (List.rev !delta_results));
         ("scaling", Obs.Json.List (List.rev !scaling_results));
         ("lint", !lint_summary);
+        ("service", !service_summary);
       ]
   in
   let oc = open_out !json_path in
@@ -718,6 +720,209 @@ let run_lint_bench () =
         ("speedup", Obs.Json.Float speedup);
       ]
 
+(* ------------------------------------------------------------------ *)
+(* sa_labd: concurrent load and crash-resume                           *)
+(* ------------------------------------------------------------------ *)
+
+let rm_rf_dir p =
+  let rec go p =
+    if Sys.is_directory p then begin
+      Array.iter (fun e -> go (Filename.concat p e)) (Sys.readdir p);
+      Sys.rmdir p
+    end
+    else Sys.remove p
+  in
+  if Sys.file_exists p then go p
+
+(* Phase A: the job daemon under a storm of small jobs over real
+   sockets — client threads submit, poll to completion, and record
+   submit-to-complete latency; a deliberately greedy client proves the
+   quota rejects.  Phase B: a long job is drained mid-walk and a fresh
+   service over the same state directory resumes it.  The summary
+   (p50/p99 latency, rejected, resumed) lands in the JSON for
+   check_json. *)
+let run_service_bench () =
+  section "Job service (sa_labd core)";
+  let jobs_target = max 40 (int_of_float (1000. *. !scale)) in
+  let dir = Filename.temp_dir "sa_service_bench" "" in
+  let cfg =
+    {
+      (Service.default_config ~dir) with
+      max_queue = jobs_target + 64;
+      runners = 4;
+      quota_burst = 16;
+      quota_refill = 200.;
+    }
+  in
+  let svc = Service.create cfg in
+  let server = Telemetry_http.start_routed ~handler:(Service.handle svc) () in
+  let port = Telemetry_http.port server in
+  (* Quota storm: one client, a burst-and-a-half of instant posts, so
+     some must bounce with 429. *)
+  let spec_body seed =
+    Printf.sprintf
+      {|{"problem":"tsp","cities":12,"budget":300,"seed":%d,"gfun":"Metropolis"}|}
+      seed
+  in
+  for i = 1 to cfg.quota_burst + 8 do
+    ignore
+      (Telemetry_http.request ~meth:"POST" ~port
+         ~headers:[ ("x-client", "greedy") ]
+         ~body:(spec_body i) "/jobs")
+  done;
+  (* Load storm: client threads submit and poll to completion. *)
+  let client_threads = 8 in
+  let per_thread = (jobs_target + client_threads - 1) / client_threads in
+  let latencies = Array.make_matrix client_threads per_thread nan in
+  let submit_one ~client seed =
+    let rec go () =
+      match
+        Telemetry_http.request ~meth:"POST" ~port
+          ~headers:[ ("x-client", client) ]
+          ~body:(spec_body seed) "/jobs"
+      with
+      | Ok (202, _, body) -> (
+          match Obs.Json.parse body with
+          | Ok json -> (
+              match Obs.Json.member "id" json with
+              | Some (Obs.Json.Int id) -> id
+              | _ -> failwith "service bench: 202 without an id")
+          | Error e -> failwith ("service bench: bad 202 body: " ^ e))
+      | Ok ((429 | 503), _, _) ->
+          Thread.delay 0.01;
+          go ()
+      | Ok (status, _, body) ->
+          failwith
+            (Printf.sprintf "service bench: POST /jobs -> %d %s" status body)
+      | Error e -> failwith ("service bench: POST /jobs: " ^ e)
+    in
+    go ()
+  in
+  let await_done id =
+    let rec go () =
+      match Telemetry_http.get ~port (Printf.sprintf "/jobs/%d" id) with
+      | Ok (200, body) ->
+          let terminal =
+            match Obs.Json.parse body with
+            | Ok json -> (
+                match Obs.Json.member "status" json with
+                | Some (Obs.Json.String ("done" | "failed" | "cancelled")) ->
+                    true
+                | _ -> false)
+            | Error _ -> false
+          in
+          if not terminal then begin
+            Thread.delay 0.002;
+            go ()
+          end
+      | Ok (status, body) ->
+          failwith (Printf.sprintf "service bench: GET job -> %d %s" status body)
+      | Error e -> failwith ("service bench: GET job: " ^ e)
+    in
+    go ()
+  in
+  let worker w =
+    let client = Printf.sprintf "client-%d" w in
+    for i = 0 to per_thread - 1 do
+      let t0 = Obs.now () in
+      let id = submit_one ~client ((w * per_thread) + i) in
+      await_done id;
+      latencies.(w).(i) <- (Obs.now () -. t0) *. 1000.
+    done
+  in
+  let t0 = Obs.now () in
+  let threads = List.init client_threads (fun w -> Thread.create worker w) in
+  List.iter Thread.join threads;
+  let wall = Obs.now () -. t0 in
+  let all =
+    Array.to_list latencies |> Array.concat |> Array.to_seq
+    |> Seq.filter Float.is_finite |> Array.of_seq
+  in
+  Array.sort compare all;
+  let percentile p =
+    let n = Array.length all in
+    all.(min (n - 1) (int_of_float (p *. float_of_int n)))
+  in
+  let p50 = percentile 0.50 and p99 = percentile 0.99 in
+  let _, _, rejected_quota, rejected_queue, _ = Service.counters svc in
+  Service.drain svc;
+  Telemetry_http.stop server;
+  rm_rf_dir dir;
+  if rejected_quota < 1 then
+    failwith "service bench: the quota storm was never rejected";
+  (* Phase B: drain a long walk mid-flight, then resume it in a fresh
+     service over the same directory and let it finish. *)
+  let dir2 = Filename.temp_dir "sa_service_resume" "" in
+  let cfg2 =
+    {
+      (Service.default_config ~dir:dir2) with
+      runners = 1;
+      checkpoint_every = 2_000;
+    }
+  in
+  let svc2 = Service.create cfg2 in
+  let server2 = Telemetry_http.start_routed ~handler:(Service.handle svc2) () in
+  let port2 = Telemetry_http.port server2 in
+  let long_id =
+    match
+      Telemetry_http.request ~meth:"POST" ~port:port2
+        ~body:
+          {|{"problem":"tsp","cities":60,"budget":4000000,"seed":17,"gfun":"Metropolis"}|}
+        "/jobs"
+    with
+    | Ok (202, _, body) -> (
+        match Obs.Json.parse body with
+        | Ok json -> (
+            match Obs.Json.member "id" json with
+            | Some (Obs.Json.Int id) -> id
+            | _ -> failwith "service bench: resume POST lost its id")
+        | Error e -> failwith ("service bench: resume POST: " ^ e))
+    | Ok (status, _, body) ->
+        failwith (Printf.sprintf "service bench: resume POST -> %d %s" status body)
+    | Error e -> failwith ("service bench: resume POST: " ^ e)
+  in
+  let rec wait_for_snapshot tries =
+    if tries = 0 then failwith "service bench: no snapshot appeared"
+    else if Store.snapshots ~dir:dir2 long_id = [] then begin
+      Thread.delay 0.01;
+      wait_for_snapshot (tries - 1)
+    end
+  in
+  wait_for_snapshot 2_000;
+  Service.drain svc2;
+  Telemetry_http.stop server2;
+  let svc3 = Service.create cfg2 in
+  let rec wait_result tries =
+    if tries = 0 then failwith "service bench: resumed job never finished"
+    else
+      match Service.find_result svc3 long_id with
+      | Some _ -> ()
+      | None ->
+          Thread.delay 0.01;
+          wait_result (tries - 1)
+  in
+  wait_result 6_000;
+  let _, _, _, _, resumed = Service.counters svc3 in
+  Service.drain svc3;
+  rm_rf_dir dir2;
+  if resumed < 1 then failwith "service bench: restart resumed nothing";
+  Printf.printf
+    "%d jobs over HTTP (%d clients): %.3f s wall, p50 %.2f ms, p99 %.2f ms\n"
+    jobs_target client_threads wall p50 p99;
+  Printf.printf "quota rejections: %d   queue rejections: %d   resumed after restart: %d\n"
+    rejected_quota rejected_queue resumed;
+  service_summary :=
+    Obs.Json.Obj
+      [
+        ("jobs", Obs.Json.Int jobs_target);
+        ("completed", Obs.Json.Int (Array.length all));
+        ("p50_ms", Obs.Json.Float p50);
+        ("p99_ms", Obs.Json.Float p99);
+        ("rejected", Obs.Json.Int rejected_quota);
+        ("rejected_queue", Obs.Json.Int rejected_queue);
+        ("resumed", Obs.Json.Int resumed);
+      ]
+
 let () =
   if not !skip_tables then print_tables ();
   measure_throughput ();
@@ -725,6 +930,7 @@ let () =
   run_delta_comparison ();
   run_portfolio_scaling ();
   run_lint_bench ();
+  run_service_bench ();
   if not !skip_micro then run_micro ();
   write_json ();
   print_newline ()

@@ -1,0 +1,150 @@
+(* sa_labd — the crash-safe annealing job daemon.
+
+   Thin composition: [Service] owns all state and policy,
+   [Telemetry_http] owns the sockets; this file parses flags, wires
+   the two together, writes the bound port into the state directory
+   for scripts, and turns SIGTERM/SIGINT into a graceful drain.
+
+   Signal discipline mirrors sa_lab run: the handler only raises a
+   flag — the main thread notices, drains the service (stop admitting,
+   checkpoint in-flight walks, close event streams), then stops the
+   listener and exits 0.  A SIGKILL instead leaves whatever snapshots
+   the cadence already persisted, which is exactly what the next start
+   resumes from. *)
+
+open Cmdliner
+
+let serve state_dir port max_queue runners quota_burst quota_refill
+    checkpoint_every keep max_budget max_attempts =
+  let cfg =
+    {
+      (Service.default_config ~dir:state_dir) with
+      max_queue;
+      runners;
+      quota_burst;
+      quota_refill;
+      checkpoint_every;
+      keep;
+      max_budget;
+      max_attempts;
+    }
+  in
+  let svc =
+    try Ok (Service.create cfg)
+    with Invalid_argument msg | Sys_error msg ->
+      prerr_endline ("sa_labd: " ^ msg);
+      Error 2
+  in
+  match svc with
+  | Error code -> code
+  | Ok svc ->
+      let server =
+        Telemetry_http.start_routed ~port ~handler:(Service.handle svc) ()
+      in
+      let bound = Telemetry_http.port server in
+      Store.write_port ~dir:state_dir bound;
+      Printf.printf "sa_labd: listening on port %d, state in %s\n%!" bound
+        state_dir;
+      let shutdown = ref false in
+      let note_signal (_ : int) = shutdown := true in
+      Sys.set_signal Sys.sigint (Sys.Signal_handle note_signal);
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle note_signal);
+      while not !shutdown do
+        Thread.delay 0.1
+      done;
+      prerr_endline "sa_labd: draining";
+      Service.drain svc;
+      Telemetry_http.stop server;
+      prerr_endline "sa_labd: drained, bye";
+      0
+
+let cmd =
+  let state_dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "state-dir"; "d" ] ~docv:"DIR"
+          ~doc:
+            "State directory: job manifests, checkpoints, and the bound-port \
+             file. Created if missing; an existing directory is scanned and \
+             unfinished jobs are resumed.")
+  in
+  let port =
+    Arg.(
+      value & opt int 0
+      & info [ "port"; "p" ] ~docv:"PORT"
+          ~doc:
+            "Port to listen on (0 picks an ephemeral port; the choice is \
+             written to DIR/sa_labd.port).")
+  in
+  let max_queue =
+    Arg.(
+      value & opt int 64
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:"Admission queue bound; beyond it POST /jobs answers 503.")
+  in
+  let runners =
+    Arg.(
+      value & opt int 2
+      & info [ "runners" ] ~docv:"N" ~doc:"Concurrent job runner threads.")
+  in
+  let quota_burst =
+    Arg.(
+      value & opt int 16
+      & info [ "quota-burst" ] ~docv:"N"
+          ~doc:"Token-bucket burst size per client.")
+  in
+  let quota_refill =
+    Arg.(
+      value & opt float 4.
+      & info [ "quota" ] ~docv:"RATE"
+          ~doc:
+            "Token-bucket refill rate per client, jobs per second; an empty \
+             bucket answers 429 with Retry-After.")
+  in
+  let checkpoint_every =
+    Arg.(
+      value & opt int 1000
+      & info [ "checkpoint-every" ] ~docv:"TICKS"
+          ~doc:"Snapshot cadence of running jobs, in budget ticks.")
+  in
+  let keep =
+    Arg.(
+      value & opt int 3
+      & info [ "keep" ] ~docv:"N"
+          ~doc:"Snapshots retained per job by the stale-checkpoint sweep.")
+  in
+  let max_budget =
+    Arg.(
+      value
+      & opt int 10_000_000
+      & info [ "max-budget" ] ~docv:"TICKS"
+          ~doc:"Largest admissible per-job evaluation budget.")
+  in
+  let max_attempts =
+    Arg.(
+      value & opt int 3
+      & info [ "max-attempts" ] ~docv:"N"
+          ~doc:"Supervisor attempts per job before quarantine.")
+  in
+  Cmd.v
+    (Cmd.info "sa_labd" ~version:"1.0.0"
+       ~doc:"Crash-safe, multi-tenant annealing job daemon"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Serves annealing jobs over HTTP: POST /jobs admits a JSON spec, \
+              GET /jobs/\\$(i,id) reports it, GET /jobs/\\$(i,id)/events \
+              streams its event log as JSONL, DELETE /jobs/\\$(i,id) cancels, \
+              GET /healthz shows queue depth and counters.";
+           `P
+             "In-flight jobs checkpoint on a cadence; SIGTERM drains \
+              gracefully and a restart over the same state directory resumes \
+              unfinished jobs bit-identically.";
+         ])
+    Term.(
+      const serve $ state_dir $ port $ max_queue $ runners $ quota_burst
+      $ quota_refill $ checkpoint_every $ keep $ max_budget $ max_attempts)
+
+let () = exit (Cmd.eval' cmd)

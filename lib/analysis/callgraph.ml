@@ -67,6 +67,16 @@ let repo_policy =
         "Checkpoint.save_*";
         "Checkpoint.*_to_json";
         "Obs.Json.to_string";
+        (* the job daemon's report surfaces: request-handler JSON
+           views, the runner's result document, and the spec's
+           canonical/fingerprint renderings — all must be pure
+           functions of recorded state (a handler that stamps the
+           clock or draws ambient randomness breaks the bit-identical
+           resume contract) *)
+        "Service.*_to_json";
+        "Runner.result_to_json";
+        "Job_spec.to_json";
+        "Job_spec.fingerprint";
       ];
   }
 

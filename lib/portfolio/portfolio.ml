@@ -229,8 +229,8 @@ let sweep ?domains ?observer ?job_observer ?pool_stats rng ~budget jobs =
     stopped_early = false;
   }
 
-let race ?domains ?observer ?job_observer ?pool_stats ?deadline rng
-    ~initial_budget jobs =
+let race ?domains ?observer ?job_observer ?pool_stats ?deadline
+    ?(cancel = fun () -> false) rng ~initial_budget jobs =
   let jobs, pool, observer, job_rngs =
     prepare ?domains ?observer rng jobs ~who:"Portfolio.race"
   in
@@ -282,7 +282,7 @@ let race ?domains ?observer ?job_observer ?pool_stats ?deadline rng
     winner := Some (snd (List.hd ranked));
     alive := List.map fst survivors;
     if List.length survivors <= 1 then running := false
-    else if deadline_hit () then begin
+    else if deadline_hit () || cancel () then begin
       stopped_early := true;
       running := false
     end

@@ -160,6 +160,7 @@ val race :
   ?job_observer:(worker:int -> job:int -> label:string -> Obs.Observer.t) ->
   ?pool_stats:Pool.Stats.t ->
   ?deadline:Budget.t ->
+  ?cancel:(unit -> bool) ->
   Rng.t ->
   initial_budget:Budget.t ->
   Job.t list ->
@@ -175,7 +176,9 @@ val race :
     job (deterministic — use this in tests), a [Seconds] deadline reads
     the wall clock.  When it fires with several jobs still alive the
     race stops early, the current leader wins, and the report says
-    [stopped_early = true].
+    [stopped_early = true].  [cancel] (default never) is polled at the
+    same between-rung points — how sa_labd turns a [DELETE /jobs/:id]
+    into a prompt, clean stop with the standings so far.
 
     After each rung every standing is emitted as an
     {!Obs.Event.Rung_standing} (with [culled] flagged) through

@@ -115,6 +115,59 @@ let read ~path =
                  checkpoint file"
                 path))
 
+(* --------------------------- janitor ----------------------------- *)
+
+(* Cadence snapshots are named "<job>-<seq>.ckpt" with a decimal
+   sequence number; everything else in the directory is foreign and
+   untouched.  Grouping is by the "<job>" stem, ordering by the
+   numeric sequence (not mtime, which a restore or copy can
+   scramble). *)
+let parse_snapshot_name name =
+  let suffix = ".ckpt" in
+  let n = String.length name and ns = String.length suffix in
+  if n <= ns || String.sub name (n - ns) ns <> suffix then None
+  else
+    let stem_seq = String.sub name 0 (n - ns) in
+    match String.rindex_opt stem_seq '-' with
+    | None | Some 0 -> None
+    | Some i ->
+        let stem = String.sub stem_seq 0 i in
+        let seq = String.sub stem_seq (i + 1) (String.length stem_seq - i - 1)
+        in
+        if seq <> "" && String.for_all (fun c -> c >= '0' && c <= '9') seq
+        then Some (stem, int_of_string seq)
+        else None
+
+let sweep_stale ~dir ~keep =
+  if keep < 1 then invalid_arg "Checkpoint.sweep_stale: keep must be >= 1";
+  let entries = try Sys.readdir dir with Sys_error _ -> [||] in
+  let groups = Hashtbl.create 8 in
+  Array.iter
+    (fun name ->
+      match parse_snapshot_name name with
+      | None -> ()
+      | Some (stem, seq) ->
+          let prev = try Hashtbl.find groups stem with Not_found -> [] in
+          Hashtbl.replace groups stem ((seq, name) :: prev))
+    entries;
+  let deleted = ref [] in
+  Hashtbl.iter
+    (fun _stem snaps ->
+      let newest_first =
+        List.sort (fun (a, _) (b, _) -> Int.compare b a) snaps
+      in
+      List.iteri
+        (fun i (_, name) ->
+          if i >= keep then begin
+            let path = Filename.concat dir name in
+            match Sys.remove path with
+            | () -> deleted := path :: !deleted
+            | exception Sys_error _ -> ()
+          end)
+        newest_first)
+    groups;
+  List.sort String.compare !deleted
+
 (* ----------------------- Figure 1 snapshots ---------------------- *)
 
 let ( let* ) = Result.bind

@@ -26,6 +26,17 @@ val read : path:string -> (Obs.Json.t, string) result
     JSON, wrong schema tag, missing fields, or a CRC mismatch
     (corruption). *)
 
+val sweep_stale : dir:string -> keep:int -> string list
+(** Janitor for a state directory of cadence snapshots named
+    ["<job>-<seq>.ckpt"] (decimal [seq]): per job stem, delete all but
+    the [keep] newest snapshots — newest by sequence number, not
+    mtime — and return the deleted paths, sorted.  Files that do not
+    match the naming convention (manifests, temp files, anything
+    foreign) are never touched, a missing directory is an empty one,
+    and each deletion is a single [Sys.remove], so a crash mid-sweep
+    only leaves fewer stale files.
+    @raise Invalid_argument if [keep < 1]. *)
+
 val hex_of_float : float -> string
 (** ["0x%016Lx"] bit pattern of a float; round-trips exactly. *)
 

@@ -1,0 +1,57 @@
+(* Per-client token buckets.
+
+   Admission control has to be cheap (it runs on every POST from
+   every connection thread) and fair per tenant, not global: one
+   chatty client must not starve the rest.  Each client gets a bucket
+   of [burst] tokens refilled at [refill] tokens per second; a
+   submission spends one.  An empty bucket rejects with the exact
+   time until the next token — the number the 429's Retry-After
+   header carries — so a well-behaved client never has to guess.
+
+   The clock is injected so the tests can drive refill
+   deterministically. *)
+
+type bucket = { mutable tokens : float; mutable last : float }
+
+type t = {
+  burst : float;
+  refill : float;
+  now : unit -> float;
+  m : Mutex.t;
+  buckets : (string, bucket) Hashtbl.t;
+}
+
+let create ?(now = Unix.gettimeofday) ~burst ~refill () =
+  if burst < 1 then invalid_arg "Quota.create: burst must be >= 1";
+  if refill <= 0. || not (Float.is_finite refill) then
+    invalid_arg "Quota.create: refill must be positive";
+  {
+    burst = float_of_int burst;
+    refill;
+    now;
+    m = Mutex.create ();
+    buckets = Hashtbl.create 16;
+  }
+
+let admit t ~client =
+  let now = t.now () in
+  Mutex.protect t.m (fun () ->
+      let b =
+        match Hashtbl.find_opt t.buckets client with
+        | Some b -> b
+        | None ->
+            let b = { tokens = t.burst; last = now } in
+            Hashtbl.replace t.buckets client b;
+            b
+      in
+      (* A non-monotonic clock refills nothing rather than draining. *)
+      let elapsed = Float.max 0. (now -. b.last) in
+      b.tokens <- Float.min t.burst (b.tokens +. (elapsed *. t.refill));
+      b.last <- now;
+      if b.tokens >= 1. then begin
+        b.tokens <- b.tokens -. 1.;
+        Ok ()
+      end
+      else Error ((1. -. b.tokens) /. t.refill))
+
+let clients t = Mutex.protect t.m (fun () -> Hashtbl.length t.buckets)

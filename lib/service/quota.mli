@@ -1,0 +1,22 @@
+(** Per-client token-bucket admission quotas.
+
+    Each client holds up to [burst] tokens, refilled continuously at
+    [refill] tokens per second; admitting a job spends one.  Fairness
+    is per tenant: buckets are independent, so one chatty client
+    exhausts only its own allowance.  Thread-safe. *)
+
+type t
+
+val create : ?now:(unit -> float) -> burst:int -> refill:float -> unit -> t
+(** [now] (default [Unix.gettimeofday]) is injectable so tests drive
+    refill deterministically.
+    @raise Invalid_argument if [burst < 1] or [refill <= 0]. *)
+
+val admit : t -> client:string -> (unit, float) result
+(** Spend one token for [client].  [Error s] means the bucket is
+    empty and the next token arrives in [s] seconds — the value for a
+    429's [Retry-After]. *)
+
+val clients : t -> int
+(** Distinct clients seen (bounded by whoever connects; buckets are a
+    few words each). *)

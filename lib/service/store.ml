@@ -1,0 +1,93 @@
+(* State-directory layout for sa_labd.
+
+   Everything the daemon must survive a crash with lives in one flat
+   directory:
+
+     job-000017.manifest      job record (spec, status, result)
+     job-000017-000003.ckpt   cadence snapshot #3 of job 17
+     sa_labd.port             the bound port, for scripts and tests
+
+   Manifests and snapshots are both Checkpoint documents (CRC-guarded,
+   atomically replaced), so a crash at any instant leaves each file
+   either absent, whole-and-previous, or whole-and-new.  Snapshot
+   names follow the [Checkpoint.sweep_stale] convention
+   ([<stem>-<seq>.ckpt]) so the janitor can prune them without
+   touching manifests or anything foreign. *)
+
+let mkdir_p dir =
+  let rec go d =
+    if d = "" || d = "." || d = "/" || Sys.file_exists d then ()
+    else begin
+      go (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+let stem id = Printf.sprintf "job-%06d" id
+
+let manifest_path ~dir id = Filename.concat dir (stem id ^ ".manifest")
+
+let snapshot_path ~dir id ~seq =
+  Filename.concat dir (Printf.sprintf "%s-%06d.ckpt" (stem id) seq)
+
+let port_path ~dir = Filename.concat dir "sa_labd.port"
+
+let entries dir = try Sys.readdir dir with Sys_error _ -> [||]
+
+let digits s = s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s
+
+(* [job-<id>-<seq>.ckpt] for this [id], newest sequence first: resume
+   prefers the latest snapshot and falls back down the list when the
+   newest is corrupt. *)
+let snapshots ~dir id =
+  let prefix = stem id ^ "-" and suffix = ".ckpt" in
+  let plen = String.length prefix and slen = String.length suffix in
+  entries dir |> Array.to_list
+  |> List.filter_map (fun name ->
+         let n = String.length name in
+         if
+           n > plen + slen
+           && String.sub name 0 plen = prefix
+           && String.sub name (n - slen) slen = suffix
+         then
+           let mid = String.sub name plen (n - plen - slen) in
+           if digits mid then
+             int_of_string_opt mid
+             |> Option.map (fun seq -> (seq, Filename.concat dir name))
+           else None
+         else None)
+  |> List.sort (fun (a, _) (b, _) -> compare b a)
+  |> List.map snd
+
+(* Manifest ids present on disk, ascending — the restart scan. *)
+let scan ~dir =
+  let prefix = "job-" and suffix = ".manifest" in
+  let plen = String.length prefix and slen = String.length suffix in
+  entries dir |> Array.to_list
+  |> List.filter_map (fun name ->
+         let n = String.length name in
+         if
+           n > plen + slen
+           && String.sub name 0 plen = prefix
+           && String.sub name (n - slen) slen = suffix
+         then
+           let mid = String.sub name plen (n - plen - slen) in
+           if digits mid then int_of_string_opt mid else None
+         else None)
+  |> List.sort_uniq compare
+
+let write_manifest ~dir id json = Checkpoint.write ~path:(manifest_path ~dir id) json
+
+let read_manifest ~dir id = Checkpoint.read ~path:(manifest_path ~dir id)
+
+let sweep ~dir ~keep = Checkpoint.sweep_stale ~dir ~keep
+
+let write_port ~dir port =
+  let path = port_path ~dir in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (string_of_int port);
+  output_char oc '\n';
+  close_out oc;
+  Sys.rename tmp path

@@ -1,0 +1,36 @@
+(** The sa_labd state directory: one flat directory of CRC-guarded,
+    atomically-replaced files.
+
+    [job-<id>.manifest] holds the job record (spec, status, result);
+    [job-<id>-<seq>.ckpt] are the job's cadence snapshots, named to
+    match the {!Checkpoint.sweep_stale} convention so the janitor can
+    prune them; [sa_labd.port] carries the bound port for scripts.  A
+    crash at any instant leaves every file absent, whole-and-previous,
+    or whole-and-new — never a prefix. *)
+
+val mkdir_p : string -> unit
+(** Create a directory and its missing parents (0o755). *)
+
+val manifest_path : dir:string -> int -> string
+val snapshot_path : dir:string -> int -> seq:int -> string
+
+val port_path : dir:string -> string
+
+val snapshots : dir:string -> int -> string list
+(** Existing snapshot paths for a job, newest sequence number first —
+    resume tries them in this order and falls past corrupt ones. *)
+
+val scan : dir:string -> int list
+(** Manifest job ids present on disk, ascending: the restart scan. *)
+
+val write_manifest : dir:string -> int -> Obs.Json.t -> unit
+(** Atomically replace the job's manifest.  @raise Sys_error on IO
+    failure. *)
+
+val read_manifest : dir:string -> int -> (Obs.Json.t, string) result
+
+val sweep : dir:string -> keep:int -> string list
+(** {!Checkpoint.sweep_stale} over this directory. *)
+
+val write_port : dir:string -> int -> unit
+(** Atomically write [sa_labd.port]. *)

@@ -1,13 +1,19 @@
-(* Zero-dependency HTTP/1.1 exposition listener.
+(* Zero-dependency HTTP/1.1 listener.
 
-   Scope: GET on three fixed paths from localhost scrapers (a
-   Prometheus agent, `sa_lab top`, curl).  That rules the frameworks
-   out and rules simplicity in: a request parser over an injectable
-   read function (so the torture tests can feed split reads and
-   overlong garbage without a socket), one acceptor systhread
-   multiplexing with [Unix.select], one systhread per live
-   connection, and a self-pipe to make [stop] interrupt everything —
-   including a scrape in flight — promptly and cleanly. *)
+   Scope: the telemetry endpoints (GET from localhost scrapers) plus
+   the sa_labd job service (POST with small JSON bodies, chunked
+   event streams).  That still rules the frameworks out and rules
+   simplicity in: a request parser over an injectable read function
+   (so the torture tests can feed split reads and overlong garbage
+   without a socket), one acceptor systhread multiplexing with
+   [Unix.select], one systhread per live connection, and a self-pipe
+   to make [stop] interrupt everything — including a response in
+   flight — promptly and cleanly.
+
+   Two defences against misbehaving clients live here rather than in
+   any handler: an idle timeout at every read (a client that opens a
+   socket and stalls cannot pin a connection slot forever), and hard
+   caps on head and body size. *)
 
 (* ----------------------------- Requests -------------------------- *)
 
@@ -19,11 +25,12 @@ module Request = struct
     headers : (string * string) list;  (* names lowercased *)
   }
 
-  type error = Eof | Too_large | Bad of string
+  type error = Eof | Too_large | Body_too_large | Bad of string
 
   let error_to_string = function
     | Eof -> "eof"
     | Too_large -> "request too large"
+    | Body_too_large -> "request body too large"
     | Bad msg -> "bad request: " ^ msg
 
   let header t name = List.assoc_opt (String.lowercase_ascii name) t.headers
@@ -57,13 +64,36 @@ module Request = struct
         in
         Ok (name, value)
 
-  (* Read one request head (everything through the blank line) from
-     [read_fn : bytes -> pos -> len -> int], which follows the
-     [Unix.read] contract: 0 means EOF.  Reads are taken in small
-     chunks and the scan resumes where it left off, so a head split
-     across any number of reads parses identically to one delivered
-     whole. *)
-  let read ?(max_bytes = 8192) read_fn =
+  (* A byte source that can hold back bytes read past a request head,
+     so a pipelined or body-carrying connection loses nothing between
+     one request and the next. *)
+  module Source = struct
+    type src = {
+      read_fn : bytes -> int -> int -> int;  (* Unix.read contract *)
+      mutable pending : string;
+    }
+
+    type t = src
+
+    let of_read read_fn = { read_fn; pending = "" }
+
+    let read src buf pos len =
+      let p = String.length src.pending in
+      if p > 0 then begin
+        let n = min p len in
+        Bytes.blit_string src.pending 0 buf pos n;
+        src.pending <- String.sub src.pending n (p - n);
+        n
+      end
+      else src.read_fn buf pos len
+  end
+
+  (* Read one request head (everything through the blank line) from a
+     source; bytes past the separator go back to [src.pending].
+     Reads are taken in small chunks and the scan resumes where it
+     left off, so a head split across any number of reads parses
+     identically to one delivered whole. *)
+  let read_head ?(max_bytes = 8192) (src : Source.t) =
     let buf = Buffer.create 256 in
     let chunk = Bytes.create 512 in
     let rec fill_until_blank_line scanned =
@@ -85,11 +115,14 @@ module Request = struct
         else find (i + 1)
       in
       match find (max 0 (scanned - 3)) with
-      | Some (stop, _sep) -> Ok (String.sub s 0 stop)
+      | Some (stop, sep) ->
+          src.Source.pending <-
+            String.sub s (stop + sep) (n - stop - sep) ^ src.Source.pending;
+          Ok (String.sub s 0 stop)
       | None ->
           if n > max_bytes then Error Too_large
           else begin
-            match read_fn chunk 0 (Bytes.length chunk) with
+            match Source.read src chunk 0 (Bytes.length chunk) with
             | 0 -> Error Eof
             | got ->
                 Buffer.add_subbytes buf chunk 0 got;
@@ -124,31 +157,98 @@ module Request = struct
                 headers [] header_lines
                 |> Result.map (fun headers -> { meth; path; version; headers })
             ))
+
+  let read ?max_bytes read_fn = read_head ?max_bytes (Source.of_read read_fn)
+
+  (* Head plus body: the body is exactly [Content-Length] bytes (no
+     request chunking — nothing here needs it), absent header means an
+     empty body.  Bytes past the body stay pending in the source for
+     the next keep-alive request. *)
+  let read_from ?max_bytes ?(max_body = 1 lsl 20) (src : Source.t) =
+    match read_head ?max_bytes src with
+    | Error _ as e -> e
+    | Ok req -> (
+        match header req "content-length" with
+        | None -> Ok (req, "")
+        | Some l -> (
+            match int_of_string_opt (String.trim l) with
+            | None -> Error (Bad ("malformed content-length: " ^ l))
+            | Some n when n < 0 ->
+                Error (Bad ("malformed content-length: " ^ l))
+            | Some n when n > max_body -> Error Body_too_large
+            | Some n ->
+                let body = Bytes.create n in
+                let rec fill off =
+                  if off >= n then Ok (req, Bytes.to_string body)
+                  else
+                    match Source.read src body off (n - off) with
+                    | 0 -> Error Eof
+                    | got -> fill (off + got)
+                    | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _)
+                      ->
+                        Error Eof
+                in
+                fill 0))
 end
 
 (* ----------------------------- Responses ------------------------- *)
 
 let status_text = function
   | 200 -> "OK"
+  | 202 -> "Accepted"
   | 400 -> "Bad Request"
   | 404 -> "Not Found"
   | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 413 -> "Content Too Large"
+  | 429 -> "Too Many Requests"
   | 431 -> "Request Header Fields Too Large"
+  | 503 -> "Service Unavailable"
   | _ -> "Internal Server Error"
 
-let response_bytes ~status ~content_type ~close body =
-  let b = Buffer.create (String.length body + 128) in
+type response = {
+  status : int;
+  content_type : string;
+  headers : (string * string) list;
+  body : body;
+}
+
+and body =
+  | Fixed of string
+  | Stream of ((string -> unit) -> unit)
+      (** called once with a chunk writer; the connection closes when
+          it returns *)
+
+let respond ?(headers = []) ?(content_type = "text/plain") status body =
+  { status; content_type; headers; body = Fixed body }
+
+let stream ?(headers = []) ?(content_type = "application/jsonl") status writer
+    =
+  { status; content_type; headers; body = Stream writer }
+
+let head_bytes ~status ~content_type ~extra ~framing ~close =
+  let b = Buffer.create 256 in
   Printf.bprintf b "HTTP/1.1 %d %s\r\n" status (status_text status);
   Printf.bprintf b "Content-Type: %s\r\n" content_type;
-  Printf.bprintf b "Content-Length: %d\r\n" (String.length body);
+  List.iter (fun (k, v) -> Printf.bprintf b "%s: %s\r\n" k v) extra;
+  (match framing with
+  | `Length n -> Printf.bprintf b "Content-Length: %d\r\n" n
+  | `Chunked -> Buffer.add_string b "Transfer-Encoding: chunked\r\n");
   Printf.bprintf b "Connection: %s\r\n" (if close then "close" else "keep-alive");
   Buffer.add_string b "\r\n";
-  Buffer.add_string b body;
   Buffer.to_bytes b
+
+let response_bytes ~status ~content_type ~close body =
+  Bytes.cat
+    (head_bytes ~status ~content_type ~extra:[]
+       ~framing:(`Length (String.length body))
+       ~close)
+    (Bytes.of_string body)
 
 (* ------------------------------ Server --------------------------- *)
 
 exception Stopped
+exception Timed_out
 
 type t = {
   lsock : Unix.file_descr;
@@ -171,56 +271,87 @@ let write_all fd bytes =
   in
   go 0
 
-(* Block until [fd] is readable or the stop pipe fires; stopping
-   wins.  This is what makes teardown clean in the middle of a slow
-   scrape: every blocking point in a connection funnels through
-   here. *)
-let wait_readable stop_r fd =
-  match Unix.select [ fd; stop_r ] [] [] (-1.) with
+(* Block until [fd] is readable, the stop pipe fires, or [timeout]
+   (negative = forever) elapses; stopping wins.  This is what makes
+   teardown clean in the middle of a slow scrape, and what unsticks a
+   connection slot from a stalling client: every blocking read in a
+   connection funnels through here. *)
+let wait_readable ?(timeout = -1.) stop_r fd =
+  match Unix.select [ fd; stop_r ] [] [] timeout with
+  | [], _, _ -> raise Timed_out
   | readable, _, _ -> if List.mem stop_r readable then raise Stopped
 
-let serve_connection ~stop_r ~handler fd =
+(* The service side of a connection: parse requests (head + body),
+   answer through [service], honour keep-alive.  HEAD is answered
+   here — same handler, headers only — so every handler supports it
+   for free.  Streamed responses use chunked transfer-encoding and
+   always close the connection afterwards. *)
+let serve_connection ~stop_r ~idle_timeout ~service fd =
   let read_fn buf pos len =
-    wait_readable stop_r fd;
+    wait_readable ~timeout:idle_timeout stop_r fd;
     Unix.read fd buf pos len
   in
+  let src = Request.Source.of_read read_fn in
+  let fixed ~status ~close body =
+    write_all fd (response_bytes ~status ~content_type:"text/plain" ~close body)
+  in
   let rec next () =
-    match Request.read read_fn with
+    match Request.read_from src with
     | Error Request.Eof -> ()
-    | Error Request.Too_large ->
-        write_all fd
-          (response_bytes ~status:431 ~content_type:"text/plain" ~close:true
-             "request too large\n")
-    | Error (Request.Bad _) ->
-        write_all fd
-          (response_bytes ~status:400 ~content_type:"text/plain" ~close:true
-             "bad request\n")
-    | Ok req ->
+    | Error Request.Too_large -> fixed ~status:431 ~close:true "request too large\n"
+    | Error Request.Body_too_large ->
+        fixed ~status:413 ~close:true "request body too large\n"
+    | Error (Request.Bad _) -> fixed ~status:400 ~close:true "bad request\n"
+    | Ok (req, body) ->
         let close = Request.wants_close req in
-        (if not (String.equal req.Request.meth "GET") then
-           write_all fd
-             (response_bytes ~status:405 ~content_type:"text/plain" ~close
-                "only GET here\n")
-         else begin
-           let status, content_type, body = handler ~path:req.Request.path in
-           write_all fd (response_bytes ~status ~content_type ~close body)
-         end);
-        if not close then next ()
+        let head_only = String.equal req.Request.meth "HEAD" in
+        let resp =
+          let asked = if head_only then { req with Request.meth = "GET" } else req in
+          (* Whatever a handler raises is that one request's 500; the
+             server itself must not die for it. *)
+          (* sa-lint: allow no-catchall-exn *)
+          match service asked ~body with
+          | resp -> resp
+          | exception Stopped -> raise Stopped
+          | exception _ -> respond 500 "internal error\n"
+        in
+        (match resp.body with
+        | Fixed payload ->
+            write_all fd
+              (head_bytes ~status:resp.status ~content_type:resp.content_type
+                 ~extra:resp.headers
+                 ~framing:(`Length (String.length payload))
+                 ~close);
+            if not head_only then write_all fd (Bytes.of_string payload);
+            if not close then next ()
+        | Stream writer ->
+            write_all fd
+              (head_bytes ~status:resp.status ~content_type:resp.content_type
+                 ~extra:resp.headers ~framing:`Chunked ~close:true);
+            if not head_only then
+              writer (fun chunk ->
+                  if String.length chunk > 0 then
+                    write_all fd
+                      (Bytes.of_string
+                         (Printf.sprintf "%x\r\n%s\r\n" (String.length chunk)
+                            chunk)));
+            write_all fd (Bytes.of_string "0\r\n\r\n"))
   in
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
       try next () with
-      | Stopped -> ()
+      | Stopped | Timed_out -> ()
       | Unix.Unix_error ((ECONNRESET | EPIPE), _, _) -> ())
 
-let start ?(host = "127.0.0.1") ?(port = 0) ~handler () =
+let start_routed ?(host = "127.0.0.1") ?(port = 0) ?(idle_timeout = 30.)
+    ~handler () =
   let lsock = Unix.socket PF_INET SOCK_STREAM 0 in
   let t =
     try
       Unix.setsockopt lsock SO_REUSEADDR true;
       Unix.bind lsock (ADDR_INET (Unix.inet_addr_of_string host, port));
-      Unix.listen lsock 16;
+      Unix.listen lsock 64;
       let port =
         match Unix.getsockname lsock with
         | ADDR_INET (_, p) -> p
@@ -241,7 +372,10 @@ let start ?(host = "127.0.0.1") ?(port = 0) ~handler () =
                  match Unix.accept lsock with
                  | fd, _ ->
                      conns :=
-                       Thread.create (serve_connection ~stop_r ~handler) fd
+                       Thread.create
+                         (serve_connection ~stop_r ~idle_timeout
+                            ~service:handler)
+                         fd
                        :: !conns
                  | exception Unix.Unix_error ((ECONNABORTED | EINTR), _, _) ->
                      ()
@@ -257,6 +391,20 @@ let start ?(host = "127.0.0.1") ?(port = 0) ~handler () =
   in
   t
 
+(* The telemetry-endpoint shape: a GET-only path handler.  GET and
+   HEAD run it; any other method on a path the handler knows (i.e.
+   answers with something other than 404) is 405 with an [Allow]
+   header, as RFC 9110 wants. *)
+let start ?host ?port ?idle_timeout ~handler () =
+  let service (req : Request.t) ~body:_ =
+    let status, content_type, payload = handler ~path:req.Request.path in
+    if String.equal req.Request.meth "GET" then
+      respond ~content_type status payload
+    else if status = 404 then respond ~content_type 404 payload
+    else respond ~headers:[ ("Allow", "GET, HEAD") ] 405 "only GET here\n"
+  in
+  start_routed ?host ?port ?idle_timeout ~handler:service ()
+
 let stop t =
   if not (Atomic.exchange t.stopping true) then begin
     (* One byte wakes every select; the pipe stays readable forever
@@ -270,9 +418,41 @@ let stop t =
 
 (* ------------------------------ Client --------------------------- *)
 
-(* Minimal GET for `sa_lab top` and the tests; returns status and
-   body.  Reads until the peer honours [Connection: close]. *)
-let get ?(host = "127.0.0.1") ?(timeout = 5.) ~port path =
+(* De-chunk a [Transfer-Encoding: chunked] body.  Tolerates a
+   truncated tail (a server killed mid-stream): returns what arrived
+   before the truncation. *)
+let dechunk raw =
+  let n = String.length raw in
+  let b = Buffer.create n in
+  let rec line_end i = if i + 1 >= n then None
+    else if raw.[i] = '\r' && raw.[i + 1] = '\n' then Some i
+    else line_end (i + 1)
+  in
+  let rec chunks pos =
+    match line_end pos with
+    | None -> ()
+    | Some stop -> (
+        let size_field = String.sub raw pos (stop - pos) in
+        let size_field =
+          match String.index_opt size_field ';' with
+          | Some i -> String.sub size_field 0 i
+          | None -> size_field
+        in
+        match int_of_string_opt ("0x" ^ String.trim size_field) with
+        | None | Some 0 -> ()
+        | Some size ->
+            let start = stop + 2 in
+            let avail = min size (n - start) in
+            if avail > 0 then Buffer.add_substring b raw start avail;
+            if avail = size then chunks (start + size + 2))
+  in
+  chunks 0;
+  Buffer.contents b
+
+(* Minimal one-shot client for `sa_lab top`, the smoke drivers, and
+   the tests; sends [Connection: close] and reads to EOF. *)
+let request ?(host = "127.0.0.1") ?(timeout = 5.) ?(headers = []) ?body
+    ~meth ~port path =
   let sock = Unix.socket PF_INET SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
@@ -281,11 +461,16 @@ let get ?(host = "127.0.0.1") ?(timeout = 5.) ~port path =
         Unix.setsockopt_float sock SO_RCVTIMEO timeout;
         Unix.setsockopt_float sock SO_SNDTIMEO timeout;
         Unix.connect sock (ADDR_INET (Unix.inet_addr_of_string host, port));
-        let req =
-          Printf.sprintf "GET %s HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n"
-            path host
-        in
-        write_all sock (Bytes.of_string req);
+        let b = Buffer.create 256 in
+        Printf.bprintf b "%s %s HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n"
+          meth path host;
+        List.iter (fun (k, v) -> Printf.bprintf b "%s: %s\r\n" k v) headers;
+        (match body with
+        | Some payload ->
+            Printf.bprintf b "Content-Length: %d\r\n\r\n%s"
+              (String.length payload) payload
+        | None -> Buffer.add_string b "\r\n");
+        write_all sock (Buffer.to_bytes b);
         let buf = Buffer.create 1024 in
         let chunk = Bytes.create 4096 in
         let rec drain () =
@@ -323,9 +508,37 @@ let get ?(host = "127.0.0.1") ?(timeout = 5.) ~port path =
                 match find 0 with
                 | None -> Error "no response body"
                 | Some start ->
-                    Ok
-                      ( status,
-                        String.sub raw start (String.length raw - start) )))
+                    let head = String.sub raw 0 start in
+                    let resp_headers =
+                      String.split_on_char '\n' head
+                      |> List.filter_map (fun l ->
+                             let l = String.trim l in
+                             match String.index_opt l ':' with
+                             | None | Some 0 -> None
+                             | Some i ->
+                                 Some
+                                   ( String.lowercase_ascii (String.sub l 0 i),
+                                     String.trim
+                                       (String.sub l (i + 1)
+                                          (String.length l - i - 1)) ))
+                    in
+                    let payload =
+                      String.sub raw start (String.length raw - start)
+                    in
+                    let payload =
+                      match List.assoc_opt "transfer-encoding" resp_headers with
+                      | Some te
+                        when String.lowercase_ascii (String.trim te)
+                             = "chunked" ->
+                          dechunk payload
+                      | _ -> payload
+                    in
+                    Ok (status, resp_headers, payload)))
       with
       | Unix.Unix_error (e, fn, _) ->
           Error (Printf.sprintf "%s: %s" fn (Unix.error_message e)))
+
+let get ?host ?timeout ~port path =
+  match request ?host ?timeout ~meth:"GET" ~port path with
+  | Ok (status, _, body) -> Ok (status, body)
+  | Error _ as e -> e

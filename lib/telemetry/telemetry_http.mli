@@ -1,11 +1,15 @@
-(** Zero-dependency HTTP/1.1 listener for the telemetry endpoints.
+(** Zero-dependency HTTP/1.1 listener for the telemetry endpoints and
+    the sa_labd job service.
 
-    Built for GET from localhost scrapers; no routing, no TLS, no
-    chunked bodies.  The request parser reads through an injectable
-    function so tests can torture it (split reads, oversized heads,
-    garbage) without opening a socket; the server multiplexes every
-    blocking point against a self-pipe so {!stop} interrupts even a
-    scrape in flight and returns only when no handler is running. *)
+    No TLS and no frameworks: the request parser reads through an
+    injectable function so tests can torture it (split reads,
+    oversized heads, garbage) without opening a socket; the server
+    multiplexes every blocking point against a self-pipe so {!stop}
+    interrupts even a response in flight and returns only when no
+    handler is running.  Every read also carries an idle timeout, so
+    a client that opens a socket and stalls cannot pin a connection
+    slot forever.  Responses are either fixed bodies or chunked
+    streams (how job event JSONL is delivered). *)
 
 module Request : sig
   type t = {
@@ -16,8 +20,9 @@ module Request : sig
   }
 
   type error =
-    | Eof  (** peer closed before a full head arrived *)
+    | Eof  (** peer closed before a full head (or body) arrived *)
     | Too_large  (** head exceeded [max_bytes] *)
+    | Body_too_large  (** declared [Content-Length] exceeded [max_body] *)
     | Bad of string  (** malformed request line or header *)
 
   val error_to_string : error -> string
@@ -28,30 +33,101 @@ module Request : sig
   val wants_close : t -> bool
   (** [Connection: close], or HTTP/1.0 without explicit keep-alive. *)
 
+  (** A byte source over a read function, holding back bytes read past
+      a request head so pipelined requests and bodies lose nothing. *)
+  module Source : sig
+    type t
+
+    val of_read : (bytes -> int -> int -> int) -> t
+    (** [read_fn buf pos len] follows the [Unix.read] contract: bytes
+        delivered, 0 at EOF. *)
+  end
+
   val read : ?max_bytes:int -> (bytes -> int -> int -> int) -> (t, error) result
-  (** [read read_fn] consumes one request head from [read_fn] (the
-      [Unix.read] contract: [read_fn buf pos len] returns bytes
-      delivered, 0 at EOF).  A head split across any number of reads
-      parses identically to one delivered whole.  [max_bytes]
-      defaults to 8192. *)
+  (** [read read_fn] consumes one request head from [read_fn].  A head
+      split across any number of reads parses identically to one
+      delivered whole.  [max_bytes] defaults to 8192.  Bytes past the
+      head separator are discarded — use {!read_from} when a body (or
+      pipelining) matters. *)
+
+  val read_from :
+    ?max_bytes:int -> ?max_body:int -> Source.t -> (t * string, error) result
+  (** One request head plus its [Content-Length] body (absent header
+      means [""]; [max_body] defaults to 1 MiB).  Surplus bytes stay
+      pending in the source for the next call. *)
 end
+
+(** {1 Responses} *)
+
+type response = {
+  status : int;
+  content_type : string;
+  headers : (string * string) list;  (** extra headers, e.g. [Allow] *)
+  body : body;
+}
+
+and body =
+  | Fixed of string
+  | Stream of ((string -> unit) -> unit)
+      (** called once with a chunk writer; delivered with chunked
+          transfer-encoding, and the connection closes when it
+          returns *)
+
+val respond :
+  ?headers:(string * string) list ->
+  ?content_type:string ->
+  int ->
+  string ->
+  response
+(** Fixed-body response; [content_type] defaults to [text/plain]. *)
+
+val stream :
+  ?headers:(string * string) list ->
+  ?content_type:string ->
+  int ->
+  ((string -> unit) -> unit) ->
+  response
+(** Streaming response; [content_type] defaults to
+    [application/jsonl]. *)
+
+val status_text : int -> string
+
+(** {1 Server} *)
 
 type t
 
 val start :
   ?host:string ->
   ?port:int ->
+  ?idle_timeout:float ->
   handler:(path:string -> int * string * string) ->
   unit ->
   t
 (** Bind [host] (default localhost) at [port] (default 0 = ephemeral;
-    read the choice back with {!port}), and serve GET requests
-    through [handler] on background systhreads: one acceptor plus one
-    thread per live connection, keep-alive honoured.  [handler]
-    returns (status, content type, body); it is called from
-    connection threads and must be thread-safe.  Non-GET methods get
-    405, malformed requests 400, oversized heads 431.
+    read the choice back with {!port}), and serve through [handler] on
+    background systhreads: one acceptor plus one thread per live
+    connection, keep-alive honoured.  [handler] returns (status,
+    content type, body); it is called from connection threads and must
+    be thread-safe.  GET and HEAD both run it (HEAD gets headers
+    only); any other method on a path it knows is 405 with an [Allow]
+    header, malformed requests 400, oversized heads 431.  A connection
+    idle longer than [idle_timeout] seconds (default 30) at any read
+    is dropped.
     @raise Unix.Unix_error if the port cannot be bound. *)
+
+val start_routed :
+  ?host:string ->
+  ?port:int ->
+  ?idle_timeout:float ->
+  handler:(Request.t -> body:string -> response) ->
+  unit ->
+  t
+(** Full-request routing: [handler] sees the method, path, headers,
+    and body, and chooses the response — including extra headers
+    ([Allow], [Retry-After]) and chunked streams.  HEAD is answered at
+    the server (the handler runs as if for GET; only headers are
+    sent).  A handler that raises answers 500.  Threading, timeouts,
+    and limits as in {!start}. *)
 
 val port : t -> int
 
@@ -60,12 +136,28 @@ val stop : t -> unit
     server threads, close all descriptors.  Idempotent.  After [stop]
     returns no handler is running. *)
 
+(** {1 Client} *)
+
+val request :
+  ?host:string ->
+  ?timeout:float ->
+  ?headers:(string * string) list ->
+  ?body:string ->
+  meth:string ->
+  port:int ->
+  string ->
+  (int * (string * string) list * string, string) result
+(** One-shot client: send [meth path] with optional extra [headers]
+    and [body] (adds [Content-Length]), read to EOF ([Connection:
+    close]), and return (status, headers lowercased, body) with a
+    chunked body reassembled.  [timeout] (default 5s) bounds each
+    socket operation. *)
+
 val get :
   ?host:string ->
   ?timeout:float ->
   port:int ->
   string ->
   (int * string, string) result
-(** [get ~port path]: one-shot client used by [sa_lab top] and the
-    tests.  Returns (status, body); [timeout] (default 5s) bounds
-    each socket operation. *)
+(** [get ~port path]: {!request} with method GET, returning (status,
+    body). *)

@@ -130,7 +130,7 @@ let fixture_policy =
   {
     Callgraph.pool_modules = [ "Fx_pool" ];
     pool_functions = [ "run"; "map" ];
-    sink_patterns = [ "Fx_report.*" ];
+    sink_patterns = [ "Fx_report.*"; "Fx_handler.*_to_json" ];
   }
 
 let typed_report () =
@@ -148,10 +148,11 @@ let test_typed_rules_fire () =
   (* persist (via Fx_io.save) + shout (direct); flush_logs suppressed *)
   Alcotest.check Alcotest.int "blocking io in worker" 2
     (count_rule r "typed-blocking-io-in-worker");
-  (* stamped (two hops down) + to_json *)
-  Alcotest.check Alcotest.int "wallclock in report" 2
+  (* stamped (two hops down) + to_json + the handler sink; the
+     directive-suppressed trace_to_json must NOT count *)
+  Alcotest.check Alcotest.int "wallclock in report" 3
     (count_rule r "typed-wallclock-in-report");
-  Alcotest.check Alcotest.int "ambient random in report" 1
+  Alcotest.check Alcotest.int "ambient random in report" 2
     (count_rule r "typed-ambient-random-in-report");
   (* crunch only: bump_atomic in ok is synced *)
   Alcotest.check Alcotest.int "unsync mutable in worker" 1
@@ -168,7 +169,10 @@ let test_typed_negatives_are_clean () =
            let rec at i = i + ls <= lm && (String.sub msg i ls = sub || at (i + 1)) in
            at 0
          in
-         has "Fx_report.pure" || has "bump_atomic" || has "flush_logs");
+         has "Fx_report.pure" || has "bump_atomic" || has "flush_logs"
+         || has "trace_to_json" (* suppressed by directive *)
+         || has "summary_to_json" (* clean *)
+         || has "Fx_handler.retry_after" (* effectful but not a sink *));
       Alcotest.check Alcotest.string "diagnostics use scanned paths"
         "typed_fixtures"
         (List.hd (String.split_on_char '/' d.Lint_diagnostic.file)))

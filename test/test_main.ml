@@ -20,6 +20,7 @@ let () =
       ("resilience", Test_resilience.suite);
       ("portfolio", Test_portfolio.suite);
       ("telemetry", Test_telemetry.suite);
+      ("service", Test_service.suite);
       ("integration", Test_integration.suite);
       ("golden", Test_golden.suite);
       ("lint", Test_lint.suite);

@@ -96,6 +96,37 @@ let test_request_eof_and_garbage () =
   | Error (Telemetry_http.Request.Bad _) -> ()
   | _ -> Alcotest.fail "non-HTTP version should be Bad"
 
+let test_read_from_bodies () =
+  (* One source, two pipelined requests: a POST with a body, then a
+     GET.  The body must arrive whole and the surplus bytes must stay
+     pending for the second read. *)
+  let wire =
+    "POST /jobs HTTP/1.1\r\nContent-Length: 9\r\n\r\nsuch body"
+    ^ "GET /healthz HTTP/1.1\r\n\r\n"
+  in
+  let src = Telemetry_http.Request.Source.of_read (feeder ~chunk:5 wire) in
+  (match Telemetry_http.Request.read_from src with
+  | Ok (r, body) ->
+      Alcotest.check Alcotest.string "first path" "/jobs"
+        r.Telemetry_http.Request.path;
+      Alcotest.check Alcotest.string "body delivered whole" "such body" body
+  | Error e -> Alcotest.fail (Telemetry_http.Request.error_to_string e));
+  (match Telemetry_http.Request.read_from src with
+  | Ok (r, body) ->
+      Alcotest.check Alcotest.string "pipelined path" "/healthz"
+        r.Telemetry_http.Request.path;
+      Alcotest.check Alcotest.string "no body on the GET" "" body
+  | Error e -> Alcotest.fail (Telemetry_http.Request.error_to_string e));
+  (* A declared body over the cap is refused before it is read. *)
+  match
+    Telemetry_http.Request.read_from ~max_body:4
+      (Telemetry_http.Request.Source.of_read
+         (feeder "POST / HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello"))
+  with
+  | Error Telemetry_http.Request.Body_too_large -> ()
+  | Ok _ -> Alcotest.fail "oversized body was accepted"
+  | Error e -> Alcotest.fail (Telemetry_http.Request.error_to_string e)
+
 (* --------------------------- live server ------------------------- *)
 
 let with_raw ~port f =
@@ -244,6 +275,90 @@ let test_stop_mid_scrape () =
   match Telemetry_http.get ~timeout:1. ~port "/healthz" with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "server still answering after stop"
+
+let test_head_and_allow () =
+  with_server (fun _tele port ->
+      (* HEAD runs the handler but ships only headers: same
+         content-length as the GET, empty body. *)
+      (match Telemetry_http.request ~meth:"HEAD" ~port "/healthz" with
+      | Ok (200, headers, body) ->
+          Alcotest.check Alcotest.string "HEAD has no body" "" body;
+          Alcotest.check
+            (Alcotest.option Alcotest.string)
+            "content-length matches the GET body"
+            (Some (string_of_int (String.length "ok\n")))
+            (List.assoc_opt "content-length" headers)
+      | Ok (st, _, _) -> Alcotest.failf "HEAD /healthz: status %d" st
+      | Error e -> Alcotest.fail e);
+      (* An unknown method answers 405 and names what is allowed. *)
+      match Telemetry_http.request ~meth:"POST" ~port "/healthz" with
+      | Ok (405, headers, _) ->
+          Alcotest.check
+            (Alcotest.option Alcotest.string)
+            "Allow header" (Some "GET, HEAD")
+            (List.assoc_opt "allow" headers)
+      | Ok (st, _, _) -> Alcotest.failf "POST /healthz: status %d, want 405" st
+      | Error e -> Alcotest.fail e)
+
+let test_idle_timeout () =
+  let tele = Telemetry.create ~workers:1 ~labels:[ "job-a" ] () in
+  let server =
+    Telemetry_http.start ~idle_timeout:0.2 ~handler:(Telemetry.handler tele) ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Telemetry_http.stop server)
+    (fun () ->
+      let port = Telemetry_http.port server in
+      (* Open a connection and stall: the server must hang up on its
+         own, well before the read timeout on our side. *)
+      with_raw ~port (fun sock ->
+          let t0 = Obs.now () in
+          Alcotest.check Alcotest.string "idle connection dropped" ""
+            (recv_until_close sock);
+          Alcotest.check Alcotest.bool "dropped by the idle timer" true
+            (Obs.now () -. t0 < 4.));
+      (* The server is still alive for well-behaved clients. *)
+      match Telemetry_http.get ~port "/healthz" with
+      | Ok (200, _) -> ()
+      | Ok (st, _) -> Alcotest.failf "post-timeout /healthz: status %d" st
+      | Error e -> Alcotest.fail e)
+
+let test_routed_server_and_chunked_client () =
+  (* start_routed hands the handler the full request; the response
+     here echoes method/path/body back through a chunked stream, so
+     this also proves the client's dechunking. *)
+  let server =
+    Telemetry_http.start_routed
+      ~handler:(fun req ~body ->
+          match req.Telemetry_http.Request.meth with
+          | "POST" ->
+              Telemetry_http.stream 200 (fun write ->
+                  write (req.Telemetry_http.Request.path ^ "\n");
+                  write body)
+          | "GET" -> Telemetry_http.respond 200 "plain\n"
+          | _ -> Telemetry_http.respond 405 "no")
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Telemetry_http.stop server)
+    (fun () ->
+      let port = Telemetry_http.port server in
+      (match
+         Telemetry_http.request ~meth:"POST" ~port ~body:"the payload" "/echo"
+       with
+      | Ok (200, headers, body) ->
+          Alcotest.check Alcotest.string "chunked body reassembled"
+            "/echo\nthe payload" body;
+          Alcotest.check
+            (Alcotest.option Alcotest.string)
+            "chunked transfer encoding" (Some "chunked")
+            (List.assoc_opt "transfer-encoding" headers)
+      | Ok (st, _, _) -> Alcotest.failf "POST /echo: status %d" st
+      | Error e -> Alcotest.fail e);
+      match Telemetry_http.get ~port "/fixed" with
+      | Ok (200, "plain\n") -> ()
+      | Ok (st, body) -> Alcotest.failf "GET /fixed: %d %S" st body
+      | Error e -> Alcotest.fail e)
 
 (* ------------------------- shards and runs ----------------------- *)
 
@@ -473,7 +588,12 @@ let suite =
     case "wants_close follows HTTP/1.x defaults" test_request_wants_close;
     case "oversized head is bounded" test_request_oversized;
     case "truncation and garbage are typed errors" test_request_eof_and_garbage;
+    case "read_from delivers bodies and keeps pipelined bytes"
+      test_read_from_bodies;
     case "server routes the three endpoints" test_server_routes;
+    case "HEAD ships headers only; 405 names Allow" test_head_and_allow;
+    case "idle connections are dropped, server survives" test_idle_timeout;
+    case "routed server streams; client dechunks" test_routed_server_and_chunked_client;
     case "server rejects bad method/garbage/oversize" test_server_rejections;
     case "keep-alive serves several requests per connection"
       test_server_keep_alive_reuse;

@@ -1,0 +1,22 @@
+(* A sa_labd-style request handler module: the service's JSON sinks
+   must be pure functions of recorded state, and the fixture policy
+   names [Fx_handler.*_to_json] as sinks to hold them to it.
+   [status_to_json] is the positive counterexample (reaches the wall
+   clock and the ambient RNG); [trace_to_json] carries the same
+   effects under an allow directive, exercising suppression for the
+   typed rules; [summary_to_json] is the clean negative; [retry_after]
+   touches the clock but matches no sink pattern, so it must not be
+   flagged either. *)
+
+let status_to_json depth =
+  Printf.sprintf "{\"depth\": %d, \"now\": %f, \"token\": %f}" depth
+    (Fx_clock.now ()) (Fx_rand.jitter ())
+
+(* sa-lint: allow typed-wallclock-in-report typed-ambient-random-in-report *)
+let trace_to_json depth =
+  Printf.sprintf "{\"depth\": %d, \"now\": %f, \"token\": %f}" depth
+    (Fx_clock.now ()) (Fx_rand.jitter ())
+
+let summary_to_json depth = Printf.sprintf "{\"depth\": %d}" depth
+
+let retry_after deadline = deadline -. Fx_clock.now ()
