@@ -774,8 +774,8 @@ let run_cmd =
                 match (resume, checkpoint) with
                 | true, Some path -> (
                     match Checkpoint.load_figure1 ~path ~codec ~fingerprint with
-                    | Error msg ->
-                        prerr_endline msg;
+                    | Error e ->
+                        prerr_endline (Checkpoint.load_error_message e);
                         Error 1
                     | Ok (snap, current, best_state, rng) ->
                         let live =

@@ -15,7 +15,7 @@
 open Cmdliner
 
 let serve state_dir port max_queue runners quota_burst quota_refill
-    checkpoint_every keep max_budget max_attempts =
+    quota_clients checkpoint_every keep max_budget max_attempts =
   let cfg =
     {
       (Service.default_config ~dir:state_dir) with
@@ -23,6 +23,7 @@ let serve state_dir port max_queue runners quota_burst quota_refill
       runners;
       quota_burst;
       quota_refill;
+      quota_clients;
       checkpoint_every;
       keep;
       max_budget;
@@ -102,6 +103,15 @@ let cmd =
             "Token-bucket refill rate per client, jobs per second; an empty \
              bucket answers 429 with Retry-After.")
   in
+  let quota_clients =
+    Arg.(
+      value & opt int 1024
+      & info [ "quota-clients" ] ~docv:"N"
+          ~doc:
+            "Most client buckets tracked at once; past it, idle buckets are \
+             evicted and unknown clients share one overflow bucket, so \
+             cycling x-client names cannot grow memory or mint fresh bursts.")
+  in
   let checkpoint_every =
     Arg.(
       value & opt int 1000
@@ -145,6 +155,7 @@ let cmd =
          ])
     Term.(
       const serve $ state_dir $ port $ max_queue $ runners $ quota_burst
-      $ quota_refill $ checkpoint_every $ keep $ max_budget $ max_attempts)
+      $ quota_refill $ quota_clients $ checkpoint_every $ keep $ max_budget
+      $ max_attempts)
 
 let () = exit (Cmd.eval' cmd)

@@ -263,34 +263,44 @@ let save_figure1 ?(observer = Obs.Observer.null) ~path ~codec ~fingerprint
     Obs.Observer.emit observer
       (Obs.Event.Checkpoint_written { path; evaluation = snapshot.Figure1.ticks })
 
+type load_error = Stale of string | Corrupt of string
+
+let load_error_message = function Stale msg | Corrupt msg -> msg
+
 let load_figure1 ~path ~codec ~fingerprint =
-  let* payload = read ~path in
   let ctx msg = Printf.sprintf "checkpoint %s: %s" path msg in
-  let* engine = Result.map_error ctx (string_field "engine" payload) in
+  (* Everything that means "this file cannot be trusted" — unreadable,
+     torn, wrong schema, undecodable — is [Corrupt]; only a clean file
+     written under a different run configuration is [Stale]. *)
+  let corrupt e = Result.map_error (fun msg -> Corrupt (ctx msg)) e in
+  let* payload = Result.map_error (fun msg -> Corrupt msg) (read ~path) in
+  let* engine = corrupt (string_field "engine" payload) in
   let* () =
     if String.equal engine "figure1" then Ok ()
-    else Error (ctx (Printf.sprintf "written by engine %S, not figure1" engine))
+    else
+      Error
+        (Corrupt (ctx (Printf.sprintf "written by engine %S, not figure1" engine)))
   in
-  let* stored_fp = Result.map_error ctx (field "fingerprint" payload) in
+  let* stored_fp = corrupt (field "fingerprint" payload) in
   let want = Obs.Json.to_string fingerprint in
   let got = Obs.Json.to_string stored_fp in
   let* () =
     if String.equal want got then Ok ()
     else
       Error
-        (ctx
-           (Printf.sprintf
-              "stale: its run fingerprint %s does not match this invocation's \
-               %s (same netlist, method, seed, and budget required)"
-              got want))
+        (Stale
+           (ctx
+              (Printf.sprintf
+                 "stale: its run fingerprint %s does not match this \
+                  invocation's %s (same netlist, method, seed, and budget \
+                  required)"
+                 got want)))
   in
-  let* snap_json = Result.map_error ctx (field "snapshot" payload) in
-  let* snapshot = Result.map_error ctx (snapshot_of_json snap_json) in
-  let* current_json = Result.map_error ctx (field "current" payload) in
-  let* current =
-    Result.map_error ctx (codec.Mc_problem.decode current_json)
-  in
-  let* best_json = Result.map_error ctx (field "best" payload) in
-  let* best = Result.map_error ctx (codec.Mc_problem.decode best_json) in
-  let* rng = Result.map_error ctx (Rng.of_state snapshot.Figure1.rng) in
+  let* snap_json = corrupt (field "snapshot" payload) in
+  let* snapshot = corrupt (snapshot_of_json snap_json) in
+  let* current_json = corrupt (field "current" payload) in
+  let* current = corrupt (codec.Mc_problem.decode current_json) in
+  let* best_json = corrupt (field "best" payload) in
+  let* best = corrupt (codec.Mc_problem.decode best_json) in
+  let* rng = corrupt (Rng.of_state snapshot.Figure1.rng) in
   Ok (snapshot, current, best, rng)

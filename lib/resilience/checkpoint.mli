@@ -62,14 +62,26 @@ val save_figure1 :
     netlist, method, seed, budget).  Emits
     [Checkpoint_written {path; evaluation}] through [observer]. *)
 
+type load_error =
+  | Stale of string
+      (** CRC-clean but written under a different run configuration:
+          the stored fingerprint does not match this invocation's. *)
+  | Corrupt of string
+      (** Anything that means the file cannot be trusted: unreadable,
+          invalid JSON, CRC mismatch, wrong engine, undecodable
+          state. *)
+
+val load_error_message : load_error -> string
+(** The human-readable message either constructor carries. *)
+
 val load_figure1 :
   path:string ->
   codec:'state Mc_problem.codec ->
   fingerprint:Obs.Json.t ->
-  (Figure1.snapshot * 'state * 'state * Rng.t, string) result
+  (Figure1.snapshot * 'state * 'state * Rng.t, load_error) result
 (** Load a resume point written by {!save_figure1}: returns the
     snapshot, the decoded current and best states, and the RNG rebuilt
-    from the saved stream position.  Fails with a precise message on
-    corruption (via {!read}), a different engine, a fingerprint that
-    does not match [fingerprint] (stale checkpoint from another run
-    configuration), or an undecodable state. *)
+    from the saved stream position.  Failures are classified — {!Stale}
+    for a clean checkpoint from another run configuration, {!Corrupt}
+    for everything else — so callers count them structurally instead of
+    parsing message text. *)

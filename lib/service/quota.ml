@@ -8,6 +8,16 @@
    time until the next token — the number the 429's Retry-After
    header carries — so a well-behaved client never has to guess.
 
+   The client name is whatever the request asserts (the x-client
+   header), so the table must stay bounded against an adversary that
+   mints a fresh name per request.  At most [max_clients] buckets are
+   ever live: when the table is full, buckets that have refilled to a
+   full burst are evicted first (a full bucket carries no throttling
+   state — evicting it is lossless), and if none is idle, unknown
+   names share one overflow bucket.  Cycling names therefore buys at
+   most the overflow bucket's allowance, never fresh bursts or
+   unbounded memory.
+
    The clock is injected so the tests can drive refill
    deterministically. *)
 
@@ -16,22 +26,49 @@ type bucket = { mutable tokens : float; mutable last : float }
 type t = {
   burst : float;
   refill : float;
+  max_clients : int;
   now : unit -> float;
   m : Mutex.t;
   buckets : (string, bucket) Hashtbl.t;
+  overflow : bucket;  (* shared by unknown clients once the table is full *)
 }
 
-let create ?(now = Unix.gettimeofday) ~burst ~refill () =
+let create ?(now = Unix.gettimeofday) ?(max_clients = 1024) ~burst ~refill () =
   if burst < 1 then invalid_arg "Quota.create: burst must be >= 1";
   if refill <= 0. || not (Float.is_finite refill) then
     invalid_arg "Quota.create: refill must be positive";
+  if max_clients < 1 then invalid_arg "Quota.create: max_clients must be >= 1";
   {
     burst = float_of_int burst;
     refill;
+    max_clients;
     now;
     m = Mutex.create ();
     buckets = Hashtbl.create 16;
+    overflow = { tokens = float_of_int burst; last = 0. };
   }
+
+(* Refill-to-now; a non-monotonic clock refills nothing rather than
+   draining. *)
+let refresh t b ~now =
+  let elapsed = Float.max 0. (now -. b.last) in
+  b.tokens <- Float.min t.burst (b.tokens +. (elapsed *. t.refill));
+  b.last <- now
+
+(* Drop every bucket that would refill to a full burst by [now]: such
+   a bucket is indistinguishable from a fresh one, so eviction loses
+   no throttling state.  O(table) per call, amortised over the misses
+   that trigger it. *)
+let evict_idle t ~now =
+  let idle =
+    Hashtbl.fold
+      (fun client b acc ->
+        if b.tokens +. (Float.max 0. (now -. b.last) *. t.refill) >= t.burst
+        then client :: acc
+        else acc)
+      t.buckets []
+  in
+  List.iter (Hashtbl.remove t.buckets) idle
 
 let admit t ~client =
   let now = t.now () in
@@ -40,14 +77,16 @@ let admit t ~client =
         match Hashtbl.find_opt t.buckets client with
         | Some b -> b
         | None ->
-            let b = { tokens = t.burst; last = now } in
-            Hashtbl.replace t.buckets client b;
-            b
+            if Hashtbl.length t.buckets >= t.max_clients then
+              evict_idle t ~now;
+            if Hashtbl.length t.buckets < t.max_clients then begin
+              let b = { tokens = t.burst; last = now } in
+              Hashtbl.replace t.buckets client b;
+              b
+            end
+            else t.overflow
       in
-      (* A non-monotonic clock refills nothing rather than draining. *)
-      let elapsed = Float.max 0. (now -. b.last) in
-      b.tokens <- Float.min t.burst (b.tokens +. (elapsed *. t.refill));
-      b.last <- now;
+      refresh t b ~now;
       if b.tokens >= 1. then begin
         b.tokens <- b.tokens -. 1.;
         Ok ()

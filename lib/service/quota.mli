@@ -3,14 +3,30 @@
     Each client holds up to [burst] tokens, refilled continuously at
     [refill] tokens per second; admitting a job spends one.  Fairness
     is per tenant: buckets are independent, so one chatty client
-    exhausts only its own allowance.  Thread-safe. *)
+    exhausts only its own allowance.
+
+    Client names are request-asserted (the [x-client] header), so the
+    bucket table is bounded at [max_clients] entries: past the cap,
+    buckets that have refilled to a full burst are evicted (lossless —
+    a full bucket carries no throttling state), and if none is idle,
+    unknown names share a single overflow bucket.  An adversary that
+    mints a fresh name per request gets the overflow bucket's
+    allowance, not fresh bursts or unbounded memory.  Thread-safe. *)
 
 type t
 
-val create : ?now:(unit -> float) -> burst:int -> refill:float -> unit -> t
+val create :
+  ?now:(unit -> float) ->
+  ?max_clients:int ->
+  burst:int ->
+  refill:float ->
+  unit ->
+  t
 (** [now] (default [Unix.gettimeofday]) is injectable so tests drive
-    refill deterministically.
-    @raise Invalid_argument if [burst < 1] or [refill <= 0]. *)
+    refill deterministically; [max_clients] (default 1024) bounds the
+    bucket table.
+    @raise Invalid_argument if [burst < 1], [refill <= 0], or
+    [max_clients < 1]. *)
 
 val admit : t -> client:string -> (unit, float) result
 (** Spend one token for [client].  [Error s] means the bucket is
@@ -18,5 +34,5 @@ val admit : t -> client:string -> (unit, float) result
     429's [Retry-After]. *)
 
 val clients : t -> int
-(** Distinct clients seen (bounded by whoever connects; buckets are a
-    few words each). *)
+(** Distinct clients currently holding a bucket (at most
+    [max_clients]; the shared overflow bucket is not counted). *)

@@ -212,12 +212,6 @@ let result_to_json ~(spec : Job_spec.t) (run : _ Mc_problem.run) best_json =
 
 type tally = { mutable resumed : bool; mutable stale : int; mutable corrupt : int }
 
-let contains_stale e =
-  let needle = "stale:" in
-  let n = String.length needle and l = String.length e in
-  let rec probe i = i + n <= l && (String.sub e i n = needle || probe (i + 1)) in
-  probe 0
-
 let run_anneal ~observer ~dir ~id ~checkpoint_every ~stop ~tally
     (spec : Job_spec.t) (Pack inst) ~attempt =
   let (module P) = inst.problem in
@@ -240,9 +234,11 @@ let run_anneal ~observer ~dir ~id ~checkpoint_every ~stop ~tally
           | Ok r ->
               tally.resumed <- true;
               Some r
-          | Error e ->
-              if contains_stale e then tally.stale <- tally.stale + 1
-              else tally.corrupt <- tally.corrupt + 1;
+          | Error (Checkpoint.Stale _) ->
+              tally.stale <- tally.stale + 1;
+              pick rest
+          | Error (Checkpoint.Corrupt _) ->
+              tally.corrupt <- tally.corrupt + 1;
               pick rest)
     in
     pick (Store.snapshots ~dir id)

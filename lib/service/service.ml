@@ -3,8 +3,11 @@
    One mutex guards all service state — registry, queue, counters,
    event logs.  Everything slow happens outside it: request parsing
    in the connection threads, the walks themselves in the runner
-   threads, snapshot IO in [Runner].  The lock is only ever held for
-   pointer-sized bookkeeping, so admission stays cheap under load and
+   threads, snapshot IO in [Runner], and manifest writes, which are
+   rendered under the lock but hit the disk after release (see
+   [persist_later]).  The lock is only ever held for pointer-sized
+   bookkeeping, so admission stays cheap under load — a slow disk
+   stalls one job's bookkeeping, never every handler — and
    backpressure is a queue-depth comparison, never memory growth.
 
    The durability rules are deliberately boring:
@@ -28,6 +31,7 @@ type config = {
   runners : int;
   quota_burst : int;
   quota_refill : float;
+  quota_clients : int;
   checkpoint_every : int;
   keep : int;
   max_budget : int;
@@ -42,6 +46,7 @@ let default_config ~dir =
     runners = 2;
     quota_burst = 16;
     quota_refill = 4.;
+    quota_clients = 1024;
     checkpoint_every = 1_000;
     keep = 3;
     max_budget = 10_000_000;
@@ -95,6 +100,9 @@ type job = {
   mutable was_resumed : bool;
   cancel : bool Atomic.t;
   events : event_log;
+  io : Mutex.t;  (* serialises this job's manifest writes *)
+  mutable manifest_seq : int;  (* bumped under the service lock *)
+  mutable persisted_seq : int;  (* guarded by [io] *)
 }
 
 type counters = {
@@ -144,7 +152,22 @@ let manifest_of_job job =
       ("resumed", Obs.Json.Bool job.was_resumed);
     ]
 
-let persist t job = Store.write_manifest ~dir:t.cfg.dir job.id (manifest_of_job job)
+(* Manifest persistence without disk IO under the service lock: the
+   JSON is rendered by the caller while it still holds [t.m] (a
+   consistent view of the job), the write runs after release.  The
+   per-job [io] mutex plus the sequence pair keeps concurrent writers
+   ordered — a slow older write can never clobber a newer manifest. *)
+let persist_later t job =
+  job.manifest_seq <- job.manifest_seq + 1;
+  let seq = job.manifest_seq in
+  let json = manifest_of_job job in
+  fun () ->
+    Mutex.protect job.io (fun () ->
+        if seq > job.persisted_seq then begin
+          job.persisted_seq <- seq;
+          try Store.write_manifest ~dir:t.cfg.dir job.id json
+          with Sys_error _ -> ()
+        end)
 
 let job_of_manifest json =
   let ( let* ) = Result.bind in
@@ -205,6 +228,9 @@ let job_of_manifest json =
       was_resumed;
       cancel = Atomic.make false;
       events = new_log ();
+      io = Mutex.create ();
+      manifest_seq = 0;
+      persisted_seq = 0;
     }
 
 let delete_snapshots t id =
@@ -271,40 +297,51 @@ let rec runner_loop t =
             corrupt = 0;
           }
       in
-      locked t (fun () ->
-          job.attempts <- job.attempts + report.Runner.attempts;
-          if report.Runner.resumed then begin
-            job.was_resumed <- true;
-            t.c.resumed <- t.c.resumed + 1
-          end;
-          t.c.stale_snapshots <- t.c.stale_snapshots + report.Runner.stale;
-          t.c.corrupt_snapshots <- t.c.corrupt_snapshots + report.Runner.corrupt;
-          (match report.Runner.status with
-          | Runner.Done json ->
-              job.state <- Finished;
-              job.result <- Some json;
-              t.c.completed <- t.c.completed + 1
-          | Runner.Halted ->
-              if Atomic.get job.cancel then begin
-                job.state <- Cancelled;
-                t.c.cancelled <- t.c.cancelled + 1
-              end
-              else begin
-                job.state <- Interrupted;
-                t.c.interrupted <- t.c.interrupted + 1
-              end
-          | Runner.Failed reason ->
-              job.state <- Failed;
-              job.error <- Some reason;
-              t.c.failed <- t.c.failed + 1);
-          (try persist t job with Sys_error _ -> ());
-          (match job.state with
-          | Finished | Failed | Cancelled ->
-              job.events.closed <- true;
-              delete_snapshots t job.id
-          | Interrupted -> job.events.closed <- true
-          | Queued | Running -> ());
-          Condition.broadcast t.cv);
+      let flush, drop_snapshots =
+        locked t (fun () ->
+            job.attempts <- job.attempts + report.Runner.attempts;
+            if report.Runner.resumed then begin
+              job.was_resumed <- true;
+              t.c.resumed <- t.c.resumed + 1
+            end;
+            t.c.stale_snapshots <- t.c.stale_snapshots + report.Runner.stale;
+            t.c.corrupt_snapshots <-
+              t.c.corrupt_snapshots + report.Runner.corrupt;
+            (match report.Runner.status with
+            | Runner.Done json ->
+                job.state <- Finished;
+                job.result <- Some json;
+                t.c.completed <- t.c.completed + 1
+            | Runner.Halted ->
+                if Atomic.get job.cancel then begin
+                  job.state <- Cancelled;
+                  t.c.cancelled <- t.c.cancelled + 1
+                end
+                else begin
+                  job.state <- Interrupted;
+                  t.c.interrupted <- t.c.interrupted + 1
+                end
+            | Runner.Failed reason ->
+                job.state <- Failed;
+                job.error <- Some reason;
+                t.c.failed <- t.c.failed + 1);
+            let drop =
+              match job.state with
+              | Finished | Failed | Cancelled ->
+                  job.events.closed <- true;
+                  true
+              | Interrupted ->
+                  job.events.closed <- true;
+                  false
+              | Queued | Running -> false
+            in
+            Condition.broadcast t.cv;
+            (persist_later t job, drop))
+      in
+      (* Disk work happens off the lock; the job is terminal, so no
+         other mutator races these. *)
+      flush ();
+      if drop_snapshots then delete_snapshots t job.id;
       runner_loop t
 
 let create ?quota_now cfg =
@@ -315,8 +352,8 @@ let create ?quota_now cfg =
     {
       cfg;
       quota =
-        Quota.create ?now:quota_now ~burst:cfg.quota_burst
-          ~refill:cfg.quota_refill ();
+        Quota.create ?now:quota_now ~max_clients:cfg.quota_clients
+          ~burst:cfg.quota_burst ~refill:cfg.quota_refill ();
       m = Mutex.create ();
       cv = Condition.create ();
       jobs = Hashtbl.create 64;
@@ -474,14 +511,16 @@ let submit t req ~body =
                         was_resumed = false;
                         cancel = Atomic.make false;
                         events = new_log ();
+                        io = Mutex.create ();
+                        manifest_seq = 0;
+                        persisted_seq = 0;
                       }
                     in
                     Hashtbl.replace t.jobs id job;
                     Queue.push id t.queue;
                     t.c.submitted <- t.c.submitted + 1;
-                    (try persist t job with Sys_error _ -> ());
                     Condition.signal t.cv;
-                    `Admitted id
+                    `Admitted (id, persist_later t job)
                   end)
             in
             (match outcome with
@@ -493,7 +532,10 @@ let submit t req ~body =
                        ("error", Obs.Json.String "queue full");
                        ("queue_depth", Obs.Json.Int depth);
                      ])
-            | `Admitted id ->
+            | `Admitted (id, flush) ->
+                (* The manifest write happens off the lock but before
+                   the 202: an acked job is always durable. *)
+                flush ();
                 json_response 202
                   (Obs.Json.Obj
                      [
@@ -518,15 +560,15 @@ let delete_job t id =
                 job.state <- Cancelled;
                 t.c.cancelled <- t.c.cancelled + 1;
                 job.events.closed <- true;
-                (try persist t job with Sys_error _ -> ());
-                `Cancelled
+                `Cancelled (persist_later t job)
             | Running ->
                 Atomic.set job.cancel true;
                 `Cancelling
             | _ -> `Terminal (state_name job.state)))
   with
   | `Missing -> error_response 404 "no such job"
-  | `Cancelled ->
+  | `Cancelled flush ->
+      flush ();
       (* A cancelled queued job has no useful snapshots. *)
       delete_snapshots t id;
       json_response 200 (Obs.Json.Obj [ ("status", Obs.Json.String "cancelled") ])

@@ -30,6 +30,7 @@ type config = {
   runners : int;  (** runner threads; 0 admits but never executes *)
   quota_burst : int;
   quota_refill : float;  (** tokens per second, per client *)
+  quota_clients : int;  (** bucket-table bound; see {!Quota.create} *)
   checkpoint_every : int;  (** snapshot cadence in budget ticks *)
   keep : int;  (** snapshots retained per job by the sweep *)
   max_budget : int;  (** largest admissible job budget *)
@@ -38,9 +39,9 @@ type config = {
 }
 
 val default_config : dir:string -> config
-(** 64-deep queue, 2 runners, 16-burst quota refilling 4/s,
-    checkpoints every 1000 ticks keeping 3, 10M-tick budget cap, 3
-    attempts backing off from 50 ms. *)
+(** 64-deep queue, 2 runners, 16-burst quota refilling 4/s over at
+    most 1024 tracked clients, checkpoints every 1000 ticks keeping 3,
+    10M-tick budget cap, 3 attempts backing off from 50 ms. *)
 
 type t
 

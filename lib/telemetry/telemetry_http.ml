@@ -268,6 +268,7 @@ let write_all fd bytes =
       match Unix.write fd bytes off (n - off) with
       | 0 -> raise Stopped
       | written -> go (off + written)
+      | exception Unix.Unix_error (EINTR, _, _) -> go off
   in
   go 0
 
@@ -275,11 +276,14 @@ let write_all fd bytes =
    (negative = forever) elapses; stopping wins.  This is what makes
    teardown clean in the middle of a slow scrape, and what unsticks a
    connection slot from a stalling client: every blocking read in a
-   connection funnels through here. *)
-let wait_readable ?(timeout = -1.) stop_r fd =
+   connection funnels through here.  A signal landing on the thread
+   (sa_labd installs SIGTERM/SIGINT handlers) restarts the wait rather
+   than killing the connection. *)
+let rec wait_readable ?(timeout = -1.) stop_r fd =
   match Unix.select [ fd; stop_r ] [] [] timeout with
   | [], _, _ -> raise Timed_out
   | readable, _, _ -> if List.mem stop_r readable then raise Stopped
+  | exception Unix.Unix_error (EINTR, _, _) -> wait_readable ~timeout stop_r fd
 
 (* The service side of a connection: parse requests (head + body),
    answer through [service], honour keep-alive.  HEAD is answered
@@ -289,7 +293,12 @@ let wait_readable ?(timeout = -1.) stop_r fd =
 let serve_connection ~stop_r ~idle_timeout ~service fd =
   let read_fn buf pos len =
     wait_readable ~timeout:idle_timeout stop_r fd;
-    Unix.read fd buf pos len
+    let rec read () =
+      match Unix.read fd buf pos len with
+      | n -> n
+      | exception Unix.Unix_error (EINTR, _, _) -> read ()
+    in
+    read ()
   in
   let src = Request.Source.of_read read_fn in
   let fixed ~status ~close body =
@@ -346,6 +355,10 @@ let serve_connection ~stop_r ~idle_timeout ~service fd =
 
 let start_routed ?(host = "127.0.0.1") ?(port = 0) ?(idle_timeout = 30.)
     ~handler () =
+  (* A peer that disconnects mid-response (routine for an event-stream
+     client) must surface as EPIPE on the next write — handled per
+     connection — not as a SIGPIPE that kills the whole process. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let lsock = Unix.socket PF_INET SOCK_STREAM 0 in
   let t =
     try

@@ -127,7 +127,10 @@ val start_routed :
     ([Allow], [Retry-After]) and chunked streams.  HEAD is answered at
     the server (the handler runs as if for GET; only headers are
     sent).  A handler that raises answers 500.  Threading, timeouts,
-    and limits as in {!start}. *)
+    and limits as in {!start}.  Starting a server sets SIGPIPE to
+    ignored process-wide, so a peer that disconnects mid-response
+    surfaces as EPIPE on that one connection instead of killing the
+    process. *)
 
 val port : t -> int
 

@@ -11,6 +11,10 @@ let ok_or_fail = function
   | Ok v -> v
   | Error msg -> Alcotest.fail msg
 
+let ok_or_fail_load = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail (Checkpoint.load_error_message e)
+
 let contains ~sub s =
   let n = String.length sub and m = String.length s in
   let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
@@ -101,7 +105,7 @@ let test_checkpoint_roundtrip () =
   let best = Arrangement.random (Rng.create ~seed:6) netlist in
   Checkpoint.save_figure1 ~path ~codec ~fingerprint snap ~current ~best;
   let snap', current', best', rng' =
-    ok_or_fail (Checkpoint.load_figure1 ~path ~codec ~fingerprint)
+    ok_or_fail_load (Checkpoint.load_figure1 ~path ~codec ~fingerprint)
   in
   Sys.remove path;
   Alcotest.check Alcotest.bool "snapshot roundtrips" true (snap = snap');
@@ -145,8 +149,11 @@ let test_corrupted_checkpoint_rejected () =
   Bytes.set mangled i 'j';
   write_file path (Bytes.to_string mangled);
   err_containing "CRC mismatch" (Checkpoint.read ~path);
-  err_containing "CRC mismatch"
-    (Checkpoint.load_figure1 ~path ~codec ~fingerprint);
+  (match Checkpoint.load_figure1 ~path ~codec ~fingerprint with
+  | Error (Checkpoint.Corrupt msg) -> err_containing "CRC mismatch" (Error msg)
+  | Error (Checkpoint.Stale msg) ->
+      Alcotest.fail ("corruption classified stale: " ^ msg)
+  | Ok _ -> Alcotest.fail "corrupt checkpoint accepted");
   Sys.remove path
 
 let test_truncated_checkpoint_rejected () =
@@ -176,8 +183,11 @@ let test_stale_fingerprint_rejected () =
   Checkpoint.save_figure1 ~path ~codec ~fingerprint (sample_snapshot ())
     ~current ~best:current;
   let other = Obs.Json.Obj [ ("test", Obs.Json.String "different-run") ] in
-  err_containing "stale"
-    (Checkpoint.load_figure1 ~path ~codec ~fingerprint:other);
+  (match Checkpoint.load_figure1 ~path ~codec ~fingerprint:other with
+  | Error (Checkpoint.Stale msg) -> err_containing "fingerprint" (Error msg)
+  | Error (Checkpoint.Corrupt msg) ->
+      Alcotest.fail ("staleness classified corrupt: " ^ msg)
+  | Ok _ -> Alcotest.fail "stale checkpoint accepted");
   Sys.remove path
 
 (* ----------------------- kill and resume ------------------------- *)
@@ -224,7 +234,7 @@ let test_kill_and_resume_bit_identical () =
   | exception Simulated_kill -> ());
   (* Resume from the persisted snapshot and run to completion. *)
   let snap, current, best, rng =
-    ok_or_fail (Checkpoint.load_figure1 ~path ~codec ~fingerprint)
+    ok_or_fail_load (Checkpoint.load_figure1 ~path ~codec ~fingerprint)
   in
   Alcotest.check Alcotest.int "killed at evaluation 2000" 2000
     snap.Figure1.ticks;

@@ -114,6 +114,36 @@ let test_quota_bucket () =
     (Quota.admit q ~client:"a" = Ok ());
   Alcotest.check Alcotest.int "two clients seen" 2 (Quota.clients q)
 
+let test_quota_bounded_buckets () =
+  let clock = ref 0. in
+  let q =
+    Quota.create ~now:(fun () -> !clock) ~max_clients:2 ~burst:2 ~refill:1. ()
+  in
+  (* Two live (partially drained) buckets fill the table. *)
+  Alcotest.check Alcotest.bool "a admits" true (Quota.admit q ~client:"a" = Ok ());
+  Alcotest.check Alcotest.bool "b admits" true (Quota.admit q ~client:"b" = Ok ());
+  Alcotest.check Alcotest.int "table at cap" 2 (Quota.clients q);
+  (* Past the cap with no idle bucket, fresh names share one overflow
+     bucket: cycling the x-client header mints neither fresh bursts
+     nor memory. *)
+  Alcotest.check Alcotest.bool "overflow token 1" true
+    (Quota.admit q ~client:"c" = Ok ());
+  Alcotest.check Alcotest.bool "overflow token 2" true
+    (Quota.admit q ~client:"d" = Ok ());
+  (match Quota.admit q ~client:"e" with
+  | Error retry_after ->
+      Alcotest.check Alcotest.bool "overflow Retry-After positive" true
+        (retry_after > 0.)
+  | Ok () -> Alcotest.fail "overflow bucket granted a third burst");
+  Alcotest.check Alcotest.int "table still at cap" 2 (Quota.clients q);
+  (* A bucket refilled to a full burst carries no throttling state, so
+     it is evicted to make room for a genuinely new tenant. *)
+  clock := 10.;
+  Alcotest.check Alcotest.bool "new tenant after idle eviction" true
+    (Quota.admit q ~client:"f" = Ok ());
+  Alcotest.check Alcotest.bool "table stays bounded" true
+    (Quota.clients q <= 2)
+
 let test_submit_over_quota () =
   let dir = tmp () in
   with_service
@@ -439,6 +469,8 @@ let test_chaos_persistent_quarantines () =
 let suite =
   [
     case "quota buckets refill on the injected clock" test_quota_bucket;
+    case "quota bucket table is bounded against name cycling"
+      test_quota_bounded_buckets;
     case "over-quota submits get 429 + Retry-After" test_submit_over_quota;
     case "full queue gets 503 with the depth" test_queue_full;
     case "routing: 404s, and 405s carry Allow" test_routing;

@@ -360,6 +360,38 @@ let test_routed_server_and_chunked_client () =
       | Ok (st, body) -> Alcotest.failf "GET /fixed: %d %S" st body
       | Error e -> Alcotest.fail e)
 
+let test_peer_disconnect_mid_stream () =
+  (* An event-stream client that vanishes mid-response is routine.
+     With SIGPIPE ignored by the server, the dead socket surfaces as
+     EPIPE on that one connection; the process and the listener must
+     both survive it. *)
+  let server =
+    Telemetry_http.start_routed
+      ~handler:(fun _req ~body:_ ->
+        Telemetry_http.stream 200 (fun write ->
+            for _ = 1 to 500 do
+              write (String.make 1024 'x');
+              Thread.delay 0.001
+            done))
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Telemetry_http.stop server)
+    (fun () ->
+      let port = Telemetry_http.port server in
+      with_raw ~port (fun sock ->
+          send_str sock "GET /stream HTTP/1.1\r\nHost: t\r\n\r\n";
+          (* Make sure the stream is really flowing, then vanish. *)
+          let chunk = Bytes.create 1024 in
+          ignore (Unix.read sock chunk 0 1024));
+      (* Let the server run into the closed peer, then prove it still
+         answers. *)
+      Thread.delay 0.2;
+      match Telemetry_http.get ~port "/after" with
+      | Ok (200, _) -> ()
+      | Ok (st, _) -> Alcotest.failf "post-disconnect status %d" st
+      | Error e -> Alcotest.fail e)
+
 (* ------------------------- shards and runs ----------------------- *)
 
 let test_shards_merge () =
@@ -594,6 +626,8 @@ let suite =
     case "HEAD ships headers only; 405 names Allow" test_head_and_allow;
     case "idle connections are dropped, server survives" test_idle_timeout;
     case "routed server streams; client dechunks" test_routed_server_and_chunked_client;
+    case "peer disconnect mid-stream is EPIPE, not process death"
+      test_peer_disconnect_mid_stream;
     case "server rejects bad method/garbage/oversize" test_server_rejections;
     case "keep-alive serves several requests per connection"
       test_server_keep_alive_reuse;
