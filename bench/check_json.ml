@@ -131,7 +131,35 @@ let check_bench path member =
           match dmember "costs_agree" with
           | Obs.Json.Bool _ -> ()
           | _ -> fail "%s: delta[%d].costs_agree is not a boolean" path i)
-        entries
+        entries;
+      (* The paper's own benchmark may not silently drop off the perf
+         trajectory: a linarr row per move kind must be present, and its
+         fast path must agree with the recompute path bit-for-bit.  (The
+         speedup itself is a measurement, not a schema target.) *)
+      List.iter
+        (fun prefix ->
+          let matching =
+            List.filter
+              (fun d ->
+                match Obs.Json.member "domain" d with
+                | Some (Obs.Json.String s) ->
+                    String.length s >= String.length prefix
+                    && String.sub s 0 (String.length prefix) = prefix
+                | _ -> false)
+              entries
+          in
+          if matching = [] then
+            fail "%s: delta has no %s-* row (linarr dropped off the trajectory)"
+              path prefix;
+          List.iter
+            (fun d ->
+              match Obs.Json.member "costs_agree" d with
+              | Some (Obs.Json.Bool true) -> ()
+              | _ ->
+                  fail "%s: a %s-* delta row does not have costs_agree: true"
+                    path prefix)
+            matching)
+        [ "linarr-swap"; "linarr-relocate" ]
   | _ -> fail "%s: delta is not a list" path);
   (match member "scaling" with
   | Obs.Json.List entries ->

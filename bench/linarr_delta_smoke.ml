@@ -1,0 +1,65 @@
+(* `dune runtest` smoke (alias linarr-delta): the linarr incremental
+   fast path must be indistinguishable from the classical
+   apply/cost/revert path — same decisions, same counters, bit-identical
+   costs — on all three engines, for both the paper's instance families
+   (2-pin GOLA, multi-pin NOLA) and all three adapters.  A miniature
+   twin of the bench delta comparison that runs in tier-1. *)
+
+let bits = Int64.bits_of_float
+
+let check msg ok =
+  if not ok then begin
+    Printf.eprintf "linarr-delta smoke FAILED: %s\n" msg;
+    exit 1
+  end
+
+module Check (P : Mc_problem.S with type state = Arrangement.t) = struct
+  module F1 = Figure1.Make (P)
+  module F2 = Figure2.Make (P)
+  module RL = Rejectionless.Make (P)
+
+  let same msg (a : P.state Mc_problem.run) (b : P.state Mc_problem.run) =
+    check (msg ^ ": best_cost")
+      (bits a.Mc_problem.best_cost = bits b.Mc_problem.best_cost);
+    check (msg ^ ": final_cost")
+      (bits a.Mc_problem.final_cost = bits b.Mc_problem.final_cost);
+    check (msg ^ ": stats") (a.Mc_problem.stats = b.Mc_problem.stats)
+
+  let all ~msg ~seed ~evals ~delta_ops ~make_state =
+    let gfun = Gfun.metropolis and schedule = Schedule.of_array [| 0.05 |] in
+    let p1 = F1.params ~gfun ~schedule ~budget:(Budget.Evaluations evals) () in
+    same (msg ^ "/figure1")
+      (F1.run (Rng.create ~seed) p1 (make_state ()))
+      (F1.run ~delta_ops (Rng.create ~seed) p1 (make_state ()));
+    let p2 = F2.params ~gfun ~schedule ~budget:(Budget.Evaluations evals) () in
+    same (msg ^ "/figure2")
+      (F2.run (Rng.create ~seed) p2 (make_state ()))
+      (F2.run ~delta_ops (Rng.create ~seed) p2 (make_state ()));
+    let pr = RL.params ~gfun ~schedule ~budget:(Budget.Evaluations evals) in
+    same (msg ^ "/rejectionless")
+      (RL.run (Rng.create ~seed) pr (make_state ()))
+      (RL.run ~delta_ops (Rng.create ~seed) pr (make_state ()))
+end
+
+let () =
+  let nola =
+    Netlist.random_nola (Rng.create ~seed:1) ~elements:48 ~nets:120 ~min_pins:2
+      ~max_pins:5
+  in
+  let gola = Netlist.random_gola (Rng.create ~seed:2) ~elements:48 ~nets:140 in
+  let module CS = Check (Linarr_problem.Swap) in
+  CS.all ~msg:"swap/nola" ~seed:3 ~evals:4000
+    ~delta_ops:Linarr_problem.Swap.delta_ops
+    ~make_state:(fun () -> Arrangement.random (Rng.create ~seed:4) nola);
+  CS.all ~msg:"swap/gola" ~seed:5 ~evals:4000
+    ~delta_ops:Linarr_problem.Swap.delta_ops
+    ~make_state:(fun () -> Arrangement.random (Rng.create ~seed:6) gola);
+  let module CR = Check (Linarr_problem.Relocate) in
+  CR.all ~msg:"relocate/gola" ~seed:7 ~evals:4000
+    ~delta_ops:Linarr_problem.Relocate.delta_ops
+    ~make_state:(fun () -> Arrangement.random (Rng.create ~seed:8) gola);
+  let module CC = Check (Linarr_problem.Swap_sum_cuts) in
+  CC.all ~msg:"swap-sum-cuts/nola" ~seed:9 ~evals:4000
+    ~delta_ops:Linarr_problem.Swap_sum_cuts.delta_ops
+    ~make_state:(fun () -> Arrangement.random (Rng.create ~seed:10) nola);
+  print_endline "linarr-delta smoke ok: fast path = slow path on all engines"

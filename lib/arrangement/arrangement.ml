@@ -21,6 +21,25 @@ type t = {
   mutable mark : int;
   touched : int array; (* capacity n_nets *)
   mutable n_touched : int;
+  (* Trial-evaluation scratch (swap_delta / relocate_delta).  A trial
+     records, without committing, the sparse set of boundaries whose cut
+     would change ([diff_pos] / [diff], validity keyed by [diff_stamp])
+     and the new span of every touched net ([pend_lo]/[pend_hi], indexed
+     like [touched]).  A matching commit_* replays the recording instead
+     of re-sweeping; any other mutation invalidates it via [pend_kind]. *)
+  diff : int array; (* length max 0 (n-1); valid where diff_mark = diff_stamp *)
+  diff_mark : int array;
+  mutable diff_stamp : int;
+  diff_pos : int array; (* boundaries recorded by the current trial *)
+  mutable n_diff : int;
+  removed : int array; (* length n_nets + 1; zeroed between trials *)
+  pend_lo : int array; (* capacity n_nets; new span of touched.(i) *)
+  pend_hi : int array;
+  mutable pend_kind : int; (* 0 = none, 1 = swap, 2 = relocate *)
+  mutable pend_a : int;
+  mutable pend_b : int;
+  mutable pend_density : int;
+  mutable pend_sum : int;
 }
 
 let size t = Array.length t.elem_at
@@ -82,6 +101,7 @@ let remove_span t j =
   done
 
 let recompute_all t =
+  t.pend_kind <- 0;
   Array.fill t.cuts 0 (Array.length t.cuts) 0;
   Array.fill t.cut_count 0 (Array.length t.cut_count) 0;
   t.cut_count.(0) <- Array.length t.cuts;
@@ -122,6 +142,19 @@ let create ?order netlist =
       mark = 0;
       touched = Array.make m 0;
       n_touched = 0;
+      diff = Array.make (max 0 (n - 1)) 0;
+      diff_mark = Array.make (max 0 (n - 1)) 0;
+      diff_stamp = 0;
+      diff_pos = Array.make (max 0 (n - 1)) 0;
+      n_diff = 0;
+      removed = Array.make (m + 1) 0;
+      pend_lo = Array.make m 0;
+      pend_hi = Array.make m 0;
+      pend_kind = 0;
+      pend_a = 0;
+      pend_b = 0;
+      pend_density = 0;
+      pend_sum = 0;
     }
   in
   recompute_all t;
@@ -141,6 +174,12 @@ let copy t =
     net_hi = Array.copy t.net_hi;
     net_mark = Array.copy t.net_mark;
     touched = Array.copy t.touched;
+    diff = Array.copy t.diff;
+    diff_mark = Array.copy t.diff_mark;
+    diff_pos = Array.copy t.diff_pos;
+    removed = Array.copy t.removed;
+    pend_lo = Array.copy t.pend_lo;
+    pend_hi = Array.copy t.pend_hi;
   }
 
 let touch t j =
@@ -159,6 +198,7 @@ let swap_positions t p q =
   if p < 0 || p >= n || q < 0 || q >= n then
     invalid_arg "Arrangement.swap_positions: position out of range";
   if p <> q then begin
+    t.pend_kind <- 0;
     let a = t.elem_at.(p) and b = t.elem_at.(q) in
     begin_touch t;
     Netlist.iter_incident t.netlist a (fun j -> touch t j);
@@ -190,6 +230,7 @@ let relocate t ~from_pos ~to_pos =
   if from_pos < 0 || from_pos >= n || to_pos < 0 || to_pos >= n then
     invalid_arg "Arrangement.relocate: position out of range";
   if from_pos <> to_pos then begin
+    t.pend_kind <- 0;
     let e = t.elem_at.(from_pos) in
     if from_pos < to_pos then
       for p = from_pos to to_pos - 1 do
@@ -207,6 +248,203 @@ let relocate t ~from_pos ~to_pos =
        span) and exact, which dominates correctness at these sizes. *)
     recompute_all t
   end
+
+(* {1 Trial evaluation}
+
+   A trial prices a swap/relocate without mutating the arrangement.  Only
+   the boundaries in the symmetric difference of each touched net's old
+   and new span change their cut, so we record exactly those (sparse,
+   deduplicated across nets by [diff_mark]).  The density is a max, so
+   "might it drop?" needs the histogram: a changed boundary's old value
+   is tallied in [removed], and the best unchanged level is found by
+   walking [cut_count - removed] down from the current density. *)
+
+let add_diff t x d =
+  if t.diff_mark.(x) <> t.diff_stamp then begin
+    t.diff_mark.(x) <- t.diff_stamp;
+    t.diff_pos.(t.n_diff) <- x;
+    t.n_diff <- t.n_diff + 1;
+    t.diff.(x) <- d
+  end
+  else t.diff.(x) <- t.diff.(x) + d
+
+(* Cut changes when a net's span goes from [ao,a1) to [bo,b1): -1 on
+   A \ B, +1 on B \ A, nothing on the intersection.  The four segments
+   below cover both set differences exactly, for any pair of intervals
+   (overlapping, nested, disjoint, or empty). *)
+let record_span_change t ao a1 bo b1 =
+  if ao < bo then
+    for x = ao to min a1 bo - 1 do
+      add_diff t x (-1)
+    done;
+  if b1 < a1 then
+    for x = max ao b1 to a1 - 1 do
+      add_diff t x (-1)
+    done;
+  if bo < ao then
+    for x = bo to min b1 ao - 1 do
+      add_diff t x 1
+    done;
+  if a1 < b1 then
+    for x = max bo a1 to b1 - 1 do
+      add_diff t x 1
+    done
+
+(* New span of every touched net under the virtual placement [vpos]
+   (element -> would-be position); records cut diffs and pending spans,
+   returns the sum-of-cuts delta. *)
+let trial_spans t vpos =
+  let sum_delta = ref 0 in
+  for i = 0 to t.n_touched - 1 do
+    let j = t.touched.(i) in
+    let lo = ref max_int and hi = ref (-1) in
+    Netlist.iter_pins t.netlist j (fun e ->
+        let x = vpos e in
+        if x < !lo then lo := x;
+        if x > !hi then hi := x);
+    t.pend_lo.(i) <- !lo;
+    t.pend_hi.(i) <- !hi;
+    sum_delta := !sum_delta + (!hi - !lo) - (t.net_hi.(j) - t.net_lo.(j));
+    record_span_change t t.net_lo.(j) t.net_hi.(j) !lo !hi
+  done;
+  !sum_delta
+
+let finish_trial t =
+  let changed_max = ref 0 in
+  for k = 0 to t.n_diff - 1 do
+    let x = t.diff_pos.(k) in
+    let v = t.cuts.(x) in
+    t.removed.(v) <- t.removed.(v) + 1;
+    let v' = v + t.diff.(x) in
+    if v' > !changed_max then changed_max := v'
+  done;
+  (* Highest level still populated by an unchanged boundary.  A single
+     move perturbs at most (incident nets) levels, so this walk is
+     short. *)
+  let d = ref t.density in
+  while !d > 0 && t.cut_count.(!d) - t.removed.(!d) = 0 do
+    decr d
+  done;
+  let new_density = if t.n_diff = 0 then t.density else max !d !changed_max in
+  for k = 0 to t.n_diff - 1 do
+    t.removed.(t.cuts.(t.diff_pos.(k))) <- 0
+  done;
+  t.pend_density <- new_density;
+  new_density - t.density
+
+let swap_delta t p q =
+  let n = size t in
+  if p < 0 || p >= n || q < 0 || q >= n then
+    invalid_arg "Arrangement.swap_delta: position out of range";
+  if p = q then begin
+    t.pend_kind <- 0;
+    (0, 0)
+  end
+  else begin
+    let a = t.elem_at.(p) and b = t.elem_at.(q) in
+    begin_touch t;
+    Netlist.iter_incident t.netlist a (fun j -> touch t j);
+    Netlist.iter_incident t.netlist b (fun j -> touch t j);
+    t.diff_stamp <- t.diff_stamp + 1;
+    t.n_diff <- 0;
+    let sum_delta =
+      trial_spans t (fun e ->
+          if e = a then q else if e = b then p else t.pos_of.(e))
+    in
+    let density_delta = finish_trial t in
+    t.pend_kind <- 1;
+    t.pend_a <- p;
+    t.pend_b <- q;
+    t.pend_sum <- sum_delta;
+    (density_delta, sum_delta)
+  end
+
+let relocate_delta t ~from_pos ~to_pos =
+  let n = size t in
+  if from_pos < 0 || from_pos >= n || to_pos < 0 || to_pos >= n then
+    invalid_arg "Arrangement.relocate_delta: position out of range";
+  if from_pos = to_pos then begin
+    t.pend_kind <- 0;
+    (0, 0)
+  end
+  else begin
+    (* Every element whose position changes sits in the shift window, so
+       exactly the nets pinned there can change span. *)
+    let lo_w = min from_pos to_pos and hi_w = max from_pos to_pos in
+    begin_touch t;
+    for x = lo_w to hi_w do
+      Netlist.iter_incident t.netlist t.elem_at.(x) (fun j -> touch t j)
+    done;
+    let shift x =
+      if x = from_pos then to_pos
+      else if from_pos < to_pos then
+        if x > from_pos && x <= to_pos then x - 1 else x
+      else if x >= to_pos && x < from_pos then x + 1
+      else x
+    in
+    t.diff_stamp <- t.diff_stamp + 1;
+    t.n_diff <- 0;
+    let sum_delta = trial_spans t (fun e -> shift t.pos_of.(e)) in
+    let density_delta = finish_trial t in
+    t.pend_kind <- 2;
+    t.pend_a <- from_pos;
+    t.pend_b <- to_pos;
+    t.pend_sum <- sum_delta;
+    (density_delta, sum_delta)
+  end
+
+(* Replay the recording of the immediately preceding trial: set the
+   touched nets' spans and apply the sparse cut diffs, instead of
+   removing and re-adding whole spans. *)
+let apply_pending t =
+  for i = 0 to t.n_touched - 1 do
+    let j = t.touched.(i) in
+    t.net_lo.(j) <- t.pend_lo.(i);
+    t.net_hi.(j) <- t.pend_hi.(i)
+  done;
+  for k = 0 to t.n_diff - 1 do
+    let x = t.diff_pos.(k) in
+    let d = t.diff.(x) in
+    if d <> 0 then begin
+      let v = t.cuts.(x) in
+      t.cut_count.(v) <- t.cut_count.(v) - 1;
+      t.cut_count.(v + d) <- t.cut_count.(v + d) + 1;
+      t.cuts.(x) <- v + d
+    end
+  done;
+  t.sum_cuts <- t.sum_cuts + t.pend_sum;
+  t.density <- t.pend_density;
+  t.pend_kind <- 0
+
+let commit_swap_delta t p q =
+  if t.pend_kind = 1 && t.pend_a = p && t.pend_b = q then begin
+    let a = t.elem_at.(p) and b = t.elem_at.(q) in
+    t.elem_at.(p) <- b;
+    t.elem_at.(q) <- a;
+    t.pos_of.(a) <- q;
+    t.pos_of.(b) <- p;
+    apply_pending t
+  end
+  else swap_positions t p q
+
+let commit_relocate_delta t ~from_pos ~to_pos =
+  if t.pend_kind = 2 && t.pend_a = from_pos && t.pend_b = to_pos then begin
+    let e = t.elem_at.(from_pos) in
+    if from_pos < to_pos then
+      for p = from_pos to to_pos - 1 do
+        t.elem_at.(p) <- t.elem_at.(p + 1);
+        t.pos_of.(t.elem_at.(p)) <- p
+      done
+    else
+      for p = from_pos downto to_pos + 1 do
+        t.elem_at.(p) <- t.elem_at.(p - 1);
+        t.pos_of.(t.elem_at.(p)) <- p
+      done;
+    t.elem_at.(to_pos) <- e;
+    t.pos_of.(e) <- to_pos;
+    apply_pending t
+  end
+  else relocate t ~from_pos ~to_pos
 
 let set_order t o =
   if not (is_permutation (size t) o) then

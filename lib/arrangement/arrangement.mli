@@ -75,6 +75,37 @@ val set_order : t -> int array -> unit
 (** Replace the whole arrangement.
     @raise Invalid_argument if not a permutation. *)
 
+(** {1 Trial evaluation}
+
+    [swap_delta] / [relocate_delta] price a move {e without} applying
+    it: only the boundaries in the symmetric difference of each touched
+    net's old and new span can change, and the "density might drop"
+    case is resolved against the maintained cut histogram.  Both return
+    [(density_delta, sum_of_cuts_delta)] and leave the arrangement
+    untouched, recording the move as {e pending}.
+
+    [commit_swap_delta] / [commit_relocate_delta] apply a move; when it
+    is exactly the pending trial they replay the recorded sparse diffs
+    (cheaper than the generic [swap_positions] / [relocate] re-sweep),
+    otherwise they fall back to the generic path.  Any other mutation
+    ([swap_positions], [relocate], [set_order]) clears the pending
+    trial. *)
+
+val swap_delta : t -> int -> int -> int * int
+(** [swap_delta t p q] — would-be [(density, sum_of_cuts)] change of
+    [swap_positions t p q].
+    @raise Invalid_argument if a position is out of range. *)
+
+val relocate_delta : t -> from_pos:int -> to_pos:int -> int * int
+(** Would-be [(density, sum_of_cuts)] change of [relocate].
+    @raise Invalid_argument if a position is out of range. *)
+
+val commit_swap_delta : t -> int -> int -> unit
+(** Apply a swap, replaying the pending trial when it matches. *)
+
+val commit_relocate_delta : t -> from_pos:int -> to_pos:int -> unit
+(** Apply a relocate, replaying the pending trial when it matches. *)
+
 val check : t -> unit
 (** Recompute every cut from scratch and compare with the incremental
     state.  @raise Failure on any mismatch (indicates a bug). *)

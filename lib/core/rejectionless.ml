@@ -22,7 +22,32 @@ module Make (P : Mc_problem.S) = struct
       invalid_arg "Rejectionless.params: schedule length mismatch";
     { gfun; schedule; budget }
 
-  let run ?(observer = Obs.Observer.null) ?delta_ops rng p state =
+  (* Per-run storage for the [?sweep_cache] path: the previous sweep's
+     move and delta at each neighborhood index, plus a validity byte
+     cleared when a committed step affects the entry. *)
+  type cache = {
+    hints : (P.state, P.move) Mc_problem.sweep_cache;
+    mutable cm : P.move array;
+    mutable cdv : float array;
+    mutable cvalid : Bytes.t;
+    mutable filled : int; (* entries 0..filled-1 belong to the last sweep *)
+  }
+
+  let cache_ensure mc n m =
+    if Array.length mc.cm < n then begin
+      let cap = max 256 (max n (2 * Array.length mc.cm)) in
+      let cm = Array.make cap m in
+      Array.blit mc.cm 0 cm 0 (Array.length mc.cm);
+      let cdv = Array.make cap 0. in
+      Array.blit mc.cdv 0 cdv 0 (Array.length mc.cdv);
+      let cvalid = Bytes.make cap '\000' in
+      Bytes.blit mc.cvalid 0 cvalid 0 (Bytes.length mc.cvalid);
+      mc.cm <- cm;
+      mc.cdv <- cdv;
+      mc.cvalid <- cvalid
+    end
+
+  let run ?(observer = Obs.Observer.null) ?delta_ops ?sweep_cache rng p state =
     let observing = Obs.Observer.enabled observer in
     let emit ev = Obs.Observer.emit observer ev in
     let span_depth0 = Obs.Span.depth () in
@@ -107,6 +132,12 @@ module Make (P : Mc_problem.S) = struct
                 (Budget.ticks clock)));
       dv
     in
+    let cache =
+      match (delta_ops, sweep_cache) with
+      | Some _, Some hints ->
+          Some { hints; cm = [||]; cdv = [||]; cvalid = Bytes.empty; filled = 0 }
+      | _ -> None
+    in
     let stop = ref false in
     let run_t0 = if observing then Obs.now () else 0. in
     let enter_temp t =
@@ -166,12 +197,34 @@ module Make (P : Mc_problem.S) = struct
                    end)
             |> Array.of_seq
         | Some d ->
-            (try P.moves state with e -> abort e)
-            |> Seq.filter_map (fun m ->
+            (* Cached deltas are reused bit-for-bit and the budget still
+               ticks per move scanned, so the sweep's decisions (and its
+               stats) are identical with or without the cache. *)
+            let idx = ref (-1) in
+            let swept =
+              (try P.moves state with e -> abort e)
+              |> Seq.filter_map (fun m ->
                    if Budget.exhausted clock then None
                    else begin
                      Budget.tick clock;
-                     let dv = checked_delta d m in
+                     incr idx;
+                     let dv =
+                       match cache with
+                       | Some mc
+                         when !idx < mc.filled
+                              && Bytes.get mc.cvalid !idx = '\001'
+                              && mc.hints.Mc_problem.equal_move mc.cm.(!idx) m
+                         ->
+                           mc.cdv.(!idx)
+                       | Some mc ->
+                           let dv = checked_delta d m in
+                           cache_ensure mc (!idx + 1) m;
+                           mc.cm.(!idx) <- m;
+                           mc.cdv.(!idx) <- dv;
+                           Bytes.set mc.cvalid !idx '\001';
+                           dv
+                       | None -> checked_delta d m
+                     in
                      let hj = !hi +. dv in
                      if observing then
                        emit
@@ -188,7 +241,12 @@ module Make (P : Mc_problem.S) = struct
                        None
                      end
                    end)
-            |> Array.of_seq
+              |> Array.of_seq
+            in
+            (match cache with
+            | Some mc -> mc.filled <- !idx + 1
+            | None -> ());
+            swept
       in
       if Array.length weighted = 0 then begin
         (* Frozen at this temperature: advance or finish. *)
@@ -210,7 +268,18 @@ module Make (P : Mc_problem.S) = struct
                 if i <> idx then
                   try d.Mc_problem.abandon state m' with e -> abort e)
               weighted;
-            (try d.Mc_problem.commit state m with e -> abort e));
+            (try d.Mc_problem.commit state m with e -> abort e);
+            (* Drop every cached delta the committed step could have
+               changed; the rest carry over to the next sweep. *)
+            (match cache with
+            | Some mc ->
+                for i = 0 to mc.filled - 1 do
+                  if
+                    Bytes.get mc.cvalid i = '\001'
+                    && mc.hints.Mc_problem.affects state ~committed:m mc.cm.(i)
+                  then Bytes.set mc.cvalid i '\000'
+                done
+            | None -> ()));
         (* Compare rather than bind a delta: a float let bound here and
            stored in the event record would be boxed on every committed
            step, observer or not. *)

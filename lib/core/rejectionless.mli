@@ -24,6 +24,7 @@ module Make (P : Mc_problem.S) : sig
   val run :
     ?observer:Obs.Observer.t ->
     ?delta_ops:(P.state, P.move) Mc_problem.delta_ops ->
+    ?sweep_cache:(P.state, P.move) Mc_problem.sweep_cache ->
     Rng.t ->
     params ->
     P.state ->
@@ -43,6 +44,15 @@ module Make (P : Mc_problem.S) : sig
       unused here — this engine enumerates [P.moves] systematically.
       When [delta_ops] is absent the sweep is byte-identical to
       previous releases.
+
+      [sweep_cache] (only meaningful together with [delta_ops])
+      memoizes deltas across sweeps: each sweep reuses the previous
+      sweep's price for a move unless a committed step [affects] it,
+      turning the per-step cost from |neighborhood| × delta into
+      |neighborhood| × cache-lookup + affected × delta.  Deltas are
+      reused bit-for-bit and the budget still ticks per scanned move,
+      so a cached run's decisions, statistics and events are identical
+      to an uncached one.
 
       [observer] (default {!Obs.null}) receives one [Proposed] per
       neighborhood evaluation, an [Accepted] plus a [Descent_done] per

@@ -2,18 +2,19 @@
    same operation (a swap is an involution); relocation reverses by
    relocating back. *)
 
+(* Lexicographic pairs p < q, constant work per element.  (The previous
+   version unranked each index from scratch in O(n), making a full
+   neighborhood enumeration — every Figure-2 descent scan, every
+   rejectionless sweep — O(n^3).) *)
 let all_position_pairs state =
   let n = Arrangement.size state in
-  let pair_of idx =
-    (* Unrank idx in the lexicographic list of pairs p < q. *)
-    let rec find p remaining =
-      let row = n - 1 - p in
-      if remaining < row then (p, p + 1 + remaining) else find (p + 1) (remaining - row)
-    in
-    find 0 idx
-  in
-  let total = n * (n - 1) / 2 in
-  Seq.init total pair_of
+  Seq.unfold
+    (fun (p, q) ->
+      if p >= n - 1 then None
+      else
+        let next = if q + 1 < n then (p, q + 1) else (p + 1, p + 2) in
+        Some ((p, q), next))
+    (0, 1)
 
 module Swap = struct
   type state = Arrangement.t
@@ -28,6 +29,17 @@ module Swap = struct
   let revert state (p, q) = Arrangement.swap_positions state p q
   let copy = Arrangement.copy
   let moves = all_position_pairs
+
+  (* Density deltas are exact ints represented in float, so the fast
+     path's accumulated [hi +. delta] stays bit-identical to the
+     recompute path. *)
+  let delta_ops =
+    Mc_problem.delta_ops ~kind:"swap" ~propose:random_move
+      ~delta:(fun state (p, q) ->
+        float_of_int (fst (Arrangement.swap_delta state p q)))
+      ~commit:(fun state (p, q) -> Arrangement.commit_swap_delta state p q)
+      ~abandon:(fun _ _ -> ())
+      ()
 end
 
 module Relocate = struct
@@ -48,12 +60,33 @@ module Relocate = struct
     let n = Arrangement.size state in
     Seq.init (n * n) (fun idx -> (idx / n, idx mod n))
     |> Seq.filter (fun (p, q) -> p <> q)
+
+  let delta_ops =
+    Mc_problem.delta_ops ~kind:"relocate" ~propose:random_move
+      ~delta:(fun state (from_pos, to_pos) ->
+        float_of_int (fst (Arrangement.relocate_delta state ~from_pos ~to_pos)))
+      ~commit:(fun state (from_pos, to_pos) ->
+        Arrangement.commit_relocate_delta state ~from_pos ~to_pos)
+      ~abandon:(fun _ _ -> ())
+      ()
 end
 
 module Swap_sum_cuts = struct
   include Swap
 
   let cost state = float_of_int (Arrangement.sum_of_cuts state)
+
+  (* Same move, different objective: this delta prices [sum_of_cuts]
+     (the second component of the trial), NOT the density priced by
+     [Swap.delta_ops].  Defined explicitly so the objectives cannot be
+     cross-wired by inheriting Swap's machinery. *)
+  let delta_ops =
+    Mc_problem.delta_ops ~kind:"swap-sum-cuts" ~propose:random_move
+      ~delta:(fun state (p, q) ->
+        float_of_int (snd (Arrangement.swap_delta state p q)))
+      ~commit:(fun state (p, q) -> Arrangement.commit_swap_delta state p q)
+      ~abandon:(fun _ _ -> ())
+      ()
 end
 
 (* An arrangement serializes as its order array; decoding rebuilds the

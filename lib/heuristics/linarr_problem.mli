@@ -10,14 +10,28 @@
 
 module Swap : sig
   include Mc_problem.S with type state = Arrangement.t and type move = int * int
+
+  val delta_ops : (state, move) Mc_problem.delta_ops
+  (** Incremental density evaluation via {!Arrangement.swap_delta};
+      commits replay the pending trial.  Exact integer deltas, so the
+      fast path is bit-identical to the recompute path. *)
 end
 
 module Relocate : sig
   include Mc_problem.S with type state = Arrangement.t and type move = int * int
+
+  val delta_ops : (state, move) Mc_problem.delta_ops
+  (** Incremental density evaluation via {!Arrangement.relocate_delta}
+      — the baseline [apply] recomputes all cuts from scratch, so this
+      is the biggest linarr win. *)
 end
 
 module Swap_sum_cuts : sig
   include Mc_problem.S with type state = Arrangement.t and type move = int * int
+
+  val delta_ops : (state, move) Mc_problem.delta_ops
+  (** Prices the {e sum-of-cuts} objective (this module's [cost]), not
+      the density priced by {!Swap.delta_ops}. *)
 end
 
 val codec : Netlist.t -> Arrangement.t Mc_problem.codec

@@ -154,7 +154,7 @@ let prepare (spec : Job_spec.t) =
             (Pack
                {
                  problem = (module Linarr_problem.Swap);
-                 delta_ops = None;
+                 delta_ops = Some Linarr_problem.Swap.delta_ops;
                  codec = Linarr_problem.codec nl;
                  make_state = (fun rng -> Arrangement.random rng nl);
                  m = Netlist.n_nets nl;

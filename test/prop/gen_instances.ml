@@ -33,6 +33,23 @@ let make_tsp r =
 let qap_recipe = recipe "qap" ~lo:3 ~hi:12
 let make_qap r = Qap.random_instance (instance_rng r) ~n:r.n ~max_entry:9
 
+(* Alternates between the paper's two instance families by seed parity:
+   2-pin GOLA nets stress the every-boundary-in-between diff case,
+   multi-pin NOLA nets the stationary-pins-shrink-the-diff case. *)
+let linarr_recipe = recipe "linarr" ~lo:2 ~hi:20
+
+let make_arrangement r =
+  let rng = instance_rng r in
+  let elements = r.n in
+  let nl =
+    if r.seed land 1 = 0 then
+      Netlist.random_gola rng ~elements ~nets:(3 * elements)
+    else
+      Netlist.random_nola rng ~elements ~nets:(2 * elements) ~min_pins:2
+        ~max_pins:(min 5 elements)
+  in
+  Arrangement.random rng nl
+
 (* [n] is half the element count, so the instance is always balanced. *)
 let bipartition_recipe = recipe "bipartition" ~lo:2 ~hi:8
 

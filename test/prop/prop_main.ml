@@ -20,4 +20,5 @@ let () =
       ("gfun", List.map to_case Prop_gfun.tests);
       ("stats-online", List.map to_case Prop_stats.tests);
       ("problems", List.map to_case Prop_problems.tests);
+      ("arrangement", List.map to_case Prop_arrangement.tests);
     ]

@@ -9,6 +9,13 @@
 let case name f = Alcotest.test_case name `Quick f
 let bits = Int64.bits_of_float
 
+(* Rebuild a delta record with a different resync cadence (tighter than
+   the test budgets, so the resynchronization actually executes). *)
+let with_recost d n =
+  Mc_problem.delta_ops ~recost_every:n ~propose:d.Mc_problem.propose
+    ~delta:d.Mc_problem.delta ~commit:d.Mc_problem.commit
+    ~abandon:d.Mc_problem.abandon ()
+
 (* ------------------ fast path = slow path, everywhere ------------------ *)
 
 (* Run all three engines twice from the same seed and start state —
@@ -29,13 +36,6 @@ module Equiv (P : Mc_problem.S) = struct
       (bits slow.Mc_problem.final_cost) (bits fast.Mc_problem.final_cost);
     Alcotest.check Alcotest.bool (msg ^ ": stats") true
       (slow.Mc_problem.stats = fast.Mc_problem.stats)
-
-  (* A tighter resync cadence than any of these budgets, so the
-     accumulated-cost resynchronization actually executes. *)
-  let with_recost d n =
-    Mc_problem.delta_ops ~recost_every:n ~propose:d.Mc_problem.propose
-      ~delta:d.Mc_problem.delta ~commit:d.Mc_problem.commit
-      ~abandon:d.Mc_problem.abandon ()
 
   let engines ~msg ~seed ~evals ~gfun ~schedule ~delta_ops ~make_state =
     let p1 =
@@ -114,6 +114,106 @@ let test_equiv_placement () =
     ~delta_ops:Placement.Problem.delta_ops
     ~make_state:(fun () -> Placement.copy start)
     ()
+
+(* Linarr — the paper's own benchmark.  Density is a max over cuts, so
+   its trial evaluation exercises the histogram walk-down ("density
+   might drop") and the pending-commit replay, neither of which the
+   sum-shaped objectives above have. *)
+
+let gola_nl seed = Netlist.random_gola (Rng.create ~seed) ~elements:40 ~nets:110
+
+let nola_nl seed =
+  Netlist.random_nola (Rng.create ~seed) ~elements:36 ~nets:90 ~min_pins:2
+    ~max_pins:5
+
+let test_equiv_linarr_swap () =
+  let module E = Equiv (Linarr_problem.Swap) in
+  let nl = nola_nl 21 in
+  let gfun, schedule = metro 0.05 in
+  E.all ~msg:"linarr-swap" ~seed:106 ~evals:3000 ~gfun ~schedule
+    ~delta_ops:Linarr_problem.Swap.delta_ops
+    ~make_state:(fun () -> Arrangement.random (Rng.create ~seed:22) nl)
+    ()
+
+let test_equiv_linarr_relocate () =
+  let module E = Equiv (Linarr_problem.Relocate) in
+  let nl = gola_nl 23 in
+  let gfun, schedule = metro 0.05 in
+  E.all ~msg:"linarr-relocate" ~seed:107 ~evals:3000 ~gfun ~schedule
+    ~delta_ops:Linarr_problem.Relocate.delta_ops
+    ~make_state:(fun () -> Arrangement.random (Rng.create ~seed:24) nl)
+    ()
+
+let test_equiv_linarr_swap_sum_cuts () =
+  let module E = Equiv (Linarr_problem.Swap_sum_cuts) in
+  let nl = nola_nl 25 in
+  let gfun, schedule = metro 0.5 in
+  E.all ~msg:"linarr-swap-sum-cuts" ~seed:108 ~evals:3000 ~gfun ~schedule
+    ~delta_ops:Linarr_problem.Swap_sum_cuts.delta_ops
+    ~make_state:(fun () -> Arrangement.random (Rng.create ~seed:26) nl)
+    ()
+
+(* The three linarr delta records under the Contract sanitizer: every
+   delta is probed against an apply/cost/revert round trip, and the
+   probed fast path must still match the slow path bit-for-bit (the
+   probes themselves may not perturb the walk). *)
+let test_linarr_contract_wrap_delta () =
+  let gfun, schedule = metro 0.05 in
+  (let module P = Linarr_problem.Swap in
+   let module C = Mc_problem.Contract (P) in
+   let module E = Equiv (P) in
+   let nl = nola_nl 27 in
+   E.engines ~msg:"linarr-swap/contract" ~seed:109 ~evals:600 ~gfun ~schedule
+     ~delta_ops:(C.wrap_delta P.delta_ops)
+     ~make_state:(fun () -> Arrangement.random (Rng.create ~seed:28) nl));
+  (let module P = Linarr_problem.Relocate in
+   let module C = Mc_problem.Contract (P) in
+   let module E = Equiv (P) in
+   let nl = gola_nl 29 in
+   E.engines ~msg:"linarr-relocate/contract" ~seed:110 ~evals:600 ~gfun
+     ~schedule
+     ~delta_ops:(C.wrap_delta P.delta_ops)
+     ~make_state:(fun () -> Arrangement.random (Rng.create ~seed:30) nl));
+  let module P = Linarr_problem.Swap_sum_cuts in
+  let module C = Mc_problem.Contract (P) in
+  let module E = Equiv (P) in
+  let nl = nola_nl 31 in
+  E.engines ~msg:"linarr-swap-sum-cuts/contract" ~seed:111 ~evals:600 ~gfun
+    ~schedule
+    ~delta_ops:(C.wrap_delta P.delta_ops)
+    ~make_state:(fun () -> Arrangement.random (Rng.create ~seed:32) nl)
+
+(* The two objectives sharing the swap move must not share a price:
+   [Swap.delta] is the density change, [Swap_sum_cuts.delta] the
+   sum-of-cuts change, verified against apply-then-measure — and the
+   two must actually disagree somewhere, or a cross-wiring would be
+   invisible. *)
+let test_swap_objectives_not_cross_wired () =
+  let nl = nola_nl 33 in
+  let state = Arrangement.random (Rng.create ~seed:34) nl in
+  let rng = Rng.create ~seed:35 in
+  let differed = ref false in
+  for _ = 1 to 300 do
+    let p, q = Rng.pair_distinct rng (Arrangement.size state) in
+    let d_density =
+      Linarr_problem.Swap.delta_ops.Mc_problem.delta state (p, q)
+    in
+    let d_sum =
+      Linarr_problem.Swap_sum_cuts.delta_ops.Mc_problem.delta state (p, q)
+    in
+    let density0 = Arrangement.density state
+    and sum0 = Arrangement.sum_of_cuts state in
+    Arrangement.swap_positions state p q;
+    let true_density = float_of_int (Arrangement.density state - density0)
+    and true_sum = float_of_int (Arrangement.sum_of_cuts state - sum0) in
+    Arrangement.swap_positions state p q;
+    Alcotest.check Alcotest.int64 "Swap.delta prices density"
+      (bits true_density) (bits d_density);
+    Alcotest.check Alcotest.int64 "Swap_sum_cuts.delta prices sum of cuts"
+      (bits true_sum) (bits d_sum);
+    if bits d_density <> bits d_sum then differed := true
+  done;
+  Alcotest.check Alcotest.bool "objectives are distinguishable" true !differed
 
 (* Random seeds, not just the hand-picked ones: the 2-opt fast path
    must match the slow path for any seed and any budget. *)
@@ -208,6 +308,121 @@ let test_delta_checkpoint_resume_bit_identical () =
     (bits resumed.Mc_problem.final_cost);
   Alcotest.check Alcotest.bool "stats" true
     (base.Mc_problem.stats = resumed.Mc_problem.stats)
+
+let test_linarr_delta_checkpoint_resume_bit_identical () =
+  (* Linarr variant, with the states routed through the checkpoint
+     codec: a checkpoint holds only the order array, so the decode must
+     rebuild the incremental cut state (spans, histogram, density) well
+     enough that the resumed fast-path walk is bit-identical to the
+     uninterrupted one. *)
+  let module F1 = Figure1.Make (Linarr_problem.Swap) in
+  let nl = nola_nl 36 in
+  let codec = Linarr_problem.codec nl in
+  let make_state () = Arrangement.random (Rng.create ~seed:37) nl in
+  let delta_ops = with_recost Linarr_problem.Swap.delta_ops 7 in
+  let params =
+    F1.params ~gfun:Gfun.metropolis ~schedule:(Schedule.of_array [| 0.05 |])
+      ~budget:(Budget.Evaluations 4000) ()
+  in
+  let base = F1.run ~delta_ops (Rng.create ~seed:38) params (make_state ()) in
+  let captured = ref None in
+  let killing snap ~current ~best =
+    if snap.Figure1.ticks = 2000 then begin
+      captured := Some (snap, Arrangement.copy current, Arrangement.copy best);
+      raise Simulated_kill
+    end
+  in
+  (match
+     F1.run ~delta_ops ~checkpoint_every:1000 ~on_checkpoint:killing
+       (Rng.create ~seed:38) params (make_state ())
+   with
+  | (_ : Arrangement.t Mc_problem.run) ->
+      Alcotest.fail "run was not interrupted"
+  | exception Simulated_kill -> ());
+  let snap, current, best =
+    match !captured with
+    | Some c -> c
+    | None -> Alcotest.fail "no checkpoint captured"
+  in
+  let round_trip state =
+    match codec.Mc_problem.decode (codec.Mc_problem.encode state) with
+    | Ok s -> s
+    | Error msg -> Alcotest.fail ("codec round trip: " ^ msg)
+  in
+  let current = round_trip current and best = round_trip best in
+  let rng =
+    match Rng.of_state snap.Figure1.rng with
+    | Ok r -> r
+    | Error msg -> Alcotest.fail msg
+  in
+  let resumed = F1.run ~delta_ops ~resume:(snap, best) rng params current in
+  Alcotest.check Alcotest.int64 "best_cost" (bits base.Mc_problem.best_cost)
+    (bits resumed.Mc_problem.best_cost);
+  Alcotest.check Alcotest.int64 "final_cost" (bits base.Mc_problem.final_cost)
+    (bits resumed.Mc_problem.final_cost);
+  Alcotest.check Alcotest.bool "stats" true
+    (base.Mc_problem.stats = resumed.Mc_problem.stats)
+
+(* --------------------- rejectionless sweep cache ----------------------- *)
+
+let test_rejectionless_sweep_cache_bit_identical () =
+  (* The cross-sweep delta cache must be invisible: same weights, same
+     sampled moves, same budget accounting, bit-identical costs — at
+     the default resync cadence and at an awkward prime one. *)
+  let module RL = Rejectionless.Make (Tsp_problem) in
+  let inst = Tsp_instance.random_uniform (Rng.create ~seed:39) ~n:28 in
+  let make_state () = Tsp_heuristics.nearest_neighbor inst ~start:0 in
+  let check ~msg ~delta_ops =
+    let params =
+      RL.params ~gfun:Gfun.metropolis
+        ~schedule:(Schedule.of_array [| 0.05 |])
+        ~budget:(Budget.Evaluations 6000)
+    in
+    let plain =
+      RL.run ~delta_ops (Rng.create ~seed:40) params (make_state ())
+    in
+    let cached =
+      RL.run ~delta_ops ~sweep_cache:Tsp_problem.sweep_cache
+        (Rng.create ~seed:40) params (make_state ())
+    in
+    Alcotest.check Alcotest.int64 (msg ^ ": best_cost")
+      (bits plain.Mc_problem.best_cost) (bits cached.Mc_problem.best_cost);
+    Alcotest.check Alcotest.int64 (msg ^ ": final_cost")
+      (bits plain.Mc_problem.final_cost) (bits cached.Mc_problem.final_cost);
+    Alcotest.check Alcotest.bool (msg ^ ": stats") true
+      (plain.Mc_problem.stats = cached.Mc_problem.stats);
+    cached
+  in
+  let r = check ~msg:"cached" ~delta_ops:Tsp_problem.delta_ops in
+  Alcotest.check Alcotest.bool "walk actually stepped" true
+    (r.Mc_problem.stats.Mc_problem.descents > 1);
+  ignore
+    (check ~msg:"cached/recost-7"
+       ~delta_ops:(with_recost Tsp_problem.delta_ops 7))
+
+let test_rejectionless_sweep_cache_under_contract () =
+  (* Same run with every reused delta still routed through committed
+     state changes: the Contract-wrapped delta_ops recompute and compare
+     on every *evaluation* that misses the cache, so a stale cache entry
+     surfacing as a wrong commit decision would diverge from the
+     uncached twin above; here we additionally check the sanitizer
+     itself stays quiet with the cache on. *)
+  let module C = Mc_problem.Contract (Tsp_problem) in
+  let module RL = Rejectionless.Make (Tsp_problem) in
+  let inst = Tsp_instance.random_uniform (Rng.create ~seed:41) ~n:16 in
+  let params =
+    RL.params ~gfun:Gfun.metropolis
+      ~schedule:(Schedule.of_array [| 0.05 |])
+      ~budget:(Budget.Evaluations 1500)
+  in
+  let r =
+    RL.run
+      ~delta_ops:(C.wrap_delta Tsp_problem.delta_ops)
+      ~sweep_cache:Tsp_problem.sweep_cache (Rng.create ~seed:42) params
+      (Tsp_heuristics.nearest_neighbor inst ~start:0)
+  in
+  Alcotest.check Alcotest.int "budget spent" 1500
+    r.Mc_problem.stats.Mc_problem.evaluations
 
 (* ----------------------- Contract.wrap_delta --------------------------- *)
 
@@ -396,9 +611,23 @@ let suite =
     case "fast path = slow path: qap" test_equiv_qap;
     case "fast path = slow path: partition" test_equiv_partition;
     case "fast path = slow path: placement" test_equiv_placement;
+    case "fast path = slow path: linarr swap" test_equiv_linarr_swap;
+    case "fast path = slow path: linarr relocate" test_equiv_linarr_relocate;
+    case "fast path = slow path: linarr swap (sum of cuts)"
+      test_equiv_linarr_swap_sum_cuts;
+    case "linarr delta_ops under Contract.wrap_delta, all engines"
+      test_linarr_contract_wrap_delta;
+    case "swap density / sum-of-cuts objectives not cross-wired"
+      test_swap_objectives_not_cross_wired;
     QCheck_alcotest.to_alcotest prop_tsp_fast_path_matches;
     case "delta-path kill and resume is bit-identical"
       test_delta_checkpoint_resume_bit_identical;
+    case "linarr delta-path kill/resume through codec is bit-identical"
+      test_linarr_delta_checkpoint_resume_bit_identical;
+    case "rejectionless sweep cache is bit-identical"
+      test_rejectionless_sweep_cache_bit_identical;
+    case "rejectionless sweep cache under Contract.wrap_delta"
+      test_rejectionless_sweep_cache_under_contract;
     case "wrap_delta passes an honest adapter"
       test_wrap_delta_passes_honest_adapter;
     case "wrap_delta catches a lying delta" test_wrap_delta_catches_lying_delta;

@@ -131,6 +131,31 @@ let test_swap_moves_enumeration () =
       Alcotest.check Alcotest.bool "ordered and in range" true (0 <= p && p < q && q < 6))
     moves
 
+let test_swap_moves_match_unranking () =
+  (* Regression for the Seq.unfold rewrite of [all_position_pairs]: the
+     sequence must equal the old O(n)-per-element unranked enumeration
+     element-for-element, for a sweep of sizes including 0 and 1. *)
+  let unranked n =
+    let pair_of idx =
+      let rec find p remaining =
+        let row = n - 1 - p in
+        if remaining < row then (p, p + 1 + remaining)
+        else find (p + 1) (remaining - row)
+      in
+      find 0 idx
+    in
+    List.init (n * (n - 1) / 2) pair_of
+  in
+  List.iter
+    (fun n ->
+      let nl = Netlist.create ~n_elements:n ~pins:[||] in
+      let arr = Arrangement.create nl in
+      Alcotest.check
+        Alcotest.(list (pair int int))
+        (Printf.sprintf "n = %d" n) (unranked n)
+        (List.of_seq (Linarr_problem.Swap.moves arr)))
+    [ 0; 1; 2; 3; 7; 12; 31 ]
+
 let test_relocate_adapter_roundtrip () =
   let rng = Rng.create ~seed:11 in
   let nl = Netlist.random_nola rng ~elements:9 ~nets:25 ~min_pins:2 ~max_pins:4 in
@@ -264,6 +289,8 @@ let suite =
     case "swap adapter: apply/revert roundtrip" test_swap_adapter_roundtrip;
     case "swap adapter: cost is density" test_swap_adapter_cost;
     case "swap adapter: move enumeration" test_swap_moves_enumeration;
+    case "swap adapter: unfold enumeration matches old unranking"
+      test_swap_moves_match_unranking;
     case "relocate adapter: apply/revert roundtrip" test_relocate_adapter_roundtrip;
     case "relocate adapter: move enumeration" test_relocate_moves_enumeration;
     case "sum-of-cuts adapter cost" test_sum_cuts_adapter;
